@@ -1,0 +1,141 @@
+//! Lemma 1: the Chernoff concentration inequalities the paper's proofs
+//! rest on, as executable bounds.
+//!
+//! For independent (or negatively associated) 0/1 variables with mean sum
+//! `µ`:
+//!
+//! 1. `P[X ≥ (1+δ)µ] ≤ exp(−µδ²/3)` for `δ ∈ [0, 1]`
+//! 2. `P[X ≥ (1+δ)µ] ≤ exp(−µδ/3)`  for `δ ≥ 1`
+//! 3. `P[X ≤ (1−δ)µ] ≤ exp(−µδ²/3)` for `δ > 0`
+//!
+//! plus the generic form `(e^δ / (1+δ)^{1+δ})^µ` used in the proof of
+//! Lemma 3. The experiments print these bounds next to the measured tail
+//! frequencies so the tables show *bound vs. reality*.
+
+/// Upper-tail bound `P[X ≥ (1+δ)µ]` for `0 ≤ δ ≤ 1` (Lemma 1.1).
+///
+/// # Panics
+/// Panics if `δ ∉ [0, 1]` or `µ < 0`.
+pub fn upper_tail_small(mu: f64, delta: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&delta), "Lemma 1.1 needs δ ∈ [0,1], got {delta}");
+    assert!(mu >= 0.0);
+    (-mu * delta * delta / 3.0).exp().min(1.0)
+}
+
+/// Upper-tail bound `P[X ≥ (1+δ)µ]` for `δ ≥ 1` (Lemma 1.2).
+///
+/// # Panics
+/// Panics if `δ < 1` or `µ < 0`.
+pub fn upper_tail_large(mu: f64, delta: f64) -> f64 {
+    assert!(delta >= 1.0, "Lemma 1.2 needs δ ≥ 1, got {delta}");
+    assert!(mu >= 0.0);
+    (-mu * delta / 3.0).exp().min(1.0)
+}
+
+/// Best available upper-tail bound for any `δ ≥ 0`.
+pub fn upper_tail(mu: f64, delta: f64) -> f64 {
+    if delta <= 1.0 { upper_tail_small(mu, delta) } else { upper_tail_large(mu, delta) }
+}
+
+/// Lower-tail bound `P[X ≤ (1−δ)µ]` for `δ > 0` (Lemma 1.3).
+///
+/// # Panics
+/// Panics if `δ ≤ 0` or `µ < 0`.
+pub fn lower_tail(mu: f64, delta: f64) -> f64 {
+    assert!(delta > 0.0, "Lemma 1.3 needs δ > 0, got {delta}");
+    assert!(mu >= 0.0);
+    (-mu * delta * delta / 3.0).exp().min(1.0)
+}
+
+/// Generic multiplicative Chernoff bound
+/// `P[X ≥ (1+δ)µ] ≤ (e^δ / (1+δ)^{1+δ})^µ`, the form used inside the
+/// proof of Lemma 3. Computed in log-space for numerical stability.
+pub fn upper_tail_generic(mu: f64, delta: f64) -> f64 {
+    assert!(delta >= 0.0 && mu >= 0.0);
+    let log_bound = mu * (delta - (1.0 + delta) * (1.0 + delta).ln());
+    log_bound.exp().min(1.0)
+}
+
+/// Smallest exponent `c` such that a failure probability `p` is at most
+/// `n^{-c}` — i.e. how "high" a measured high-probability guarantee is.
+/// Returns `f64::INFINITY` when `p == 0` (no failures observed).
+pub fn whp_exponent(p: f64, n: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&p));
+    assert!(n >= 2);
+    if p == 0.0 {
+        return f64::INFINITY;
+    }
+    -p.ln() / (n as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_delta_bound_matches_formula() {
+        let b = upper_tail_small(300.0, 0.5);
+        assert!((b - (-300.0 * 0.25 / 3.0f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn large_delta_bound_matches_formula() {
+        let b = upper_tail_large(10.0, 3.0);
+        assert!((b - (-10.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dispatcher_picks_correct_regime() {
+        assert_eq!(upper_tail(10.0, 0.5), upper_tail_small(10.0, 0.5));
+        assert_eq!(upper_tail(10.0, 2.0), upper_tail_large(10.0, 2.0));
+        // Continuity at δ = 1: both formulas give exp(-µ/3).
+        assert!((upper_tail_small(9.0, 1.0) - upper_tail_large(9.0, 1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bounds_clamped_to_one() {
+        assert_eq!(upper_tail_small(0.0, 0.0), 1.0);
+        assert_eq!(upper_tail_generic(0.0, 5.0), 1.0);
+    }
+
+    #[test]
+    fn lower_tail_formula() {
+        let b = lower_tail(300.0, 0.5);
+        assert!((b - (-25.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generic_tighter_than_simple_for_large_delta() {
+        // For δ ≫ 1 the generic bound beats exp(−µδ/3).
+        let mu = 5.0;
+        let delta = 10.0;
+        assert!(upper_tail_generic(mu, delta) < upper_tail_large(mu, delta));
+    }
+
+    #[test]
+    fn generic_is_monotone_in_mu() {
+        assert!(upper_tail_generic(20.0, 1.0) < upper_tail_generic(10.0, 1.0));
+    }
+
+    #[test]
+    fn whp_exponent_semantics() {
+        // p = 1/n² ⇒ exponent 2.
+        let n = 1024;
+        let p = 1.0 / (n as f64 * n as f64);
+        assert!((whp_exponent(p, n) - 2.0).abs() < 1e-9);
+        assert_eq!(whp_exponent(0.0, n), f64::INFINITY);
+        assert_eq!(whp_exponent(1.0, n), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "δ ∈ [0,1]")]
+    fn small_regime_guard() {
+        upper_tail_small(1.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "δ ≥ 1")]
+    fn large_regime_guard() {
+        upper_tail_large(1.0, 0.5);
+    }
+}

@@ -1,0 +1,154 @@
+//! Integer histograms for step-count distributions.
+//!
+//! The step-complexity tables report max/p50/p99; the *distribution*
+//! behind them (how heavy is the straggler tail?) is what a figure would
+//! show. [`Histogram`] accumulates integer observations into
+//! exponentially growing buckets and renders a compact ASCII bar chart —
+//! used by analyses of per-process step counts and finisher probe
+//! counts.
+
+/// Exponential-bucket histogram: bucket `k` covers `[2^k, 2^{k+1})`
+/// (bucket 0 covers `{0, 1}`).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index of `value`.
+    fn bucket(value: u64) -> usize {
+        (64 - value.max(1).leading_zeros()).saturating_sub(1) as usize
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: u64) {
+        let b = Self::bucket(value);
+        if self.counts.len() <= b {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Adds every value in `values`.
+    pub fn extend(&mut self, values: impl IntoIterator<Item = u64>) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Observations so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 { 0.0 } else { self.sum as f64 / self.total as f64 }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Fraction of observations that are ≥ `threshold` (tail mass).
+    pub fn tail_fraction(&self, threshold: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let b = Self::bucket(threshold);
+        // Conservative: include the whole bucket containing `threshold`.
+        let tail: u64 = self.counts.iter().skip(b).sum();
+        tail as f64 / self.total as f64
+    }
+
+    /// Renders one line per non-empty bucket: range, count, and a bar
+    /// scaled to the modal bucket.
+    pub fn render(&self, width: usize) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = Vec::new();
+        for (b, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let lo = if b == 0 { 0 } else { 1u64 << b };
+            let hi = (1u64 << (b + 1)) - 1;
+            let bar = "#".repeat(((c as f64 / peak as f64) * width as f64).ceil() as usize);
+            out.push(format!("{lo:>10}..{hi:<10} {c:>8}  {bar}"));
+        }
+        out.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing() {
+        assert_eq!(Histogram::bucket(0), 0);
+        assert_eq!(Histogram::bucket(1), 0);
+        assert_eq!(Histogram::bucket(2), 1);
+        assert_eq!(Histogram::bucket(3), 1);
+        assert_eq!(Histogram::bucket(4), 2);
+        assert_eq!(Histogram::bucket(1024), 10);
+        assert_eq!(Histogram::bucket(1023), 9);
+    }
+
+    #[test]
+    fn stats_track_observations() {
+        let mut h = Histogram::new();
+        h.extend([1, 2, 3, 4, 100]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_fraction_counts_high_buckets() {
+        let mut h = Histogram::new();
+        h.extend([1u64; 90]);
+        h.extend([1000u64; 10]);
+        let tail = h.tail_fraction(512);
+        assert!((tail - 0.10).abs() < 1e-12, "tail = {tail}");
+        // 1000 lives in bucket [512, 1023]; a threshold in the next
+        // bucket excludes it.
+        assert_eq!(h.tail_fraction(2048), 0.0);
+        // A threshold inside the same bucket conservatively includes it.
+        assert_eq!(h.tail_fraction(600), 0.10);
+        assert_eq!(Histogram::new().tail_fraction(1), 0.0);
+    }
+
+    #[test]
+    fn render_shows_nonempty_buckets_only() {
+        let mut h = Histogram::new();
+        h.extend([1, 1, 1, 8]);
+        let text = h.render(10);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains('#'));
+        // The modal bucket has the longest bar.
+        let first_bar = text.lines().next().unwrap().matches('#').count();
+        let second_bar = text.lines().nth(1).unwrap().matches('#').count();
+        assert!(first_bar > second_bar);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.render(10), "");
+    }
+}

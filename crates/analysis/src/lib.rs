@@ -1,0 +1,17 @@
+//! # rr-analysis — probability bounds and statistics for the experiments
+//!
+//! Pure-math companion crate: the Chernoff inequalities of Lemma 1
+//! ([`chernoff`]), the balls-into-bins machinery behind Lemma 3
+//! ([`ballsbins`]), summary statistics ([`stats`]) and the aligned table
+//! printer every `exp_*` binary uses ([`table`]).
+
+pub mod ballsbins;
+pub mod histogram;
+pub mod chernoff;
+pub mod stats;
+pub mod table;
+
+pub use histogram::Histogram;
+pub use ballsbins::{ceil_log2, floor_log2, lemma3_bound, simulate_lemma3};
+pub use stats::{Welford, percentile_row, quantile};
+pub use table::{Align, Table};

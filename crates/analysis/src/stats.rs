@@ -1,0 +1,153 @@
+//! Summary statistics for experiment tables: online mean/variance
+//! (Welford), quantiles, and normal-approximation confidence intervals.
+
+/// Online mean and variance accumulator (Welford's algorithm — numerically
+/// stable for long experiment sweeps).
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for the empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance; 0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 { 0.0 } else { self.m2 / (self.n - 1) as f64 }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`NaN` if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 { f64::NAN } else { self.min }
+    }
+
+    /// Maximum observation (`NaN` if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 { f64::NAN } else { self.max }
+    }
+
+    /// Half-width of the ~95% normal-approximation confidence interval
+    /// for the mean (`1.96·s/√n`).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 { 0.0 } else { 1.96 * self.std_dev() / (self.n as f64).sqrt() }
+    }
+}
+
+/// Quantile of a sample by linear interpolation on the sorted data.
+/// `q ∈ [0, 1]`.
+///
+/// # Panics
+/// Panics on an empty slice or `q ∉ [0, 1]`.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q));
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Sorts a copy and returns `(p50, p95, p99, max)` — the row format used
+/// by the step-complexity tables.
+pub fn percentile_row(values: &[u64]) -> (f64, f64, f64, u64) {
+    assert!(!values.is_empty());
+    let mut v: Vec<f64> = values.iter().map(|&x| x as f64).collect();
+    v.sort_by(f64::total_cmp);
+    (quantile(&v, 0.50), quantile(&v, 0.95), quantile(&v, 0.99), *values.iter().max().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+        assert!(w.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn welford_empty_and_singleton() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.variance(), 0.0);
+        assert!(w.min().is_nan());
+        let mut w = Welford::new();
+        w.push(3.0);
+        assert_eq!(w.mean(), 3.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert!((quantile(&v, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(quantile(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn quantile_empty_panics() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn percentile_row_shape() {
+        let values: Vec<u64> = (1..=100).collect();
+        let (p50, p95, p99, max) = percentile_row(&values);
+        assert!((p50 - 50.5).abs() < 1e-9);
+        assert!(p95 > 90.0 && p95 < 100.0);
+        assert!(p99 > p95);
+        assert_eq!(max, 100);
+    }
+}

@@ -1,0 +1,64 @@
+//! Analytic depth model for the AKS comparison.
+//!
+//! The AKS sorting network has depth `c_AKS · log₂ W` for a constant
+//! that published constructions put in the thousands (Paterson's variant
+//! is ~6100; later improvements remain ≫ 1000). The paper's whole
+//! motivation for the τ-register is avoiding "the overhead and
+//! impracticality of the AKS network" — this module quantifies that
+//! trade-off for the E8 crossover table without pretending to build AKS.
+
+/// Published depth constant for practical AKS variants (Paterson 1990
+/// gives ≈ 6100; we use a charitable 1830 from later analyses — even the
+/// charitable constant loses to everything else at terrestrial n).
+pub const AKS_DEPTH_CONSTANT: f64 = 1830.0;
+
+/// Depth of an AKS network of width `w` under the model.
+pub fn aks_depth(w: usize) -> f64 {
+    assert!(w >= 2);
+    AKS_DEPTH_CONSTANT * (w as f64).log2()
+}
+
+/// Depth of Batcher's bitonic network of width `w` (exact):
+/// `k(k+1)/2` for `k = log₂ w`.
+pub fn bitonic_depth(w: usize) -> u64 {
+    assert!(w.is_power_of_two() && w >= 2);
+    let k = w.trailing_zeros() as u64;
+    k * (k + 1) / 2
+}
+
+/// The width below which bitonic beats the AKS model — i.e. how large n
+/// must get before AKS's asymptotics pay for its constant:
+/// `k(k+1)/2 < c·k ⇔ k < 2c − 1`.
+pub fn aks_crossover_log2() -> u64 {
+    (2.0 * AKS_DEPTH_CONSTANT - 1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aks_depth_formula() {
+        assert!((aks_depth(1024) - AKS_DEPTH_CONSTANT * 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bitonic_depth_matches_network_generator() {
+        // Cross-checked against `ComparatorNetwork::bitonic` in tests
+        // there; here pin the closed form.
+        assert_eq!(bitonic_depth(2), 1);
+        assert_eq!(bitonic_depth(1024), 55);
+        assert_eq!(bitonic_depth(1 << 20), 210);
+    }
+
+    #[test]
+    fn aks_never_wins_at_terrestrial_sizes() {
+        // Crossover at log₂ w ≈ 2c − 1 ≈ 3659: w ≈ 2^3659. The observable
+        // universe does not contain that many processes.
+        assert!(aks_crossover_log2() > 3000);
+        for exp in [10u32, 20, 30, 60] {
+            let w = 1usize << exp;
+            assert!((bitonic_depth(w) as f64) < aks_depth(w));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Ideal fetch-and-increment renaming — the hardware upper bound.
+//!
+//! A single fetch-and-add register renames in exactly one step per
+//! process. The paper's TAS-register model deliberately excludes it (TAS
+//! is the weaker primitive the lower bounds are about), but the
+//! τ-register proposal is itself "new hardware", so the E8 table shows
+//! fetch-add as the limit the τ-register approaches: O(1) vs O(log n)
+//! steps, at the cost of a stronger primitive and a single hot spot.
+
+use rr_renaming::traits::{Instance, RenamingAlgorithm};
+use rr_shmem::Access;
+use rr_sched::process::{Process, StepOutcome};
+use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One fetch-add process.
+pub struct CounterProcess {
+    pid: usize,
+    counter: Arc<AtomicUsize>,
+    limit: usize,
+}
+
+impl Process for CounterProcess {
+    fn announce(&mut self) -> Access {
+        // The counter is "register 0" of its own array class.
+        Access::Tas { array: 4, index: 0 }
+    }
+
+    fn step(&mut self) -> StepOutcome {
+        let name = self.counter.fetch_add(1, Ordering::Relaxed);
+        assert!(name < self.limit, "more fetch-add claims than processes");
+        StepOutcome::Done(name)
+    }
+
+    fn pid(&self) -> usize {
+        self.pid
+    }
+}
+
+/// Fetch-and-increment tight renaming (`m = n`, 1 step).
+#[derive(Debug, Clone, Copy)]
+pub struct FetchAddRenaming;
+
+impl RenamingAlgorithm for FetchAddRenaming {
+    fn name(&self) -> String {
+        "fetch-add".into()
+    }
+
+    fn m(&self, n: usize) -> usize {
+        n
+    }
+
+    fn instantiate(&self, n: usize, _seed: u64) -> Instance {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let processes = (0..n)
+            .map(|pid| {
+                Box::new(CounterProcess { pid, counter: Arc::clone(&counter), limit: n })
+                    as Box<dyn Process + Send>
+            })
+            .collect();
+        Instance { processes, m: n, n }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_sched::adversary::FairAdversary;
+    use rr_sched::virtual_exec::run;
+
+    #[test]
+    fn one_step_tight_renaming() {
+        let inst = FetchAddRenaming.instantiate(64, 0);
+        let procs: Vec<Box<dyn Process>> =
+            inst.processes.into_iter().map(|p| p as Box<dyn Process>).collect();
+        let out = run(procs, &mut FairAdversary::default(), 1000).unwrap();
+        out.verify_renaming(64).unwrap();
+        assert_eq!(out.step_complexity(), 1);
+        let mut names: Vec<_> = out.names.iter().map(|x| x.unwrap()).collect();
+        names.sort_unstable();
+        assert_eq!(names, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threaded_counter_still_distinct() {
+        let inst = FetchAddRenaming.instantiate(128, 0);
+        let out = rr_sched::thread_exec::run_threads(inst.processes, 10);
+        out.verify_renaming(128).unwrap();
+    }
+}

@@ -1,0 +1,29 @@
+//! # rr-baselines — the algorithms the paper compares against
+//!
+//! * [`network`] — comparator-network renaming (Alistarh et al. \[7\]):
+//!   TAS splitters over Batcher's bitonic network, the buildable stand-in
+//!   for AKS (see DESIGN.md for the substitution argument).
+//! * [`aks_model`] — analytic AKS depth, for the crossover tables.
+//! * [`uniform`] — uniform random probing into `(1+ε)n` names.
+//! * [`linear`] — deterministic Θ(n) scan (the lower-bound witness).
+//! * [`splitter_grid`] — Moir–Anderson grid renaming from read/write
+//!   registers only (no TAS): quadratic name space, Θ(n) steps — the
+//!   regime the paper's TAS protocols escape.
+//! * [`counter`] — ideal fetch-and-increment (the hardware upper bound).
+//!
+//! Everything implements [`rr_renaming::RenamingAlgorithm`], so the E8
+//! comparison harness treats the paper's protocols and these baselines
+//! uniformly.
+
+pub mod aks_model;
+pub mod counter;
+pub mod linear;
+pub mod network;
+pub mod splitter_grid;
+pub mod uniform;
+
+pub use counter::FetchAddRenaming;
+pub use splitter_grid::{GridProcess, GridShared, Splitter, SplitterGrid};
+pub use linear::{LinearScan, ScanStart};
+pub use network::{BitonicRenaming, ComparatorNetwork, NetworkProcess, NetworkShared};
+pub use uniform::{UniformProbing, UniformProcess};

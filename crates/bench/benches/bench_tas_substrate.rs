@@ -1,0 +1,80 @@
+//! Microbenchmarks of the TAS substrate: single-thread TAS throughput,
+//! contended TAS across threads, and the audit table's claim cost —
+//! verifying the primitives are cheap enough that the experiment numbers
+//! measure the algorithms, not the harness.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use rr_shmem::namespace::NameSpaceAudit;
+use rr_shmem::tas::{AtomicTasArray, TasMemory};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn bench_tas_single(c: &mut Criterion) {
+    c.bench_function("tas_fresh_win", |b| {
+        let mut arr = AtomicTasArray::new(1 << 16);
+        let mut i = 0usize;
+        b.iter(|| {
+            if i == arr.len() {
+                arr.reset();
+                i = 0;
+            }
+            let won = arr.tas(black_box(i));
+            i += 1;
+            black_box(won)
+        })
+    });
+    c.bench_function("tas_lose_set_register", |b| {
+        let arr = AtomicTasArray::new(64);
+        arr.tas(7);
+        b.iter(|| black_box(arr.tas(black_box(7))))
+    });
+    c.bench_function("tas_read", |b| {
+        let arr = AtomicTasArray::new(1 << 12);
+        arr.tas(100);
+        b.iter(|| black_box(arr.is_set(black_box(100))))
+    });
+}
+
+fn bench_tas_contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tas_contended_sweep");
+    g.sample_size(20);
+    for threads in [2usize, 8] {
+        g.bench_function(format!("threads={threads}"), |b| {
+            b.iter(|| {
+                let arr = AtomicTasArray::new(1 << 12);
+                let wins = AtomicUsize::new(0);
+                std::thread::scope(|s| {
+                    for _ in 0..threads {
+                        s.spawn(|| {
+                            let mut local = 0;
+                            for i in 0..arr.len() {
+                                if arr.tas(i) {
+                                    local += 1;
+                                }
+                            }
+                            wins.fetch_add(local, Ordering::Relaxed);
+                        });
+                    }
+                });
+                assert_eq!(wins.load(Ordering::Relaxed), arr.len());
+                black_box(())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_audit_claim(c: &mut Criterion) {
+    c.bench_function("audit_claim", |b| {
+        let audit = NameSpaceAudit::new(1 << 16, 1 << 16);
+        let mut pid = 0usize;
+        b.iter(|| {
+            let r = audit.claim(pid % (1 << 16), pid % (1 << 16));
+            pid += 1;
+            black_box(r.is_ok())
+        })
+    });
+}
+
+criterion_group!(benches, bench_tas_single, bench_tas_contended, bench_audit_claim);
+criterion_main!(benches);

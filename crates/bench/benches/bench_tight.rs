@@ -1,0 +1,51 @@
+//! Wall-clock benchmark of §III tight renaming: virtual executor
+//! (model-faithful, single thread) and free-running OS threads over the
+//! same state machines. Sweep over n; the per-element cost should grow
+//! only logarithmically.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use rr_renaming::TightRenaming;
+use rr_sched::adversary::FairAdversary;
+use rr_sched::process::Process;
+use rr_sched::{run_threads_bounded, virtual_exec};
+use std::hint::black_box;
+
+fn bench_virtual(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tight_virtual");
+    g.sample_size(10);
+    for n in [1usize << 8, 1 << 10, 1 << 12] {
+        g.bench_function(format!("n={n}"), |b| {
+            b.iter(|| {
+                let (_s, procs) = TightRenaming::calibrated(4).instantiate_shared(n, 1);
+                let boxed: Vec<Box<dyn Process>> =
+                    procs.into_iter().map(|p| Box::new(p) as Box<dyn Process>).collect();
+                let out =
+                    virtual_exec::run(boxed, &mut FairAdversary::default(), 1 << 32).unwrap();
+                black_box(out.step_complexity())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tight_threads");
+    g.sample_size(10);
+    for n in [1usize << 8, 1 << 10] {
+        g.bench_function(format!("n={n},threads=8"), |b| {
+            b.iter(|| {
+                let (_s, procs) = TightRenaming::calibrated(4).instantiate_shared(n, 1);
+                let boxed: Vec<Box<dyn Process + Send>> = procs
+                    .into_iter()
+                    .map(|p| Box::new(p) as Box<dyn Process + Send>)
+                    .collect();
+                let out = run_threads_bounded(boxed, 8, 1 << 26);
+                black_box(out.names.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_virtual, bench_threads);
+criterion_main!(benches);

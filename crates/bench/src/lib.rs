@@ -1,0 +1,28 @@
+//! # rr-bench — the experiment harness
+//!
+//! One binary per quantitative claim of the paper (plus the extensions);
+//! see DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
+//! claimed-vs-measured tables. All binaries accept `--quick`.
+//!
+//! | binary | claim |
+//! |---|---|
+//! | `exp_theorem5` | E1 — Theorem 5: tight renaming in O(log n) w.h.p. |
+//! | `exp_lemma3` | E2 — Lemma 3 balls-into-bins tail |
+//! | `exp_lemma4` | E3 — Lemma 4 per-round register saturation |
+//! | `exp_lemma6` | E4 — Lemma 6 almost-tight renaming |
+//! | `exp_cor7` | E5 — Corollary 7 loose renaming |
+//! | `exp_lemma8` | E6 — Lemma 8 almost-tight renaming (corrected phases) |
+//! | `exp_cor9` | E7 — Corollary 9 loose renaming |
+//! | `exp_baselines` | E8 — τ-register vs networks vs loose baselines |
+//! | `exp_adversary` | E9 — adaptive adversaries and crashes |
+//! | `exp_tau` | E10 — counting-device invariants and batching |
+//! | `exp_deterministic_gap` | E11 — deterministic Θ(n) vs randomized |
+//! | `exp_adaptive` | E12 — adaptive (unknown k) extension |
+//! | `exp_longlived` | E13 — long-lived renaming under churn |
+//! | `exp_ablation` | E14 — design-constant ablations |
+//! | `exp_progress` | E15 — named-fraction progress curves |
+//!
+//! The shared [`runner`] drives any [`rr_renaming::RenamingAlgorithm`]
+//! across seeds and schedules with the safety audit always on.
+
+pub mod runner;

@@ -1,0 +1,225 @@
+//! Shared machinery for the `exp_*` binaries: run an algorithm across
+//! seeds under a chosen adversary, collect the renaming-relevant
+//! statistics, and fail loudly on any safety violation.
+
+use rr_renaming::traits::RenamingAlgorithm;
+use rr_sched::adversary::{
+    Adversary, CollisionMaximizer, CrashAdversary, FairAdversary, RandomAdversary,
+};
+use rr_sched::process::Process;
+use rr_sched::virtual_exec::{RunOutcome, run};
+
+/// Aggregated statistics over a batch of seeded runs.
+#[derive(Debug, Clone)]
+pub struct BatchStats {
+    /// Per-run step complexity (max steps over processes).
+    pub step_complexity: Vec<u64>,
+    /// Per-run mean steps per process.
+    pub mean_steps: Vec<f64>,
+    /// Per-run unnamed (gave-up) counts.
+    pub unnamed: Vec<usize>,
+    /// Per-run crashed counts.
+    pub crashed: Vec<usize>,
+    /// Runs whose renaming audit failed (should stay 0).
+    pub violations: usize,
+    /// Number of runs.
+    pub runs: usize,
+}
+
+impl BatchStats {
+    /// Maximum step complexity over all runs.
+    pub fn max_steps(&self) -> u64 {
+        self.step_complexity.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean of per-run step complexities.
+    pub fn mean_max_steps(&self) -> f64 {
+        if self.step_complexity.is_empty() {
+            return 0.0;
+        }
+        self.step_complexity.iter().sum::<u64>() as f64 / self.step_complexity.len() as f64
+    }
+
+    /// Mean of per-run mean steps.
+    pub fn mean_mean_steps(&self) -> f64 {
+        if self.mean_steps.is_empty() {
+            return 0.0;
+        }
+        self.mean_steps.iter().sum::<f64>() / self.mean_steps.len() as f64
+    }
+
+    /// Mean unnamed count.
+    pub fn mean_unnamed(&self) -> f64 {
+        if self.unnamed.is_empty() {
+            return 0.0;
+        }
+        self.unnamed.iter().sum::<usize>() as f64 / self.unnamed.len() as f64
+    }
+
+    /// Max unnamed count.
+    pub fn max_unnamed(&self) -> usize {
+        self.unnamed.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Which adversary to schedule under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Round-robin.
+    Fair,
+    /// Seeded random.
+    Random,
+    /// Collision-maximizing adaptive adversary.
+    CollisionMax,
+    /// Fair schedule + crash injection `(probability ‰, budget %)`.
+    Crashes {
+        /// Crash probability at winning announces, in permille.
+        p_permille: u32,
+        /// Max crashes as a percentage of n.
+        budget_pct: u32,
+    },
+}
+
+impl Schedule {
+    /// Human-readable label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            Schedule::Fair => "fair".into(),
+            Schedule::Random => "random".into(),
+            Schedule::CollisionMax => "collision-max".into(),
+            Schedule::Crashes { p_permille, budget_pct } => {
+                format!("crash(p={:.1}%,cap={budget_pct}%)", *p_permille as f64 / 10.0)
+            }
+        }
+    }
+
+    fn build(&self, n: usize, seed: u64) -> Box<dyn Adversary> {
+        match *self {
+            Schedule::Fair => Box::new(FairAdversary::default()),
+            Schedule::Random => Box::new(RandomAdversary::new(seed)),
+            Schedule::CollisionMax => Box::new(CollisionMaximizer::default()),
+            Schedule::Crashes { p_permille, budget_pct } => Box::new(CrashAdversary::new(
+                FairAdversary::default(),
+                p_permille as f64 / 1000.0,
+                n * budget_pct as usize / 100,
+                seed,
+            )),
+        }
+    }
+}
+
+/// Runs `algo` at size `n` once under `schedule` with `seed`.
+///
+/// # Panics
+/// Panics on executor errors or renaming-safety violations (these are
+/// bugs, not data).
+pub fn run_once(
+    algo: &dyn RenamingAlgorithm,
+    n: usize,
+    seed: u64,
+    schedule: Schedule,
+) -> RunOutcome {
+    let inst = algo.instantiate(n, seed);
+    let m = inst.m;
+    let procs: Vec<Box<dyn Process>> =
+        inst.processes.into_iter().map(|p| p as Box<dyn Process>).collect();
+    let mut adversary = schedule.build(n, seed);
+    let out = run(procs, adversary.as_mut(), algo.step_budget(n))
+        .unwrap_or_else(|e| panic!("{} at n={n}, seed {seed}: {e}", algo.name()));
+    if let Err(v) = out.verify_renaming(m) {
+        panic!("{} violated renaming safety at n={n}, seed {seed}: {v}", algo.name());
+    }
+    out
+}
+
+/// Runs `algo` at size `n` across `seeds` seeds.
+pub fn run_batch(
+    algo: &dyn RenamingAlgorithm,
+    n: usize,
+    seeds: u64,
+    schedule: Schedule,
+) -> BatchStats {
+    let mut stats = BatchStats {
+        step_complexity: Vec::with_capacity(seeds as usize),
+        mean_steps: Vec::with_capacity(seeds as usize),
+        unnamed: Vec::with_capacity(seeds as usize),
+        crashed: Vec::with_capacity(seeds as usize),
+        violations: 0,
+        runs: seeds as usize,
+    };
+    for seed in 0..seeds {
+        let out = run_once(algo, n, seed, schedule);
+        stats.step_complexity.push(out.step_complexity());
+        stats.mean_steps.push(out.total_steps() as f64 / n as f64);
+        stats.unnamed.push(out.gave_up_count());
+        stats.crashed.push(out.crashed.iter().filter(|&&c| c).count());
+    }
+    stats
+}
+
+/// `--quick` flag: experiment binaries shrink their sweeps so CI can run
+/// them in seconds.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Seeds per configuration, scaled down for the largest sizes so a full
+/// sweep stays in laptop territory (the variance of the measured
+/// quantities also shrinks with n, so fewer seeds lose little).
+pub fn seeds_for(n: usize, base: u64) -> u64 {
+    if n >= 1 << 20 {
+        (base / 6).max(3)
+    } else if n >= 1 << 18 {
+        (base / 3).max(5)
+    } else {
+        base
+    }
+}
+
+/// Standard experiment header so EXPERIMENTS.md and stdout agree.
+pub fn header(id: &str, claim: &str) {
+    println!("=== {id}: {claim} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_renaming::TightRenaming;
+    use rr_renaming::traits::LooseL6;
+
+    #[test]
+    fn batch_runs_and_aggregates() {
+        let stats = run_batch(&TightRenaming::calibrated(4), 64, 3, Schedule::Fair);
+        assert_eq!(stats.runs, 3);
+        assert_eq!(stats.violations, 0);
+        assert!(stats.max_steps() > 0);
+        assert!(stats.mean_max_steps() > 0.0);
+        assert_eq!(stats.max_unnamed(), 0);
+    }
+
+    #[test]
+    fn almost_tight_batch_counts_unnamed() {
+        let stats = run_batch(&LooseL6 { ell: 1 }, 256, 2, Schedule::Random);
+        assert!(stats.mean_unnamed() > 0.0, "L6 should leave someone unnamed at n=256");
+    }
+
+    #[test]
+    fn crash_schedule_counts_crashes() {
+        let stats = run_batch(
+            &TightRenaming::calibrated(4),
+            64,
+            2,
+            Schedule::Crashes { p_permille: 500, budget_pct: 20 },
+        );
+        assert!(stats.crashed.iter().any(|&c| c > 0));
+    }
+
+    #[test]
+    fn schedule_labels() {
+        assert_eq!(Schedule::Fair.label(), "fair");
+        assert_eq!(
+            Schedule::Crashes { p_permille: 100, budget_pct: 10 }.label(),
+            "crash(p=10.0%,cap=10%)"
+        );
+    }
+}

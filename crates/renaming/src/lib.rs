@@ -1,0 +1,45 @@
+//! # rr-renaming — the algorithms of Berenbrink et al. (IPDPS 2015)
+//!
+//! The paper's contributions as runnable protocols:
+//!
+//! * [`tight`] — §III: tight renaming (`m = n`) with `(log n)`-registers
+//!   in `O(log n)` steps w.h.p. (Theorem 5), in both the paper-exact and
+//!   the calibrated parameterization (see DESIGN.md).
+//! * [`loose_l6`] — Lemma 6: `n/(log log n)^ℓ`-almost-tight renaming in
+//!   `O((log log n)^ℓ)` steps.
+//! * [`loose_l8`] — Lemma 8: `n/(log n)^ℓ`-almost-tight renaming in
+//!   `2ℓ(log log n)²` steps via geometric clusters.
+//! * [`aagw`] — the \[8\]-style finisher for the stragglers.
+//! * [`traits`] — Corollaries 7 and 9 as [`phase::Chain`]
+//!   compositions, plus the uniform [`RenamingAlgorithm`] interface.
+//! * [`params`] — every parameterization (Definition 2, schedules, spare
+//!   sizes) as pure, unit-tested arithmetic.
+//! * [`adaptive`] — the doubling-guess transform the paper sketches for
+//!   unknown participant counts (§IV remark).
+//! * [`longlived`] — long-lived acquire/release renaming (related work
+//!   \[13\] context), on TAS registers with owner release.
+//!
+//! All protocols are [`rr_sched::Process`] state machines: run them under
+//! the adversarial virtual executor or on free-running threads.
+
+pub mod aagw;
+pub mod adaptive;
+pub mod longlived;
+pub mod loose_l6;
+pub mod loose_l8;
+pub mod params;
+pub mod phase;
+pub mod tight;
+pub mod traits;
+
+pub use aagw::{AagwProcess, SpareShared};
+pub use adaptive::{AdaptiveLayout, AdaptiveProcess, AdaptiveRenaming, AdaptiveShared};
+pub use longlived::{LongLivedClient, ReleasableTasArray};
+pub use loose_l6::{L6Process, LooseShared};
+pub use loose_l8::L8Process;
+pub use params::{
+    FinisherPlan, Lemma6Schedule, Lemma8Schedule, TightPlan, TightVariant, spare,
+};
+pub use phase::{AlmostTight, Chain, PhaseOutcome, PhaseProcess};
+pub use tight::{TightProcess, TightRenaming, TightShared};
+pub use traits::{AagwLoose, Cor7, Cor9, Instance, LooseL6, LooseL8, RenamingAlgorithm};

@@ -1,0 +1,460 @@
+//! Tight renaming with `(log n)`-registers (§III, Theorem 5).
+//!
+//! Layout: `⌈n/L⌉` τ-registers (`L = ⌈log₂ n⌉` names each, device width
+//! `2L`) grouped into geometrically shrinking clusters. A process works
+//! through the clusters round by round: in round `i` it requests one
+//! uniformly random device TAS bit in cluster `C_i`; if admitted (the
+//! counting device confirms its bit), it scans that register's `τ` name
+//! slots and takes the first free one. A process that exhausts all
+//! random clusters enters the paper's *final round*: a systematic scan
+//! of the last cluster's TAS bits ("the processes will access each of
+//! the TAS bits and eventually find a free TAS bit", §III), continuing —
+//! wrapped around the whole array — until it wins. The wrap guarantees
+//! termination: with `n` names for `n` processes, a full failed sweep
+//! would certify `n` other winners, a contradiction (see DESIGN.md).
+//!
+//! Step accounting is exactly the paper's: one step per device-bit
+//! request and one per name-slot TAS.
+
+use crate::params::{TightPlan, TightVariant};
+use rr_shmem::rng::ProcessRng;
+use rr_shmem::Access;
+use rr_sched::process::{Process, StepOutcome};
+use rr_tau::ConcurrentTauRegister;
+use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Records per-round, per-register request counts — the measurements the
+/// Lemma 4 experiment (E3) reports.
+#[derive(Debug)]
+pub struct RequestRecorder {
+    /// `counts[round][register_within_cluster]`.
+    counts: Vec<Vec<AtomicU64>>,
+}
+
+impl RequestRecorder {
+    /// Recorder shaped for `plan`.
+    pub fn new(plan: &TightPlan) -> Self {
+        let counts = plan
+            .clusters
+            .iter()
+            .map(|cl| (0..cl.registers).map(|_| AtomicU64::new(0)).collect())
+            .collect();
+        Self { counts }
+    }
+
+    /// Records one request in `round` against global register `reg`.
+    fn record(&self, round: usize, reg_in_cluster: usize) {
+        self.counts[round][reg_in_cluster].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Request counts for one round, indexed by register within cluster.
+    pub fn round_counts(&self, round: usize) -> Vec<u64> {
+        self.counts[round].iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Number of recorded rounds.
+    pub fn rounds(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// Shared memory of a tight-renaming run: the τ-registers plus the plan.
+#[derive(Debug)]
+pub struct TightShared {
+    /// The cluster layout in force.
+    pub plan: TightPlan,
+    /// One τ-register per `L` names.
+    pub registers: Vec<ConcurrentTauRegister>,
+    /// Optional request recorder (E3).
+    pub recorder: Option<RequestRecorder>,
+}
+
+impl TightShared {
+    /// Builds the registers for `plan`.
+    pub fn new(plan: TightPlan, record: bool) -> Self {
+        let recorder = record.then(|| RequestRecorder::new(&plan));
+        let width = 2 * plan.l;
+        let registers = plan
+            .register_tau
+            .iter()
+            .enumerate()
+            .map(|(r, &tau)| ConcurrentTauRegister::new(width, tau, plan.base_name(r)))
+            .collect();
+        Self { plan, registers, recorder }
+    }
+
+    /// Total names claimed so far across all registers.
+    pub fn names_claimed(&self) -> usize {
+        self.registers.iter().map(|r| r.confirmed_count() as usize).sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Planned {
+    Request { reg: usize, bit: usize },
+    Slot { reg: usize, slot: usize },
+    /// One-step read of a register's confirmed bit map (the paper allows
+    /// reading all `2·log n` bits in one operation).
+    Inspect { reg: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    /// Probing cluster `round`.
+    Round { round: usize },
+    /// Admitted at `reg`; scanning its name slots from `slot`.
+    Slots { reg: usize, slot: usize },
+    /// Final-round sweep, register granularity: read `reg`'s confirmed
+    /// map; if quota remains, drop into `SweepBits`.
+    Sweep { reg: usize, attempts: u64 },
+    /// Requesting the lowest unset bit of `reg` recorded in `free` (a
+    /// snapshot). Any lost attempt returns to `Sweep` on the *same*
+    /// register for a fresh read: a loss means another process won
+    /// meanwhile (stale snapshot), so re-reading is both correct and
+    /// globally bounded — at most n losses can ever occur system-wide.
+    SweepBits { reg: usize, free: u64, attempts: u64 },
+}
+
+/// One §III process.
+pub struct TightProcess {
+    pid: usize,
+    rng: ProcessRng,
+    shared: Arc<TightShared>,
+    state: State,
+    pending: Option<Planned>,
+    /// Fallback gives up after this many probes (≫ one full sweep; only
+    /// reachable if the w.h.p. guarantee failed *and* scheduling starved
+    /// the sweep repeatedly).
+    fallback_budget: u64,
+}
+
+impl TightProcess {
+    /// Process `pid` drawing randomness from stream `(seed, pid)`.
+    pub fn new(pid: usize, seed: u64, shared: Arc<TightShared>) -> Self {
+        let fallback_budget = 8 * shared.plan.total_bits() as u64;
+        // The last cluster is the paper's "final round": processes
+        // access its TAS bits systematically instead of randomly
+        // ("the processes will access each of the TAS bits and
+        // eventually find a free TAS bit", §III). Random rounds cover
+        // clusters 0 .. last−1.
+        let state = if shared.plan.probing_rounds() == 0 {
+            Self::final_round_state(&shared)
+        } else {
+            State::Round { round: 0 }
+        };
+        Self { pid, rng: ProcessRng::new(seed, pid), shared, state, pending: None, fallback_budget }
+    }
+
+    /// Entry state for the systematic final round: sweep backward from
+    /// the last register — the leftovers of the singleton tail rounds
+    /// concentrate at the end of the array — wrapping over the whole
+    /// array only in the (w.h.p. never) case of earlier shortfalls.
+    fn final_round_state(shared: &TightShared) -> State {
+        State::Sweep { reg: shared.registers.len() - 1, attempts: 0 }
+    }
+
+    /// Advances the sweep cursor (backward, wrapping), respecting the
+    /// attempt budget.
+    fn advance_sweep(&self, reg: usize, attempts: u64) -> Option<State> {
+        if attempts >= self.fallback_budget {
+            return None;
+        }
+        let next = if reg == 0 { self.shared.registers.len() - 1 } else { reg - 1 };
+        Some(State::Sweep { reg: next, attempts })
+    }
+
+    fn plan_next(&mut self) -> Planned {
+        let l2 = 2 * self.shared.plan.l as usize;
+        match self.state {
+            State::Round { round, .. } => {
+                let cluster = self.shared.plan.clusters[round];
+                let idx = self.rng.index(cluster.registers * l2);
+                let reg = cluster.first_register + idx / l2;
+                let bit = idx % l2;
+                Planned::Request { reg, bit }
+            }
+            State::Slots { reg, slot } => Planned::Slot { reg, slot },
+            State::Sweep { reg, .. } => Planned::Inspect { reg },
+            State::SweepBits { reg, free, .. } => {
+                debug_assert!(free != 0, "SweepBits requires a candidate bit");
+                Planned::Request { reg, bit: free.trailing_zeros() as usize }
+            }
+        }
+    }
+
+
+}
+
+impl Process for TightProcess {
+    fn announce(&mut self) -> Access {
+        if self.pending.is_none() {
+            let planned = self.plan_next();
+            self.pending = Some(planned);
+        }
+        match self.pending.unwrap() {
+            Planned::Request { reg, bit } => Access::TauRequest { register: reg, bit },
+            Planned::Slot { reg, slot } => {
+                Access::Tas { array: 1, index: self.shared.plan.base_name(reg) + slot }
+            }
+            Planned::Inspect { reg } => Access::Read { array: 0, index: reg },
+        }
+    }
+
+    fn step(&mut self) -> StepOutcome {
+        let planned = match self.pending.take() {
+            Some(p) => p,
+            None => self.plan_next(),
+        };
+        match planned {
+            Planned::Request { reg, bit } => {
+                if let (State::Round { round, .. }, Some(rec)) =
+                    (&self.state, &self.shared.recorder)
+                {
+                    let cluster = self.shared.plan.clusters[*round];
+                    rec.record(*round, reg - cluster.first_register);
+                }
+                let won = self.shared.registers[reg].request_bit(bit);
+                if won {
+                    self.state = State::Slots { reg, slot: 0 };
+                    return StepOutcome::Continue;
+                }
+                self.state = match self.state {
+                    State::Round { round } => {
+                        if round + 1 < self.shared.plan.probing_rounds() {
+                            State::Round { round: round + 1 }
+                        } else {
+                            // Probing rounds exhausted: systematic
+                            // final-round sweep.
+                            Self::final_round_state(&self.shared)
+                        }
+                    }
+                    State::SweepBits { reg, attempts, .. } => {
+                        // The requested bit lost: our snapshot was stale
+                        // (someone else progressed). Re-inspect the same
+                        // register; if its quota is gone the sweep moves
+                        // on, otherwise we get a fresh bit map.
+                        let attempts = attempts + 1;
+                        if attempts >= self.fallback_budget {
+                            return StepOutcome::GaveUp;
+                        }
+                        State::Sweep { reg, attempts }
+                    }
+                    State::Sweep { .. } | State::Slots { .. } => {
+                        unreachable!("requests are planned only in Round/SweepBits states")
+                    }
+                };
+                StepOutcome::Continue
+            }
+            Planned::Inspect { reg } => {
+                let register = &self.shared.registers[reg];
+                let (attempts, cur) = match self.state {
+                    State::Sweep { attempts, .. } => (attempts + 1, reg),
+                    _ => unreachable!("inspections are planned only in Sweep state"),
+                };
+                let free_quota = register.remaining_quota();
+                let unset = !register.confirmed_bits()
+                    & (((1u128 << (2 * self.shared.plan.l)) - 1) as u64);
+                if free_quota > 0 && unset != 0 {
+                    self.state = State::SweepBits { reg: cur, free: unset, attempts };
+                } else {
+                    match self.advance_sweep(cur, attempts) {
+                        Some(s) => self.state = s,
+                        None => return StepOutcome::GaveUp,
+                    }
+                }
+                StepOutcome::Continue
+            }
+            Planned::Slot { reg, slot } => {
+                if self.shared.registers[reg].try_slot(slot) {
+                    return StepOutcome::Done(self.shared.plan.base_name(reg) + slot);
+                }
+                let tau = self.shared.plan.register_tau[reg] as usize;
+                let next = slot + 1;
+                assert!(
+                    next < tau,
+                    "admitted process {} found register {reg} full: τ-invariant broken",
+                    self.pid
+                );
+                self.state = State::Slots { reg, slot: next };
+                StepOutcome::Continue
+            }
+        }
+    }
+
+    fn pid(&self) -> usize {
+        self.pid
+    }
+}
+
+/// Factory for §III runs.
+///
+/// ```
+/// use rr_renaming::TightRenaming;
+/// use rr_sched::adversary::FairAdversary;
+/// use rr_sched::process::Process;
+///
+/// let (shared, procs) = TightRenaming::calibrated(4).instantiate_shared(64, 7);
+/// let boxed: Vec<Box<dyn Process>> =
+///     procs.into_iter().map(|p| Box::new(p) as Box<dyn Process>).collect();
+/// let out = rr_sched::virtual_exec::run(boxed, &mut FairAdversary::default(), 1 << 20).unwrap();
+/// out.verify_renaming(64).unwrap();           // tight: names are exactly [0, 64)
+/// assert_eq!(shared.names_claimed(), 64);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TightRenaming {
+    /// Lemma 3 constant (`c ≥ 2ℓ+2` gives w.h.p. exponent ℓ).
+    pub c: u32,
+    /// Which cluster plan to use.
+    pub variant: TightVariant,
+    /// Whether to attach a [`RequestRecorder`].
+    pub record: bool,
+}
+
+impl TightRenaming {
+    /// The calibrated variant (Theorem 5 experiments).
+    pub fn calibrated(c: u32) -> Self {
+        Self { c, variant: TightVariant::Calibrated, record: false }
+    }
+
+    /// Definition 2 verbatim (Lemma 4 / E3 experiments).
+    pub fn paper_exact(c: u32) -> Self {
+        Self { c, variant: TightVariant::PaperExact, record: false }
+    }
+
+    /// Enables request recording.
+    pub fn with_recorder(mut self) -> Self {
+        self.record = true;
+        self
+    }
+
+    /// Builds the shared memory and the `n` processes for one run.
+    pub fn instantiate_shared(&self, n: usize, seed: u64) -> (Arc<TightShared>, Vec<TightProcess>) {
+        let plan = match self.variant {
+            TightVariant::Calibrated => TightPlan::calibrated(n, self.c),
+            TightVariant::PaperExact => TightPlan::paper_exact(n, self.c),
+        };
+        let shared = Arc::new(TightShared::new(plan, self.record));
+        let processes =
+            (0..n).map(|pid| TightProcess::new(pid, seed, Arc::clone(&shared))).collect();
+        (shared, processes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_sched::adversary::{CollisionMaximizer, CrashAdversary, FairAdversary, RandomAdversary};
+    use rr_sched::virtual_exec::run;
+
+    fn boxed(procs: Vec<TightProcess>) -> Vec<Box<dyn Process + 'static>> {
+        procs.into_iter().map(|p| Box::new(p) as Box<dyn Process>).collect()
+    }
+
+    #[test]
+    fn small_run_names_everyone_distinctly() {
+        let (_shared, procs) = TightRenaming::calibrated(4).instantiate_shared(64, 7);
+        let out = run(boxed(procs), &mut FairAdversary::default(), 1_000_000).unwrap();
+        out.verify_renaming(64).unwrap();
+        assert_eq!(out.gave_up_count(), 0);
+        assert_eq!(out.names.iter().filter(|n| n.is_some()).count(), 64);
+    }
+
+    #[test]
+    fn names_are_exactly_zero_to_n_minus_one() {
+        let (_shared, procs) = TightRenaming::calibrated(4).instantiate_shared(100, 3);
+        let out = run(boxed(procs), &mut RandomAdversary::new(3), 1_000_000).unwrap();
+        let mut names: Vec<usize> = out.names.iter().map(|n| n.unwrap()).collect();
+        names.sort_unstable();
+        assert_eq!(names, (0..100).collect::<Vec<_>>(), "tight = full coverage of [0, n)");
+    }
+
+    #[test]
+    fn step_complexity_scales_logarithmically() {
+        // Ratio max_steps / log2 n should stay bounded as n quadruples.
+        let mut ratios = Vec::new();
+        for n in [1usize << 8, 1 << 10, 1 << 12] {
+            let (_s, procs) = TightRenaming::calibrated(4).instantiate_shared(n, 11);
+            let out = run(boxed(procs), &mut FairAdversary::default(), 1 << 28).unwrap();
+            out.verify_renaming(n).unwrap();
+            ratios.push(out.step_complexity() as f64 / (n as f64).log2());
+        }
+        for r in &ratios {
+            assert!(*r < 30.0, "ratio blew up: {ratios:?}");
+        }
+        // No steep growth between consecutive sizes.
+        assert!(
+            ratios[2] < ratios[0] * 2.0 + 8.0,
+            "super-logarithmic growth: {ratios:?}"
+        );
+    }
+
+    #[test]
+    fn paper_exact_terminates_via_fallback() {
+        let (_s, procs) = TightRenaming::paper_exact(4).instantiate_shared(256, 5);
+        let out = run(boxed(procs), &mut FairAdversary::default(), 1 << 26).unwrap();
+        out.verify_renaming(256).unwrap();
+        assert_eq!(out.gave_up_count(), 0);
+    }
+
+    #[test]
+    fn recorder_sees_all_first_round_requests() {
+        let algo = TightRenaming::calibrated(4).with_recorder();
+        let (shared, procs) = algo.instantiate_shared(512, 9);
+        let out = run(boxed(procs), &mut FairAdversary::default(), 1 << 26).unwrap();
+        out.verify_renaming(512).unwrap();
+        let rec = shared.recorder.as_ref().unwrap();
+        let round0: u64 = rec.round_counts(0).iter().sum();
+        // Every process makes exactly one round-1 request.
+        assert_eq!(round0, 512);
+        assert_eq!(rec.rounds(), shared.plan.rounds());
+    }
+
+    #[test]
+    fn safety_under_collision_maximizer() {
+        let (_s, procs) = TightRenaming::calibrated(4).instantiate_shared(128, 13);
+        let out = run(boxed(procs), &mut CollisionMaximizer::default(), 1 << 26).unwrap();
+        out.verify_renaming(128).unwrap();
+    }
+
+    #[test]
+    fn crashes_only_lose_the_crashed() {
+        let (_s, procs) = TightRenaming::calibrated(4).instantiate_shared(128, 17);
+        let mut adv = CrashAdversary::new(FairAdversary::default(), 0.02, 20, 23);
+        let out = run(boxed(procs), &mut adv, 1 << 26).unwrap();
+        out.verify_renaming(128).unwrap();
+        let crashed = out.crashed.iter().filter(|&&c| c).count();
+        let named = out.names.iter().filter(|n| n.is_some()).count();
+        assert_eq!(named, 128 - crashed);
+    }
+
+    #[test]
+    fn shared_accounting_matches_outcome() {
+        let (shared, procs) = TightRenaming::calibrated(4).instantiate_shared(64, 29);
+        let out = run(boxed(procs), &mut FairAdversary::default(), 1 << 24).unwrap();
+        // Confirmed device winners ≥ named processes (crashed winners
+        // would inflate; none here).
+        assert_eq!(shared.names_claimed(), 64);
+        out.verify_renaming(64).unwrap();
+    }
+
+    #[test]
+    fn thread_mode_matches_model_semantics() {
+        let (_s, procs) = TightRenaming::calibrated(4).instantiate_shared(64, 31);
+        let boxed: Vec<Box<dyn Process + Send>> =
+            procs.into_iter().map(|p| Box::new(p) as Box<dyn Process + Send>).collect();
+        let out = rr_sched::thread_exec::run_threads(boxed, 1 << 22);
+        out.verify_renaming(64).unwrap();
+        assert_eq!(out.gave_up_count(), 0);
+    }
+
+    #[test]
+    fn tiny_n() {
+        for n in [2usize, 3, 5, 8] {
+            let (_s, procs) = TightRenaming::calibrated(2).instantiate_shared(n, 1);
+            let out = run(boxed(procs), &mut FairAdversary::default(), 100_000).unwrap();
+            out.verify_renaming(n).unwrap();
+            assert_eq!(out.names.iter().filter(|x| x.is_some()).count(), n);
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! The uniform algorithm interface the experiment harness drives.
+//!
+//! Every renaming protocol (the paper's and the baselines) implements
+//! [`RenamingAlgorithm`]: given `n` and a seed it produces an
+//! [`Instance`] — the boxed process state machines plus the name-space
+//! size `m` — which either executor can run and every experiment can
+//! audit the same way.
+
+use crate::aagw::{AagwProcess, SpareShared};
+use crate::loose_l6::{L6Process, LooseShared};
+use crate::loose_l8::L8Process;
+use crate::params::{FinisherPlan, Lemma6Schedule, Lemma8Schedule, spare};
+use crate::phase::{AlmostTight, Chain};
+use crate::tight::TightRenaming;
+use rr_sched::process::Process;
+use std::sync::Arc;
+
+/// A ready-to-run renaming workload.
+pub struct Instance {
+    /// The `n` process state machines, pids `0..n`.
+    pub processes: Vec<Box<dyn Process + Send>>,
+    /// Name-space size: every emitted name must be `< m`.
+    pub m: usize,
+    /// Number of processes.
+    pub n: usize,
+}
+
+/// A renaming protocol as a workload factory.
+pub trait RenamingAlgorithm {
+    /// Display name for tables.
+    fn name(&self) -> String;
+
+    /// Name-space size used for `n` processes.
+    fn m(&self, n: usize) -> usize;
+
+    /// Whether the protocol may legitimately leave processes unnamed
+    /// (the almost-tight lemmas) — experiments then report the unnamed
+    /// count instead of treating it as failure.
+    fn almost_tight(&self) -> bool {
+        false
+    }
+
+    /// Builds one run's processes and memory.
+    fn instantiate(&self, n: usize, seed: u64) -> Instance;
+
+    /// A generous per-run total-step budget for the virtual executor's
+    /// livelock guard.
+    fn step_budget(&self, n: usize) -> u64 {
+        // 200·n·(log₂ n + 16) dwarfs every protocol here w.h.p. while
+        // still catching real livelock quickly.
+        200 * (n as u64) * ((n.max(2) as f64).log2() as u64 + 16)
+    }
+}
+
+/// §III tight renaming (Theorem 5). `m = n`.
+impl RenamingAlgorithm for TightRenaming {
+    fn name(&self) -> String {
+        match self.variant {
+            crate::params::TightVariant::Calibrated => format!("tight-tau(c={})", self.c),
+            crate::params::TightVariant::PaperExact => format!("tight-tau-paper(c={})", self.c),
+        }
+    }
+
+    fn m(&self, n: usize) -> usize {
+        n
+    }
+
+    fn instantiate(&self, n: usize, seed: u64) -> Instance {
+        let (_shared, procs) = self.instantiate_shared(n, seed);
+        Instance {
+            processes: procs
+                .into_iter()
+                .map(|p| Box::new(p) as Box<dyn Process + Send>)
+                .collect(),
+            m: n,
+            n,
+        }
+    }
+}
+
+/// Lemma 6 as a standalone almost-tight protocol. `m = n`.
+#[derive(Debug, Clone, Copy)]
+pub struct LooseL6 {
+    /// The exponent ℓ.
+    pub ell: u32,
+}
+
+impl RenamingAlgorithm for LooseL6 {
+    fn name(&self) -> String {
+        format!("loose-L6(l={})", self.ell)
+    }
+
+    fn m(&self, n: usize) -> usize {
+        n
+    }
+
+    fn almost_tight(&self) -> bool {
+        true
+    }
+
+    fn instantiate(&self, n: usize, seed: u64) -> Instance {
+        let shared = Arc::new(LooseShared::new(n));
+        let schedule = Lemma6Schedule::new(n, self.ell);
+        let processes = (0..n)
+            .map(|pid| {
+                Box::new(AlmostTight(L6Process::new(
+                    pid,
+                    seed,
+                    Arc::clone(&shared),
+                    schedule.clone(),
+                ))) as Box<dyn Process + Send>
+            })
+            .collect();
+        Instance { processes, m: n, n }
+    }
+}
+
+/// Lemma 8 as a standalone almost-tight protocol. `m = n`.
+#[derive(Debug, Clone, Copy)]
+pub struct LooseL8 {
+    /// The exponent ℓ.
+    pub ell: u32,
+}
+
+impl RenamingAlgorithm for LooseL8 {
+    fn name(&self) -> String {
+        format!("loose-L8(l={})", self.ell)
+    }
+
+    fn m(&self, n: usize) -> usize {
+        n
+    }
+
+    fn almost_tight(&self) -> bool {
+        true
+    }
+
+    fn instantiate(&self, n: usize, seed: u64) -> Instance {
+        let shared = Arc::new(LooseShared::new(n));
+        let schedule = Lemma8Schedule::new(n, self.ell);
+        let processes = (0..n)
+            .map(|pid| {
+                Box::new(AlmostTight(L8Process::new(
+                    pid,
+                    seed,
+                    Arc::clone(&shared),
+                    schedule.clone(),
+                ))) as Box<dyn Process + Send>
+            })
+            .collect();
+        Instance { processes, m: n, n }
+    }
+}
+
+/// Corollary 7: Lemma 6 then the finisher on `[n, n + 2n/(loglog n)^ℓ)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Cor7 {
+    /// The exponent ℓ.
+    pub ell: u32,
+}
+
+impl RenamingAlgorithm for Cor7 {
+    fn name(&self) -> String {
+        format!("cor7(l={})", self.ell)
+    }
+
+    fn m(&self, n: usize) -> usize {
+        n + spare::cor7(n, self.ell)
+    }
+
+    fn instantiate(&self, n: usize, seed: u64) -> Instance {
+        let primary = Arc::new(LooseShared::new(n));
+        let spare_size = spare::cor7(n, self.ell);
+        let spare_mem = Arc::new(SpareShared::new(n, spare_size));
+        let schedule = Lemma6Schedule::new(n, self.ell);
+        let plan = FinisherPlan::new(spare_size);
+        let processes = (0..n)
+            .map(|pid| {
+                let a = L6Process::new(pid, seed, Arc::clone(&primary), schedule.clone());
+                let b = AagwProcess::new(pid, seed ^ 0x5eed, Arc::clone(&spare_mem), plan.clone());
+                Box::new(Chain::new(a, b)) as Box<dyn Process + Send>
+            })
+            .collect();
+        Instance { processes, m: n + spare_size, n }
+    }
+}
+
+/// Corollary 9: Lemma 8 then the finisher on `[n, n + 2n/(log n)^ℓ)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Cor9 {
+    /// The exponent ℓ.
+    pub ell: u32,
+}
+
+impl RenamingAlgorithm for Cor9 {
+    fn name(&self) -> String {
+        format!("cor9(l={})", self.ell)
+    }
+
+    fn m(&self, n: usize) -> usize {
+        n + spare::cor9(n, self.ell)
+    }
+
+    fn instantiate(&self, n: usize, seed: u64) -> Instance {
+        let primary = Arc::new(LooseShared::new(n));
+        let spare_size = spare::cor9(n, self.ell);
+        let spare_mem = Arc::new(SpareShared::new(n, spare_size));
+        let schedule = Lemma8Schedule::new(n, self.ell);
+        let plan = FinisherPlan::new(spare_size);
+        let processes = (0..n)
+            .map(|pid| {
+                let a = L8Process::new(pid, seed, Arc::clone(&primary), schedule.clone());
+                let b = AagwProcess::new(pid, seed ^ 0x5eed, Arc::clone(&spare_mem), plan.clone());
+                Box::new(Chain::new(a, b)) as Box<dyn Process + Send>
+            })
+            .collect();
+        Instance { processes, m: n + spare_size, n }
+    }
+}
+
+/// The finisher run standalone as a loose renaming algorithm with
+/// `m = 2n` (ε = 1): the \[8\]-style comparator for E8.
+#[derive(Debug, Clone, Copy)]
+pub struct AagwLoose;
+
+impl RenamingAlgorithm for AagwLoose {
+    fn name(&self) -> String {
+        "aagw-style(m=2n)".into()
+    }
+
+    fn m(&self, n: usize) -> usize {
+        2 * n
+    }
+
+    fn instantiate(&self, n: usize, seed: u64) -> Instance {
+        let shared = Arc::new(SpareShared::new(0, 2 * n));
+        let plan = FinisherPlan::new(2 * n);
+        let processes = (0..n)
+            .map(|pid| {
+                Box::new(AlmostTight(AagwProcess::new(
+                    pid,
+                    seed,
+                    Arc::clone(&shared),
+                    plan.clone(),
+                ))) as Box<dyn Process + Send>
+            })
+            .collect();
+        Instance { processes, m: 2 * n, n }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_sched::adversary::FairAdversary;
+    use rr_sched::virtual_exec::run;
+
+    fn check_full(algo: &dyn RenamingAlgorithm, n: usize, seed: u64) {
+        let inst = algo.instantiate(n, seed);
+        assert_eq!(inst.n, n);
+        let m = inst.m;
+        let procs: Vec<Box<dyn Process>> =
+            inst.processes.into_iter().map(|p| p as Box<dyn Process>).collect();
+        let out = run(procs, &mut FairAdversary::default(), algo.step_budget(n)).unwrap();
+        out.verify_renaming(m).unwrap();
+        if !algo.almost_tight() {
+            assert_eq!(out.gave_up_count(), 0, "{} gave up", algo.name());
+        }
+    }
+
+    #[test]
+    fn cor7_names_everyone_in_its_space() {
+        for ell in [1, 2] {
+            check_full(&Cor7 { ell }, 1 << 10, 77);
+        }
+    }
+
+    #[test]
+    fn cor9_names_everyone_in_its_space() {
+        for ell in [1, 2] {
+            check_full(&Cor9 { ell }, 1 << 10, 78);
+        }
+    }
+
+    #[test]
+    fn aagw_standalone_full_renaming() {
+        check_full(&AagwLoose, 1 << 10, 79);
+    }
+
+    #[test]
+    fn tight_through_trait() {
+        check_full(&TightRenaming::calibrated(4), 256, 80);
+    }
+
+    #[test]
+    fn l6_l8_almost_tight_flag() {
+        assert!(LooseL6 { ell: 1 }.almost_tight());
+        assert!(LooseL8 { ell: 1 }.almost_tight());
+        assert!(!Cor7 { ell: 1 }.almost_tight());
+        assert!(!TightRenaming::calibrated(4).almost_tight());
+    }
+
+    #[test]
+    fn name_spaces_match_corollaries() {
+        let n = 1 << 16;
+        // Cor 7, ℓ=1: m = n + 2n/loglog n = n + n/2.
+        assert_eq!(Cor7 { ell: 1 }.m(n), n + n / 2);
+        // Cor 9, ℓ=1: m = n + 2n/log n = n + n/8.
+        assert_eq!(Cor9 { ell: 1 }.m(n), n + n / 8);
+        // The loose name spaces are (1 + o(1))·n: ratio shrinks with ℓ.
+        assert!(Cor9 { ell: 2 }.m(n) - n < Cor9 { ell: 1 }.m(n) - n);
+        assert_eq!(TightRenaming::calibrated(4).m(n), n);
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(Cor7 { ell: 2 }.name(), "cor7(l=2)");
+        assert_eq!(Cor9 { ell: 1 }.name(), "cor9(l=1)");
+        assert_eq!(LooseL6 { ell: 3 }.name(), "loose-L6(l=3)");
+        assert_eq!(TightRenaming::calibrated(4).name(), "tight-tau(c=4)");
+        assert_eq!(TightRenaming::paper_exact(4).name(), "tight-tau-paper(c=4)");
+        assert_eq!(AagwLoose.name(), "aagw-style(m=2n)");
+    }
+
+    #[test]
+    fn step_budget_scales() {
+        let a = TightRenaming::calibrated(4);
+        assert!(RenamingAlgorithm::step_budget(&a, 1 << 16) > 1 << 24);
+    }
+}

@@ -1,0 +1,471 @@
+//! Adaptive adversaries (§II-A).
+//!
+//! The paper's adversary controls the order in which processes take steps
+//! and which processes crash, and "is allowed to see the state of all
+//! processes (including the results of coin flips) when making its
+//! scheduling choices". Here that power is concrete: before every
+//! decision the executor hands the adversary a [`View`] containing each
+//! active process's *announced* next access — announcements are made
+//! after the coin flip that chose the target register, so the adversary
+//! schedules with full knowledge of the randomness.
+
+use rand::rngs::ChaCha8Rng;
+use rand::{RngExt, SeedableRng};
+use rr_shmem::Access;
+
+/// What the adversary sees before each decision.
+#[derive(Debug)]
+pub struct View<'a> {
+    /// Sorted *superset* of the pids still running: the executor
+    /// tombstones halted pids and compacts lazily, so entries whose
+    /// `announced` slot is `None` are already done/crashed and must not
+    /// be granted. `announced[pid].is_some()` is the ground truth for
+    /// runnability.
+    pub active: &'a [usize],
+    /// `announced[pid]` — the access each runnable process will perform
+    /// next (`None` for finished/crashed processes).
+    pub announced: &'a [Option<Access>],
+    /// Steps taken so far, indexed by pid.
+    pub steps: &'a [u64],
+    /// Number of processes that already hold a name.
+    pub named: usize,
+}
+
+/// One scheduling decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Let `pid` execute its announced access.
+    Grant(usize),
+    /// Crash `pid`: it takes no further steps (and never gets a name).
+    Crash(usize),
+}
+
+/// An adaptive adversary strategy.
+pub trait Adversary {
+    /// Chooses the next decision. `view.active` is non-empty.
+    fn decide(&mut self, view: &View<'_>) -> Decision;
+
+    /// Strategy name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Round-robin over active processes — the "benign" schedule.
+#[derive(Debug, Default)]
+pub struct FairAdversary {
+    cursor: usize,
+}
+
+impl Adversary for FairAdversary {
+    fn decide(&mut self, view: &View<'_>) -> Decision {
+        // Grant the first runnable pid at or after the cursor, skipping
+        // tombstones (amortized O(1): each tombstone is skipped at most
+        // once per round-robin lap between compactions).
+        let start = view.active.partition_point(|&p| p < self.cursor);
+        let pid = view.active[start..]
+            .iter()
+            .chain(view.active[..start].iter())
+            .copied()
+            .find(|&p| view.announced[p].is_some())
+            .expect("decide() requires at least one runnable process");
+        self.cursor = pid + 1;
+        Decision::Grant(pid)
+    }
+
+    fn name(&self) -> &'static str {
+        "fair"
+    }
+}
+
+/// Uniformly random schedule.
+#[derive(Debug)]
+pub struct RandomAdversary {
+    rng: ChaCha8Rng,
+}
+
+impl RandomAdversary {
+    /// Seeded random schedule.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+}
+
+impl Adversary for RandomAdversary {
+    fn decide(&mut self, view: &View<'_>) -> Decision {
+        // Rejection-sample past tombstones (< 50% of the vector by the
+        // executor's compaction policy, so ≤ 2 tries expected).
+        loop {
+            let i = self.rng.random_range(0..view.active.len());
+            let pid = view.active[i];
+            if view.announced[pid].is_some() {
+                return Decision::Grant(pid);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Maximizes collisions: finds the register announced by the most
+/// processes and schedules all of them back to back, so every contested
+/// TAS wastes the maximum number of steps. This is the natural attack on
+/// randomized probing and exactly what the adversary's coin-flip
+/// knowledge enables.
+#[derive(Debug, Default)]
+pub struct CollisionMaximizer {
+    /// Pids queued for consecutive scheduling.
+    burst: Vec<usize>,
+}
+
+impl Adversary for CollisionMaximizer {
+    fn decide(&mut self, view: &View<'_>) -> Decision {
+        // Drain the current burst first (skip pids no longer runnable).
+        while let Some(pid) = self.burst.pop() {
+            if view.announced.get(pid).is_some_and(|a| a.is_some()) {
+                return Decision::Grant(pid);
+            }
+        }
+        // Group active pids by announced target; pick the biggest group.
+        let mut groups: std::collections::HashMap<(u32, usize), Vec<usize>> =
+            std::collections::HashMap::new();
+        for &pid in view.active {
+            if let Some(acc) = view.announced[pid] {
+                let key = match acc {
+                    Access::Tas { array, index } => (array, index),
+                    Access::Read { array, index } => (array, index),
+                    Access::TauRequest { register, bit } => (u32::MAX, register * 64 + bit),
+                    Access::Local => (u32::MAX - 1, pid),
+                };
+                groups.entry(key).or_default().push(pid);
+            }
+        }
+        let mut best = groups
+            .into_values()
+            .max_by_key(|v| (v.len(), usize::MAX - v[0]))
+            .expect("decide() requires at least one runnable process");
+        // Grant one now, queue the rest.
+        let pid = best.pop().unwrap();
+        self.burst = best;
+        Decision::Grant(pid)
+    }
+
+    fn name(&self) -> &'static str {
+        "collision-max"
+    }
+}
+
+/// Stalls likely winners: processes whose announced access would *win*
+/// (per the supplied probe) are scheduled last; everyone burning a wasted
+/// step goes first. With the probe wired to the actual TAS state this is
+/// the strongest schedule-only attack against probing algorithms.
+pub struct StallWinners {
+    probe: Box<dyn FnMut(&Access) -> bool>,
+}
+
+impl StallWinners {
+    /// `probe(access)` should return `true` if the access would currently
+    /// succeed (e.g. the targeted register is still unset).
+    pub fn new(probe: Box<dyn FnMut(&Access) -> bool>) -> Self {
+        Self { probe }
+    }
+}
+
+impl Adversary for StallWinners {
+    fn decide(&mut self, view: &View<'_>) -> Decision {
+        for &pid in view.active {
+            if let Some(acc) = view.announced[pid] {
+                if !(self.probe)(&acc) {
+                    return Decision::Grant(pid);
+                }
+            }
+        }
+        // Everyone would win; grant the first runnable (some progress is
+        // forced — an adversary cannot block all processes forever).
+        let pid = view.active
+            .iter()
+            .copied()
+            .find(|&p| view.announced[p].is_some())
+            .expect("decide() requires at least one runnable process");
+        Decision::Grant(pid)
+    }
+
+    fn name(&self) -> &'static str {
+        "stall-winners"
+    }
+}
+
+impl std::fmt::Debug for StallWinners {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StallWinners").finish_non_exhaustive()
+    }
+}
+
+/// Crash wrapper: delegates scheduling to `inner`, but whenever a process
+/// announces a *winning-kind* access (TAS / τ-request), crashes it with
+/// probability `p` — the cruelest moment, since the process may have
+/// already been admitted somewhere. Total crashes capped by `budget`
+/// (crashing everyone would make renaming vacuous).
+#[derive(Debug)]
+pub struct CrashAdversary<A> {
+    inner: A,
+    p: f64,
+    budget: usize,
+    crashed: usize,
+    rng: ChaCha8Rng,
+}
+
+impl<A: Adversary> CrashAdversary<A> {
+    /// Wraps `inner`, crashing at winning-kind announces with probability
+    /// `p`, at most `budget` times.
+    pub fn new(inner: A, p: f64, budget: usize, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        Self { inner, p, budget, crashed: 0, rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// Number of processes crashed so far.
+    pub fn crashes(&self) -> usize {
+        self.crashed
+    }
+}
+
+impl<A: Adversary> Adversary for CrashAdversary<A> {
+    fn decide(&mut self, view: &View<'_>) -> Decision {
+        if self.crashed < self.budget && view.active.len() > 1 {
+            for &pid in view.active {
+                let winning = view.announced[pid].is_some_and(|a| a.is_winning_kind());
+                if winning && self.rng.random_bool(self.p) {
+                    self.crashed += 1;
+                    return Decision::Crash(pid);
+                }
+            }
+        }
+        self.inner.decide(view)
+    }
+
+    fn name(&self) -> &'static str {
+        "crash"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view<'a>(
+        active: &'a [usize],
+        announced: &'a [Option<Access>],
+        steps: &'a [u64],
+    ) -> View<'a> {
+        View { active, announced, steps, named: 0 }
+    }
+
+    #[test]
+    fn fair_is_round_robin() {
+        let active = [0, 1, 2];
+        let ann = [Some(Access::Local); 3].to_vec();
+        let steps = [0u64; 3];
+        let mut adv = FairAdversary::default();
+        let picks: Vec<_> = (0..6)
+            .map(|_| match adv.decide(&view(&active, &ann, &steps)) {
+                Decision::Grant(p) => p,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn fair_skips_inactive() {
+        let ann = [Some(Access::Local); 5].to_vec();
+        let steps = [0u64; 5];
+        let mut adv = FairAdversary::default();
+        let active = [1, 3];
+        let p1 = adv.decide(&view(&active, &ann, &steps));
+        let p2 = adv.decide(&view(&active, &ann, &steps));
+        let p3 = adv.decide(&view(&active, &ann, &steps));
+        assert_eq!(p1, Decision::Grant(1));
+        assert_eq!(p2, Decision::Grant(3));
+        assert_eq!(p3, Decision::Grant(1));
+    }
+
+    #[test]
+    fn random_is_deterministic_given_seed() {
+        let active: Vec<usize> = (0..10).collect();
+        let ann = vec![Some(Access::Local); 10];
+        let steps = vec![0u64; 10];
+        let run = |seed| {
+            let mut adv = RandomAdversary::new(seed);
+            (0..20)
+                .map(|_| match adv.decide(&view(&active, &ann, &steps)) {
+                    Decision::Grant(p) => p,
+                    _ => panic!(),
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn collision_maximizer_groups_by_target() {
+        // pids 0,2 target register 5; pid 1 targets register 9.
+        let active = [0, 1, 2];
+        let ann = vec![
+            Some(Access::Tas { array: 0, index: 5 }),
+            Some(Access::Tas { array: 0, index: 9 }),
+            Some(Access::Tas { array: 0, index: 5 }),
+        ];
+        let steps = [0u64; 3];
+        let mut adv = CollisionMaximizer::default();
+        let first = adv.decide(&view(&active, &ann, &steps));
+        let second = adv.decide(&view(&active, &ann, &steps));
+        let granted: Vec<usize> = [first, second]
+            .iter()
+            .map(|d| match d {
+                Decision::Grant(p) => *p,
+                _ => panic!(),
+            })
+            .collect();
+        // Both members of the largest group come before pid 1.
+        assert!(granted.contains(&0) && granted.contains(&2), "granted {granted:?}");
+    }
+
+    #[test]
+    fn stall_winners_prefers_losers() {
+        let active = [0, 1];
+        let ann = vec![
+            Some(Access::Tas { array: 0, index: 0 }), // would win
+            Some(Access::Tas { array: 0, index: 1 }), // would lose
+        ];
+        let steps = [0u64; 2];
+        let mut adv =
+            StallWinners::new(Box::new(|a: &Access| a.index() == Some(0)));
+        assert_eq!(adv.decide(&view(&active, &ann, &steps)), Decision::Grant(1));
+    }
+
+    #[test]
+    fn stall_winners_grants_when_all_win() {
+        let active = [3, 4];
+        let ann = {
+            let mut v = vec![None; 5];
+            v[3] = Some(Access::Tas { array: 0, index: 0 });
+            v[4] = Some(Access::Tas { array: 0, index: 1 });
+            v
+        };
+        let steps = [0u64; 5];
+        let mut adv = StallWinners::new(Box::new(|_| true));
+        assert_eq!(adv.decide(&view(&active, &ann, &steps)), Decision::Grant(3));
+    }
+
+    #[test]
+    fn crash_adversary_respects_budget() {
+        let active: Vec<usize> = (0..10).collect();
+        let ann = vec![Some(Access::Tas { array: 0, index: 0 }); 10];
+        let steps = vec![0u64; 10];
+        let mut adv = CrashAdversary::new(FairAdversary::default(), 1.0, 3, 1);
+        let mut crashes = 0;
+        for _ in 0..50 {
+            if let Decision::Crash(_) = adv.decide(&view(&active, &ann, &steps)) {
+                crashes += 1;
+            }
+        }
+        assert_eq!(crashes, 3);
+        assert_eq!(adv.crashes(), 3);
+    }
+
+    #[test]
+    fn crash_adversary_never_crashes_last_process() {
+        let active = [5];
+        let ann = {
+            let mut v = vec![None; 6];
+            v[5] = Some(Access::Tas { array: 0, index: 0 });
+            v
+        };
+        let steps = [0u64; 6];
+        let mut adv = CrashAdversary::new(FairAdversary::default(), 1.0, 100, 1);
+        for _ in 0..10 {
+            assert!(matches!(adv.decide(&view(&active, &ann, &steps)), Decision::Grant(5)));
+        }
+    }
+
+    #[test]
+    fn crash_zero_probability_never_crashes() {
+        let active: Vec<usize> = (0..4).collect();
+        let ann = vec![Some(Access::Tas { array: 0, index: 0 }); 4];
+        let steps = vec![0u64; 4];
+        let mut adv = CrashAdversary::new(FairAdversary::default(), 0.0, 100, 1);
+        for _ in 0..20 {
+            assert!(matches!(adv.decide(&view(&active, &ann, &steps)), Decision::Grant(_)));
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(FairAdversary::default().name(), "fair");
+        assert_eq!(RandomAdversary::new(0).name(), "random");
+        assert_eq!(CollisionMaximizer::default().name(), "collision-max");
+    }
+}
+
+#[cfg(test)]
+mod stall_integration {
+    use super::*;
+    use crate::process::Process;
+    use crate::virtual_exec::run;
+    use rr_shmem::tas::{AtomicTasArray, TasMemory};
+    use std::sync::Arc;
+
+    /// A probing process: random-ish scan until it wins.
+    struct Prober {
+        pid: usize,
+        mem: Arc<AtomicTasArray>,
+        cursor: usize,
+    }
+
+    impl Process for Prober {
+        fn announce(&mut self) -> Access {
+            Access::Tas { array: 0, index: self.cursor }
+        }
+        fn step(&mut self) -> crate::process::StepOutcome {
+            let i = self.cursor;
+            self.cursor = (self.cursor + 1) % self.mem.len();
+            if self.mem.tas(i) {
+                crate::process::StepOutcome::Done(i)
+            } else {
+                crate::process::StepOutcome::Continue
+            }
+        }
+        fn pid(&self) -> usize {
+            self.pid
+        }
+    }
+
+    #[test]
+    fn stall_winners_with_live_memory_probe_is_safe_and_slower() {
+        let n = 32;
+        let mem = Arc::new(AtomicTasArray::new(n));
+        let make = |mem: &Arc<AtomicTasArray>| -> Vec<Box<dyn Process>> {
+            (0..n)
+                .map(|pid| {
+                    Box::new(Prober { pid, mem: Arc::clone(mem), cursor: pid }) as Box<dyn Process>
+                })
+                .collect()
+        };
+        // Baseline under fair scheduling.
+        let fair_out = run(make(&mem), &mut FairAdversary::default(), 1 << 20).unwrap();
+        fair_out.verify_renaming(n).unwrap();
+
+        // StallWinners wired to the *real* register state: an access
+        // "would win" iff its target is still unset.
+        let mem2 = Arc::new(AtomicTasArray::new(n));
+        let probe_mem = Arc::clone(&mem2);
+        let mut adv = StallWinners::new(Box::new(move |a: &Access| {
+            a.index().is_some_and(|i| !probe_mem.is_set(i))
+        }));
+        let out = run(make(&mem2), &mut adv, 1 << 20).unwrap();
+        out.verify_renaming(n).unwrap();
+        // The staller wastes steps but cannot prevent completion.
+        assert!(out.total_steps() >= fair_out.total_steps());
+    }
+}

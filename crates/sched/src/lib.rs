@@ -1,0 +1,33 @@
+//! # rr-sched — execution model and adaptive adversaries
+//!
+//! Implements the machine model of §II-A: asynchronous processes over
+//! shared TAS memory, scheduled (and crashed) by an **adaptive adversary**
+//! that sees every process's state including coin flips.
+//!
+//! Algorithms are [`Process`] state machines (announce an access, then
+//! execute it). Two executors drive them:
+//!
+//! * [`virtual_exec`] — single-threaded, adversary-in-the-loop, exact
+//!   step counts, deterministic, scales to millions of processes. This is
+//!   the executor that realizes the paper's model.
+//! * [`thread_exec`] — one OS thread per process on real atomics, for
+//!   wall-clock benchmarks.
+//!
+//! Adversary strategies live in [`adversary`]: fair round-robin, seeded
+//! random, collision maximization (exploits coin-flip visibility), stall
+//! -winners, and a crash-injecting wrapper.
+
+pub mod adversary;
+pub mod process;
+pub mod replay;
+pub mod thread_exec;
+pub mod virtual_exec;
+
+pub use adversary::{
+    Adversary, CollisionMaximizer, CrashAdversary, Decision, FairAdversary, RandomAdversary,
+    StallWinners, View,
+};
+pub use replay::{RecordingAdversary, ReplayAdversary, Tape};
+pub use process::{Process, StepOutcome, run_to_completion};
+pub use thread_exec::{run_threads, run_threads_bounded};
+pub use virtual_exec::{ExecError, RunOutcome, run};

@@ -1,0 +1,214 @@
+//! Schedule recording and exact replay.
+//!
+//! When an adversarial run exhibits something interesting (a step-count
+//! spike, a near-violation), you want to re-execute *that exact
+//! schedule* under a debugger or after a code tweak. [`RecordingAdversary`]
+//! wraps any strategy and captures its decision tape;
+//! [`ReplayAdversary`] feeds a tape back verbatim. Together with the
+//! seed-stable process RNG this makes whole executions reproducible
+//! artifacts you can store and bisect.
+
+use crate::adversary::{Adversary, Decision, View};
+
+/// A recorded schedule: the exact decision sequence of one execution.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Tape {
+    decisions: Vec<Decision>,
+}
+
+impl Tape {
+    /// Number of decisions.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// The recorded decisions.
+    pub fn decisions(&self) -> &[Decision] {
+        &self.decisions
+    }
+
+    /// Serializes to a compact text form (`g12` = grant pid 12,
+    /// `c3` = crash pid 3), one token per decision.
+    pub fn to_text(&self) -> String {
+        self.decisions
+            .iter()
+            .map(|d| match d {
+                Decision::Grant(p) => format!("g{p}"),
+                Decision::Crash(p) => format!("c{p}"),
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Parses the text form produced by [`Tape::to_text`].
+    ///
+    /// # Errors
+    /// Returns the offending token on malformed input.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut decisions = Vec::new();
+        for tok in text.split_whitespace() {
+            let (kind, pid) = tok.split_at(1);
+            let pid: usize = pid.parse().map_err(|_| tok.to_string())?;
+            decisions.push(match kind {
+                "g" => Decision::Grant(pid),
+                "c" => Decision::Crash(pid),
+                _ => return Err(tok.to_string()),
+            });
+        }
+        Ok(Self { decisions })
+    }
+}
+
+/// Wraps an adversary and records every decision it makes.
+#[derive(Debug)]
+pub struct RecordingAdversary<A> {
+    inner: A,
+    tape: Tape,
+}
+
+impl<A: Adversary> RecordingAdversary<A> {
+    /// Starts recording over `inner`.
+    pub fn new(inner: A) -> Self {
+        Self { inner, tape: Tape::default() }
+    }
+
+    /// The tape recorded so far.
+    pub fn tape(&self) -> &Tape {
+        &self.tape
+    }
+
+    /// Consumes the recorder, returning the tape.
+    pub fn into_tape(self) -> Tape {
+        self.tape
+    }
+}
+
+impl<A: Adversary> Adversary for RecordingAdversary<A> {
+    fn decide(&mut self, view: &View<'_>) -> Decision {
+        let d = self.inner.decide(view);
+        self.tape.decisions.push(d);
+        d
+    }
+
+    fn name(&self) -> &'static str {
+        "recording"
+    }
+}
+
+/// Replays a tape verbatim.
+///
+/// # Panics
+/// `decide` panics if the tape runs out — a replay against different
+/// code or seeds that diverges is a bug worth failing loudly on.
+#[derive(Debug)]
+pub struct ReplayAdversary {
+    tape: Tape,
+    at: usize,
+}
+
+impl ReplayAdversary {
+    /// Replays `tape` from the start.
+    pub fn new(tape: Tape) -> Self {
+        Self { tape, at: 0 }
+    }
+
+    /// Decisions consumed so far.
+    pub fn position(&self) -> usize {
+        self.at
+    }
+}
+
+impl Adversary for ReplayAdversary {
+    fn decide(&mut self, _view: &View<'_>) -> Decision {
+        let d = self
+            .tape
+            .decisions
+            .get(self.at)
+            .copied()
+            .unwrap_or_else(|| panic!("replay tape exhausted at decision {}", self.at));
+        self.at += 1;
+        d
+    }
+
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{FairAdversary, RandomAdversary};
+    use crate::process::testutil::ScanProcess;
+    use crate::process::Process;
+    use crate::virtual_exec::run;
+    use rr_shmem::tas::AtomicTasArray;
+    use std::sync::Arc;
+
+    fn scan_procs(n: usize) -> Vec<Box<dyn Process + 'static>> {
+        let mem = Arc::new(AtomicTasArray::new(n));
+        (0..n)
+            .map(|pid| {
+                Box::new(ScanProcess { pid, mem: Arc::clone(&mem), cursor: 0 })
+                    as Box<dyn Process>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn record_then_replay_reproduces_everything() {
+        let mut rec = RecordingAdversary::new(RandomAdversary::new(77));
+        let out1 = run(scan_procs(16), &mut rec, 10_000).unwrap();
+        let tape = rec.into_tape();
+        assert_eq!(tape.len() as u64, out1.decisions);
+
+        let mut replay = ReplayAdversary::new(tape);
+        let out2 = run(scan_procs(16), &mut replay, 10_000).unwrap();
+        assert_eq!(out1.names, out2.names);
+        assert_eq!(out1.steps, out2.steps);
+        assert_eq!(replay.position() as u64, out2.decisions);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let mut rec = RecordingAdversary::new(FairAdversary::default());
+        let _ = run(scan_procs(6), &mut rec, 10_000).unwrap();
+        let tape = rec.into_tape();
+        let text = tape.to_text();
+        let parsed = Tape::from_text(&text).unwrap();
+        assert_eq!(parsed, tape);
+        assert!(text.starts_with('g'));
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(Tape::from_text("g1 x2").is_err());
+        assert!(Tape::from_text("gg").is_err());
+        assert_eq!(Tape::from_text("").unwrap().len(), 0);
+        assert!(Tape::from_text("").unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "tape exhausted")]
+    fn exhausted_tape_panics() {
+        let tape = Tape::from_text("g0").unwrap();
+        let mut replay = ReplayAdversary::new(tape);
+        // Two processes need more than one decision.
+        let _ = run(scan_procs(2), &mut replay, 10_000);
+    }
+
+    #[test]
+    fn tape_accessors() {
+        let tape = Tape::from_text("g3 c1 g0").unwrap();
+        assert_eq!(tape.len(), 3);
+        assert_eq!(
+            tape.decisions(),
+            &[Decision::Grant(3), Decision::Crash(1), Decision::Grant(0)]
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Free-running executor: one OS thread per process, real atomics, wall
+//! clock. This is the mode the Criterion benchmarks use; the state
+//! machines are identical to the ones the virtual executor polls, so the
+//! numbers measure the same algorithm.
+
+use crate::process::{Process, run_to_completion};
+use crate::virtual_exec::RunOutcome;
+
+/// Drives every process on its own thread until all have a name.
+///
+/// `max_steps_per_process` is a livelock guard (the thread panics past
+/// it, failing the run loudly rather than hanging a benchmark).
+///
+/// Returns the same [`RunOutcome`] shape as the virtual executor
+/// (`crashed` is all-false: crash injection is a scheduler power, and
+/// free-running mode has no scheduler).
+pub fn run_threads(
+    processes: Vec<Box<dyn Process + Send + '_>>,
+    max_steps_per_process: u64,
+) -> RunOutcome {
+    // Outcome vectors are indexed by pid, which need not equal the
+    // position in `processes` (bounded waves pass sub-batches).
+    let n = processes.iter().map(|p| p.pid() + 1).max().unwrap_or(0);
+    let mut names: Vec<Option<usize>> = vec![None; n];
+    let mut steps: Vec<u64> = vec![0; n];
+    let mut gave_up = vec![false; n];
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = processes
+            .into_iter()
+            .map(|mut p| {
+                scope.spawn(move || {
+                    let pid = p.pid();
+                    let (name, taken) = run_to_completion(p.as_mut(), max_steps_per_process);
+                    (pid, name, taken)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (pid, name, taken) = h.join().expect("process thread panicked");
+            names[pid] = name;
+            gave_up[pid] = name.is_none();
+            steps[pid] = taken;
+        }
+    });
+
+    RunOutcome { names, steps, crashed: vec![false; n], gave_up, decisions: 0 }
+}
+
+/// Like [`run_threads`] but caps the number of concurrent OS threads at
+/// `threads`, running processes in waves. Benchmarks use this to sweep
+/// "hardware parallelism" without oversubscribing the machine when n is
+/// large.
+pub fn run_threads_bounded(
+    processes: Vec<Box<dyn Process + Send + '_>>,
+    threads: usize,
+    max_steps_per_process: u64,
+) -> RunOutcome {
+    assert!(threads > 0);
+    let n = processes.iter().map(|p| p.pid() + 1).max().unwrap_or(0);
+    let mut names: Vec<Option<usize>> = vec![None; n];
+    let mut steps: Vec<u64> = vec![0; n];
+    let mut gave_up = vec![false; n];
+
+    let mut queue = processes;
+    while !queue.is_empty() {
+        let take = queue.len().min(threads);
+        let wave: Vec<_> = queue.drain(..take).collect();
+        let out = run_threads(wave, max_steps_per_process);
+        for (pid, name) in out.names.iter().enumerate() {
+            if name.is_some() || out.gave_up[pid] {
+                names[pid] = *name;
+                gave_up[pid] = out.gave_up[pid];
+                steps[pid] = out.steps[pid];
+            }
+        }
+    }
+
+    RunOutcome { names, steps, crashed: vec![false; n], gave_up, decisions: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::testutil::ScanProcess;
+    use rr_shmem::tas::AtomicTasArray;
+    use std::sync::Arc;
+
+    fn scan_processes(n: usize, m: usize) -> Vec<Box<dyn Process + Send + 'static>> {
+        let mem = Arc::new(AtomicTasArray::new(m));
+        (0..n)
+            .map(|pid| {
+                Box::new(ScanProcess { pid, mem: Arc::clone(&mem), cursor: 0 })
+                    as Box<dyn Process + Send>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threads_rename_everyone_distinctly() {
+        let out = run_threads(scan_processes(16, 16), 1_000);
+        out.verify_renaming(16).unwrap();
+        assert!(out.steps.iter().all(|&s| s >= 1));
+    }
+
+    #[test]
+    fn bounded_waves_cover_all_processes() {
+        let out = run_threads_bounded(scan_processes(20, 20), 4, 1_000);
+        out.verify_renaming(20).unwrap();
+        assert_eq!(out.names.iter().filter(|n| n.is_some()).count(), 20);
+    }
+
+    #[test]
+    fn single_thread_bound_is_sequential() {
+        let out = run_threads_bounded(scan_processes(5, 5), 1, 1_000);
+        out.verify_renaming(5).unwrap();
+        // Sequential waves: pid 0 wins reg 0 in 1 step, pid 1 probes 0
+        // then wins 1, etc.
+        assert_eq!(out.steps, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = run_threads(Vec::new(), 10);
+        assert!(out.names.is_empty());
+    }
+}

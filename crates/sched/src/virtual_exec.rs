@@ -1,0 +1,442 @@
+//! The model-faithful executor: single-threaded, adversary-scheduled,
+//! access-granular.
+//!
+//! This executor *is* the paper's asynchronous shared-memory model. All
+//! processes are held as state machines; before every step the adversary
+//! sees each active process's announced access (coin flips included) and
+//! either grants one process its step or crashes one process. Because no
+//! OS threads are involved it scales to n = 2²⁰ processes and produces
+//! exact, deterministic step counts.
+
+use crate::adversary::{Adversary, Decision, View};
+use crate::process::{Process, StepOutcome};
+use rr_shmem::Access;
+
+/// Why a run ended badly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Total steps exceeded the livelock guard.
+    StepBudgetExceeded {
+        /// The configured cap.
+        budget: u64,
+    },
+    /// The adversary addressed a pid that is not active.
+    BadDecision {
+        /// The offending decision, rendered.
+        decision: String,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::StepBudgetExceeded { budget } => {
+                write!(f, "execution exceeded the step budget of {budget}")
+            }
+            ExecError::BadDecision { decision } => {
+                write!(f, "adversary issued an illegal decision: {decision}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Outcome of a virtual run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// `names[pid]` — the name acquired, or `None` if the process crashed.
+    pub names: Vec<Option<usize>>,
+    /// `steps[pid]` — shared-memory accesses performed.
+    pub steps: Vec<u64>,
+    /// `crashed[pid]`.
+    pub crashed: Vec<bool>,
+    /// `gave_up[pid]` — the process halted unnamed of its own accord (the
+    /// almost-tight protocols' legitimate "unnamed" outcome).
+    pub gave_up: Vec<bool>,
+    /// Total scheduling decisions taken.
+    pub decisions: u64,
+}
+
+impl RunOutcome {
+    /// Step complexity: max steps over *all* processes (crashed ones
+    /// included — their steps were spent in the execution).
+    pub fn step_complexity(&self) -> u64 {
+        self.steps.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total work.
+    pub fn total_steps(&self) -> u64 {
+        self.steps.iter().sum()
+    }
+
+    /// Pids of surviving (non-crashed) processes.
+    pub fn survivors(&self) -> Vec<usize> {
+        (0..self.crashed.len()).filter(|&p| !self.crashed[p]).collect()
+    }
+
+    /// Number of processes that gave up unnamed (the almost-tight
+    /// protocols' `n − k` measure).
+    pub fn gave_up_count(&self) -> usize {
+        self.gave_up.iter().filter(|&&g| g).count()
+    }
+
+    /// Checks the three renaming properties for survivors: completeness
+    /// (all named, unless the process legitimately gave up), uniqueness,
+    /// and the name-space bound `< m`.
+    pub fn verify_renaming(&self, m: usize) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        for pid in self.survivors() {
+            match self.names[pid] {
+                None if self.gave_up[pid] => {}
+                None => return Err(format!("surviving process {pid} got no name")),
+                Some(name) => {
+                    if name >= m {
+                        return Err(format!("process {pid} got name {name} ≥ m={m}"));
+                    }
+                    if !seen.insert(name) {
+                        return Err(format!("name {name} assigned twice"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs `processes` to completion under `adversary`.
+///
+/// `step_budget` guards against livelock (use ~`100 · n · log n` for the
+/// algorithms in this workspace; they are far below it w.h.p.).
+///
+/// ```
+/// use rr_sched::adversary::FairAdversary;
+/// use rr_sched::process::{Process, StepOutcome};
+/// use rr_shmem::Access;
+///
+/// // A process that takes `pid` steps then claims name `pid`.
+/// struct Count { pid: usize, left: usize }
+/// impl Process for Count {
+///     fn announce(&mut self) -> Access { Access::Local }
+///     fn step(&mut self) -> StepOutcome {
+///         if self.left == 0 { StepOutcome::Done(self.pid) }
+///         else { self.left -= 1; StepOutcome::Continue }
+///     }
+///     fn pid(&self) -> usize { self.pid }
+/// }
+///
+/// let procs: Vec<Box<dyn Process>> = (0..4)
+///     .map(|pid| Box::new(Count { pid, left: pid }) as Box<dyn Process>)
+///     .collect();
+/// let out = rr_sched::virtual_exec::run(procs, &mut FairAdversary::default(), 1000).unwrap();
+/// out.verify_renaming(4).unwrap();
+/// assert_eq!(out.step_complexity(), 4); // pid 3: 3 waits + the claim
+/// ```
+pub fn run<A: Adversary + ?Sized>(
+    mut processes: Vec<Box<dyn Process + '_>>,
+    adversary: &mut A,
+    step_budget: u64,
+) -> Result<RunOutcome, ExecError> {
+    let n = processes.len();
+    let mut names: Vec<Option<usize>> = vec![None; n];
+    let mut steps: Vec<u64> = vec![0; n];
+    let mut crashed = vec![false; n];
+    let mut gave_up = vec![false; n];
+    let mut announced: Vec<Option<Access>> = vec![None; n];
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut named = 0usize;
+    let mut decisions = 0u64;
+    let mut total_steps = 0u64;
+
+    // Initial announcements.
+    for &pid in &active {
+        announced[pid] = Some(processes[pid].announce());
+    }
+
+    // `active` uses tombstones: halted pids stay in the vector (their
+    // `announced` slot is `None`) until more than half are dead, then one
+    // O(len) compaction reclaims them — amortized O(1) per halt instead
+    // of the O(n) of `Vec::remove`, which matters at n = 2²⁰. The `View`
+    // contract reflects this: `active` is a sorted superset of the
+    // runnable pids; `announced[pid].is_some()` is the ground truth.
+    let mut live = n;
+    while live > 0 {
+        if active.len() > 2 * live {
+            active.retain(|&pid| announced[pid].is_some());
+        }
+        let decision = {
+            let view = View { active: &active, announced: &announced, steps: &steps, named };
+            adversary.decide(&view)
+        };
+        decisions += 1;
+        match decision {
+            Decision::Grant(pid) => {
+                if pid >= n || announced[pid].is_none() {
+                    return Err(ExecError::BadDecision { decision: format!("{decision:?}") });
+                }
+                steps[pid] += 1;
+                total_steps += 1;
+                if total_steps > step_budget {
+                    return Err(ExecError::StepBudgetExceeded { budget: step_budget });
+                }
+                match processes[pid].step() {
+                    StepOutcome::Continue => {
+                        announced[pid] = Some(processes[pid].announce());
+                    }
+                    StepOutcome::Done(name) => {
+                        names[pid] = Some(name);
+                        named += 1;
+                        announced[pid] = None;
+                        live -= 1;
+                    }
+                    StepOutcome::GaveUp => {
+                        gave_up[pid] = true;
+                        announced[pid] = None;
+                        live -= 1;
+                    }
+                }
+            }
+            Decision::Crash(pid) => {
+                if pid >= n || announced[pid].is_none() {
+                    return Err(ExecError::BadDecision { decision: format!("{decision:?}") });
+                }
+                crashed[pid] = true;
+                announced[pid] = None;
+                live -= 1;
+            }
+        }
+    }
+
+    Ok(RunOutcome { names, steps, crashed, gave_up, decisions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{CollisionMaximizer, CrashAdversary, FairAdversary, RandomAdversary};
+    use crate::process::testutil::ScanProcess;
+    use rr_shmem::tas::AtomicTasArray;
+    use std::sync::Arc;
+
+    fn scan_processes(n: usize, m: usize) -> (Vec<Box<dyn Process + 'static>>, Arc<AtomicTasArray>) {
+        let mem = Arc::new(AtomicTasArray::new(m));
+        let procs: Vec<Box<dyn Process>> = (0..n)
+            .map(|pid| {
+                Box::new(ScanProcess { pid, mem: Arc::clone(&mem), cursor: 0 })
+                    as Box<dyn Process>
+            })
+            .collect();
+        (procs, mem)
+    }
+
+    #[test]
+    fn fair_schedule_renames_everyone() {
+        let (procs, _mem) = scan_processes(8, 8);
+        let out = run(procs, &mut FairAdversary::default(), 10_000).unwrap();
+        out.verify_renaming(8).unwrap();
+        assert_eq!(out.survivors().len(), 8);
+        // Scanning processes under round-robin: pid p wins register p
+        // after p+1 probes... in fact steps are deterministic here.
+        assert_eq!(out.step_complexity(), 8);
+        assert_eq!(out.names.iter().filter(|n| n.is_some()).count(), 8);
+    }
+
+    #[test]
+    fn random_schedule_still_safe() {
+        let (procs, _mem) = scan_processes(16, 16);
+        let out = run(procs, &mut RandomAdversary::new(99), 100_000).unwrap();
+        out.verify_renaming(16).unwrap();
+    }
+
+    #[test]
+    fn collision_maximizer_inflates_steps_but_safety_holds() {
+        let (procs, _mem) = scan_processes(12, 12);
+        let out = run(procs, &mut CollisionMaximizer::default(), 100_000).unwrap();
+        out.verify_renaming(12).unwrap();
+        // Everyone scans from 0, so worst case is n probes each.
+        assert!(out.step_complexity() <= 12);
+    }
+
+    #[test]
+    fn crashes_leave_survivors_named() {
+        let (procs, _mem) = scan_processes(10, 10);
+        let mut adv = CrashAdversary::new(FairAdversary::default(), 0.3, 5, 42);
+        let out = run(procs, &mut adv, 100_000).unwrap();
+        let crashed = out.crashed.iter().filter(|&&c| c).count();
+        assert_eq!(crashed, adv.crashes());
+        out.verify_renaming(10).unwrap();
+        assert_eq!(out.survivors().len(), 10 - crashed);
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_adversary() {
+        let run_once = || {
+            let (procs, _mem) = scan_processes(8, 8);
+            let out = run(procs, &mut RandomAdversary::new(5), 100_000).unwrap();
+            (out.names.clone(), out.steps.clone())
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn step_budget_enforced() {
+        let (procs, _mem) = scan_processes(4, 4);
+        let err = run(procs, &mut FairAdversary::default(), 3).unwrap_err();
+        assert!(matches!(err, ExecError::StepBudgetExceeded { budget: 3 }));
+        assert!(err.to_string().contains("step budget"));
+    }
+
+    #[test]
+    fn empty_run_is_trivial() {
+        let out = run(Vec::new(), &mut FairAdversary::default(), 10).unwrap();
+        assert_eq!(out.decisions, 0);
+        assert_eq!(out.step_complexity(), 0);
+        out.verify_renaming(0).unwrap();
+    }
+
+    #[test]
+    fn verify_catches_missing_name() {
+        let out = RunOutcome {
+            names: vec![Some(0), None],
+            steps: vec![1, 1],
+            crashed: vec![false, false],
+            gave_up: vec![false; 2],
+            decisions: 2,
+        };
+        assert!(out.verify_renaming(2).unwrap_err().contains("no name"));
+    }
+
+    #[test]
+    fn verify_catches_duplicate() {
+        let out = RunOutcome {
+            names: vec![Some(0), Some(0)],
+            steps: vec![1, 1],
+            crashed: vec![false, false],
+            gave_up: vec![false; 2],
+            decisions: 2,
+        };
+        assert!(out.verify_renaming(2).unwrap_err().contains("twice"));
+    }
+
+    #[test]
+    fn verify_catches_out_of_space() {
+        let out = RunOutcome {
+            names: vec![Some(5)],
+            steps: vec![1],
+            crashed: vec![false],
+            gave_up: vec![false; 1],
+            decisions: 1,
+        };
+        assert!(out.verify_renaming(2).unwrap_err().contains("≥ m"));
+    }
+
+    #[test]
+    fn crashed_process_excused_from_completeness() {
+        let out = RunOutcome {
+            names: vec![Some(0), None],
+            steps: vec![1, 4],
+            crashed: vec![false, true],
+            gave_up: vec![false; 2],
+            decisions: 5,
+        };
+        out.verify_renaming(2).unwrap();
+        assert_eq!(out.survivors(), vec![0]);
+        assert_eq!(out.total_steps(), 5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::adversary::{CrashAdversary, FairAdversary, RandomAdversary};
+    use proptest::prelude::*;
+    use rr_shmem::Access;
+
+    /// A fully scripted process: follows a fixed outcome tape.
+    struct Scripted {
+        pid: usize,
+        tape: Vec<StepOutcome>,
+        at: usize,
+    }
+
+    impl Process for Scripted {
+        fn announce(&mut self) -> Access {
+            Access::Local
+        }
+        fn step(&mut self) -> StepOutcome {
+            let o = self.tape[self.at.min(self.tape.len() - 1)];
+            self.at += 1;
+            o
+        }
+        fn pid(&self) -> usize {
+            self.pid
+        }
+    }
+
+    fn build(tapes: Vec<Vec<StepOutcome>>) -> Vec<Box<dyn Process + 'static>> {
+        tapes
+            .into_iter()
+            .enumerate()
+            .map(|(pid, tape)| Box::new(Scripted { pid, tape, at: 0 }) as Box<dyn Process>)
+            .collect()
+    }
+
+    fn tape_strategy() -> impl Strategy<Value = Vec<StepOutcome>> {
+        // Random Continue prefix, then a terminal Done(pid-ish) or GaveUp.
+        (0usize..12, 0usize..1000, proptest::bool::ANY).prop_map(|(len, name, give_up)| {
+            let mut tape = vec![StepOutcome::Continue; len];
+            tape.push(if give_up { StepOutcome::GaveUp } else { StepOutcome::Done(name) });
+            tape
+        })
+    }
+
+    proptest! {
+        /// Executor bookkeeping matches the tapes exactly, under every
+        /// adversary: steps = tape length, names = terminal symbol,
+        /// crashed ∪ named ∪ gave_up partitions the processes.
+        #[test]
+        fn bookkeeping_matches_tapes(
+            tapes in proptest::collection::vec(tape_strategy(), 1..24),
+            adv_kind in 0u8..3,
+            seed in 0u64..100,
+        ) {
+            let expected: Vec<(u64, StepOutcome)> = tapes
+                .iter()
+                .map(|t| (t.len() as u64, *t.last().unwrap()))
+                .collect();
+            let procs = build(tapes);
+            let n = procs.len();
+            let mut adv: Box<dyn Adversary> = match adv_kind {
+                0 => Box::new(FairAdversary::default()),
+                1 => Box::new(RandomAdversary::new(seed)),
+                _ => Box::new(CrashAdversary::new(FairAdversary::default(), 0.3, n / 2, seed)),
+            };
+            let out = run(procs, adv.as_mut(), 1 << 20).unwrap();
+            for pid in 0..n {
+                if out.crashed[pid] {
+                    prop_assert!(out.names[pid].is_none());
+                    prop_assert!(!out.gave_up[pid]);
+                    // A crashed process stopped early.
+                    prop_assert!(out.steps[pid] < expected[pid].0);
+                    continue;
+                }
+                prop_assert_eq!(out.steps[pid], expected[pid].0, "pid {} steps", pid);
+                match expected[pid].1 {
+                    StepOutcome::Done(name) => {
+                        prop_assert_eq!(out.names[pid], Some(name));
+                        prop_assert!(!out.gave_up[pid]);
+                    }
+                    StepOutcome::GaveUp => {
+                        prop_assert_eq!(out.names[pid], None);
+                        prop_assert!(out.gave_up[pid]);
+                    }
+                    StepOutcome::Continue => unreachable!(),
+                }
+            }
+            // Decisions = total grants + crashes.
+            let grants: u64 = out.steps.iter().sum();
+            let crashes = out.crashed.iter().filter(|&&c| c).count() as u64;
+            prop_assert_eq!(out.decisions, grants + crashes);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Announced shared-memory accesses.
+//!
+//! The paper's adversary is *adaptive*: it chooses which process moves
+//! next (and which processes crash) after seeing the complete state of
+//! every process, **including the results of their coin flips**. To give
+//! an implemented adversary the same power, every algorithm in this
+//! workspace publishes an [`Access`] describing its next shared-memory
+//! operation — including the randomly drawn register index — *before*
+//! performing it. The scheduler stores the announcement where adversary
+//! strategies can read it, then decides whom to admit.
+
+/// A single announced shared-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Test-and-set of a register in a named array.
+    Tas {
+        /// Which logical array (algorithms number their arrays; 0 is the
+        /// main name space unless documented otherwise).
+        array: u32,
+        /// Register index within the array, after any random draw.
+        index: usize,
+    },
+    /// Read of a register.
+    Read {
+        /// Which logical array.
+        array: u32,
+        /// Register index within the array.
+        index: usize,
+    },
+    /// A request to a τ-register counting device (one TAS-bit attempt).
+    TauRequest {
+        /// Index of the τ-register.
+        register: usize,
+        /// TAS bit within the device the process will contend for.
+        bit: usize,
+    },
+    /// Internal bookkeeping charged as a step (e.g. reading a device's
+    /// `out_reg` to confirm a win).
+    Local,
+}
+
+impl Access {
+    /// The register index this access touches, if it touches one.
+    pub fn index(&self) -> Option<usize> {
+        match self {
+            Access::Tas { index, .. } | Access::Read { index, .. } => Some(*index),
+            Access::TauRequest { bit, .. } => Some(*bit),
+            Access::Local => None,
+        }
+    }
+
+    /// Whether the access can win a register (i.e. is a TAS of some kind).
+    pub fn is_winning_kind(&self) -> bool {
+        matches!(self, Access::Tas { .. } | Access::TauRequest { .. })
+    }
+}
+
+impl std::fmt::Display for Access {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Access::Tas { array, index } => write!(f, "tas[{array}][{index}]"),
+            Access::Read { array, index } => write!(f, "read[{array}][{index}]"),
+            Access::TauRequest { register, bit } => write!(f, "tau[{register}].bit[{bit}]"),
+            Access::Local => write!(f, "local"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_extraction() {
+        assert_eq!(Access::Tas { array: 0, index: 5 }.index(), Some(5));
+        assert_eq!(Access::Read { array: 1, index: 9 }.index(), Some(9));
+        assert_eq!(Access::TauRequest { register: 2, bit: 3 }.index(), Some(3));
+        assert_eq!(Access::Local.index(), None);
+    }
+
+    #[test]
+    fn winning_kinds() {
+        assert!(Access::Tas { array: 0, index: 0 }.is_winning_kind());
+        assert!(Access::TauRequest { register: 0, bit: 0 }.is_winning_kind());
+        assert!(!Access::Read { array: 0, index: 0 }.is_winning_kind());
+        assert!(!Access::Local.is_winning_kind());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Access::Tas { array: 0, index: 7 }.to_string(), "tas[0][7]");
+        assert_eq!(Access::TauRequest { register: 1, bit: 2 }.to_string(), "tau[1].bit[2]");
+        assert_eq!(Access::Local.to_string(), "local");
+    }
+}

@@ -1,0 +1,288 @@
+//! Name-space auditing: an always-on referee for the renaming safety
+//! property.
+//!
+//! Renaming is correct iff (safety) no two processes ever hold the same
+//! name, (bounds) every emitted name is inside the advertised name space
+//! `[0, m)`, and (completeness) every surviving process gets a name. The
+//! algorithms are supposed to guarantee this through the TAS registers;
+//! [`NameSpaceAudit`] independently re-checks it with its own atomic claim
+//! table so that a buggy algorithm (or a buggy τ-register) is caught at
+//! the exact claiming step instead of by a downstream test.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Sentinel for "no process has claimed this name".
+const FREE: usize = usize::MAX;
+
+/// A violation detected by [`NameSpaceAudit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditError {
+    /// Two processes claimed the same name.
+    DuplicateName {
+        /// The contested name.
+        name: usize,
+        /// Process that held the name first.
+        holder: usize,
+        /// Process whose claim collided.
+        claimant: usize,
+    },
+    /// A name outside `[0, m)` was claimed.
+    OutOfRange {
+        /// The offending name.
+        name: usize,
+        /// The audited name-space size `m`.
+        m: usize,
+        /// Claiming process.
+        claimant: usize,
+    },
+    /// One process claimed two different names.
+    DoubleClaim {
+        /// The claiming process.
+        pid: usize,
+        /// Name claimed first.
+        first: usize,
+        /// Name claimed second.
+        second: usize,
+    },
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::DuplicateName { name, holder, claimant } => write!(
+                f,
+                "renaming safety violated: name {name} claimed by process {claimant} \
+                 but already held by process {holder}"
+            ),
+            AuditError::OutOfRange { name, m, claimant } => {
+                write!(f, "process {claimant} claimed name {name} outside name space [0, {m})")
+            }
+            AuditError::DoubleClaim { pid, first, second } => {
+                write!(f, "process {pid} claimed two names: {first} and {second}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Concurrent claim table over a name space of size `m` for `n` processes.
+///
+/// `claim` is lock-free (one CAS per call) so it can sit on the hot path
+/// of wall-clock benchmarks without serializing the processes under test.
+#[derive(Debug)]
+pub struct NameSpaceAudit {
+    /// `owner[name]` = pid holding `name`, or `FREE`.
+    owner: Box<[AtomicUsize]>,
+    /// `held[pid]` = name held by `pid`, or `FREE`.
+    held: Box<[AtomicUsize]>,
+}
+
+impl NameSpaceAudit {
+    /// An audit table for `n` processes renaming into `[0, m)`.
+    pub fn new(n: usize, m: usize) -> Self {
+        assert!(n != FREE && m != FREE, "degenerate sizes");
+        Self {
+            owner: (0..m).map(|_| AtomicUsize::new(FREE)).collect(),
+            held: (0..n).map(|_| AtomicUsize::new(FREE)).collect(),
+        }
+    }
+
+    /// Size of the audited name space.
+    pub fn name_space(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Number of audited processes.
+    pub fn processes(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Records that `pid` claims `name`. Returns an error — and leaves
+    /// the table unchanged — on any safety violation, so a rejected claim
+    /// can never corrupt later audits.
+    pub fn claim(&self, pid: usize, name: usize) -> Result<(), AuditError> {
+        assert!(pid < self.held.len(), "unknown process {pid}");
+        if name >= self.owner.len() {
+            return Err(AuditError::OutOfRange { name, m: self.owner.len(), claimant: pid });
+        }
+        match self.held[pid].compare_exchange(FREE, name, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => {}
+            Err(prev) if prev == name => {}
+            Err(prev) => {
+                return Err(AuditError::DoubleClaim { pid, first: prev, second: name });
+            }
+        }
+        match self.owner[name].compare_exchange(FREE, pid, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => Ok(()),
+            Err(holder) if holder == pid => Ok(()),
+            Err(holder) => {
+                // Roll back the held slot: `pid` does not own `name`.
+                // Only `pid` itself writes its held slot, so this store
+                // cannot race with a concurrent successful claim.
+                self.held[pid].store(FREE, Ordering::Release);
+                Err(AuditError::DuplicateName { name, holder, claimant: pid })
+            }
+        }
+    }
+
+    /// Name held by `pid`, if any.
+    pub fn name_of(&self, pid: usize) -> Option<usize> {
+        let v = self.held[pid].load(Ordering::Acquire);
+        (v != FREE).then_some(v)
+    }
+
+    /// Process holding `name`, if any.
+    pub fn holder_of(&self, name: usize) -> Option<usize> {
+        let v = self.owner[name].load(Ordering::Acquire);
+        (v != FREE).then_some(v)
+    }
+
+    /// Number of processes currently holding a name.
+    pub fn named_count(&self) -> usize {
+        self.held.iter().filter(|h| h.load(Ordering::Acquire) != FREE).count()
+    }
+
+    /// Largest claimed name, if any — measures how much of a loose name
+    /// space a run actually used.
+    pub fn max_claimed_name(&self) -> Option<usize> {
+        self.owner
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, o)| o.load(Ordering::Acquire) != FREE)
+            .map(|(i, _)| i)
+    }
+
+    /// Full post-run check: every process in `expected_named` holds a
+    /// name, and the claim table is internally consistent.
+    pub fn verify_complete(&self, expected_named: &[usize]) -> Result<(), AuditError> {
+        for &pid in expected_named {
+            let name = self.held[pid].load(Ordering::Acquire);
+            if name == FREE {
+                // Reuse DoubleClaim's shape? No — completeness is its own
+                // failure; surface it as an out-of-range claim of `FREE`.
+                return Err(AuditError::OutOfRange {
+                    name: FREE,
+                    m: self.owner.len(),
+                    claimant: pid,
+                });
+            }
+            let holder = self.owner[name].load(Ordering::Acquire);
+            if holder != pid {
+                return Err(AuditError::DuplicateName { name, holder, claimant: pid });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn distinct_claims_succeed() {
+        let audit = NameSpaceAudit::new(4, 8);
+        audit.claim(0, 3).unwrap();
+        audit.claim(1, 5).unwrap();
+        audit.claim(2, 0).unwrap();
+        assert_eq!(audit.named_count(), 3);
+        assert_eq!(audit.name_of(0), Some(3));
+        assert_eq!(audit.holder_of(5), Some(1));
+        assert_eq!(audit.name_of(3), None);
+        assert_eq!(audit.holder_of(1), None);
+        assert_eq!(audit.max_claimed_name(), Some(5));
+        audit.verify_complete(&[0, 1, 2]).unwrap();
+    }
+
+    #[test]
+    fn duplicate_name_detected() {
+        let audit = NameSpaceAudit::new(4, 8);
+        audit.claim(0, 3).unwrap();
+        let err = audit.claim(1, 3).unwrap_err();
+        assert_eq!(err, AuditError::DuplicateName { name: 3, holder: 0, claimant: 1 });
+        assert!(err.to_string().contains("safety violated"));
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let audit = NameSpaceAudit::new(2, 4);
+        let err = audit.claim(0, 4).unwrap_err();
+        assert_eq!(err, AuditError::OutOfRange { name: 4, m: 4, claimant: 0 });
+    }
+
+    #[test]
+    fn double_claim_detected() {
+        let audit = NameSpaceAudit::new(2, 4);
+        audit.claim(0, 1).unwrap();
+        let err = audit.claim(0, 2).unwrap_err();
+        assert_eq!(err, AuditError::DoubleClaim { pid: 0, first: 1, second: 2 });
+    }
+
+    #[test]
+    fn idempotent_reclaim_is_fine() {
+        let audit = NameSpaceAudit::new(2, 4);
+        audit.claim(0, 1).unwrap();
+        audit.claim(0, 1).unwrap();
+        assert_eq!(audit.named_count(), 1);
+    }
+
+    #[test]
+    fn incomplete_run_detected() {
+        let audit = NameSpaceAudit::new(3, 4);
+        audit.claim(0, 1).unwrap();
+        assert!(audit.verify_complete(&[0]).is_ok());
+        assert!(audit.verify_complete(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn concurrent_claims_of_same_name_one_winner() {
+        let audit = Arc::new(NameSpaceAudit::new(64, 1));
+        let wins: Vec<_> = (0..64)
+            .map(|pid| {
+                let audit = Arc::clone(&audit);
+                std::thread::spawn(move || audit.claim(pid, 0).is_ok())
+            })
+            .collect();
+        let n_ok = wins.into_iter().map(|h| h.join().unwrap()).filter(|&ok| ok).count();
+        assert_eq!(n_ok, 1, "exactly one process may win a contested name");
+        // Losers' held slots are rolled back: only the winner is named.
+        assert_eq!(audit.named_count(), 1);
+        assert!(audit.holder_of(0).is_some());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The audit accepts exactly the claim sequences that are
+        /// injective in both directions and in range.
+        #[test]
+        fn audit_matches_model(
+            n in 1usize..64,
+            m in 1usize..64,
+            claims in proptest::collection::vec((0usize..64, 0usize..80), 0..100),
+        ) {
+            let audit = NameSpaceAudit::new(n, m);
+            let mut owner: Vec<Option<usize>> = vec![None; m];
+            let mut held: Vec<Option<usize>> = vec![None; n];
+            for (pid, name) in claims {
+                let pid = pid % n;
+                let expect_ok = name < m
+                    && owner.get(name).is_some_and(|o| o.is_none() || *o == Some(pid))
+                    && (held[pid].is_none() || held[pid] == Some(name));
+                let got = audit.claim(pid, name);
+                prop_assert_eq!(got.is_ok(), expect_ok, "pid {} name {}: {:?}", pid, name, got);
+                if expect_ok {
+                    owner[name] = Some(pid);
+                    held[pid] = Some(name);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Seed-stable per-process randomness.
+//!
+//! Experiment tables must be reproducible run-to-run even though OS
+//! threads interleave nondeterministically, so every process draws from
+//! its own ChaCha8 stream derived from `(experiment seed, pid)`. ChaCha
+//! is seed-portable across platforms (unlike `StdRng`, whose algorithm is
+//! unspecified), which keeps EXPERIMENTS.md numbers stable.
+
+use rand::{RngExt, SeedableRng};
+use rand::rngs::ChaCha8Rng;
+
+/// A process-private random stream.
+///
+/// Thin wrapper around [`ChaCha8Rng`] that fixes the derivation scheme:
+/// stream `pid` of seed `seed`. The wrapper also centralizes the one
+/// operation the renaming algorithms need — a uniform index draw — so the
+/// announced-intent machinery can log exactly the values drawn.
+#[derive(Debug)]
+pub struct ProcessRng {
+    rng: ChaCha8Rng,
+    pid: usize,
+}
+
+impl ProcessRng {
+    /// Stream for process `pid` under experiment `seed`.
+    pub fn new(seed: u64, pid: usize) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        rng.set_stream(pid as u64);
+        Self { rng, pid }
+    }
+
+    /// The owning process id.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "cannot draw from an empty range");
+        self.rng.random_range(0..bound)
+    }
+
+    /// Fair coin.
+    #[inline]
+    pub fn coin(&mut self) -> bool {
+        self.rng.random()
+    }
+
+    /// Direct access for callers needing other distributions.
+    pub fn raw(&mut self) -> &mut ChaCha8Rng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream_is_deterministic() {
+        let mut a = ProcessRng::new(42, 7);
+        let mut b = ProcessRng::new(42, 7);
+        for _ in 0..100 {
+            assert_eq!(a.index(1000), b.index(1000));
+        }
+    }
+
+    #[test]
+    fn different_pids_get_different_streams() {
+        let mut a = ProcessRng::new(42, 0);
+        let mut b = ProcessRng::new(42, 1);
+        let draws_a: Vec<_> = (0..32).map(|_| a.index(1 << 30)).collect();
+        let draws_b: Vec<_> = (0..32).map(|_| b.index(1 << 30)).collect();
+        assert_ne!(draws_a, draws_b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ProcessRng::new(1, 0);
+        let mut b = ProcessRng::new(2, 0);
+        let draws_a: Vec<_> = (0..32).map(|_| a.index(1 << 30)).collect();
+        let draws_b: Vec<_> = (0..32).map(|_| b.index(1 << 30)).collect();
+        assert_ne!(draws_a, draws_b);
+    }
+
+    #[test]
+    fn index_respects_bound() {
+        let mut r = ProcessRng::new(0, 0);
+        for bound in [1usize, 2, 3, 17, 1000] {
+            for _ in 0..200 {
+                assert!(r.index(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn zero_bound_panics() {
+        ProcessRng::new(0, 0).index(0);
+    }
+
+    #[test]
+    fn coin_is_roughly_fair() {
+        let mut r = ProcessRng::new(123, 0);
+        let heads = (0..10_000).filter(|_| r.coin()).count();
+        assert!((4000..6000).contains(&heads), "suspicious coin: {heads}/10000 heads");
+    }
+
+    #[test]
+    fn pid_accessor() {
+        assert_eq!(ProcessRng::new(0, 9).pid(), 9);
+    }
+}

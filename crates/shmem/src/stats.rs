@@ -1,0 +1,206 @@
+//! Per-process step accounting.
+//!
+//! The paper's cost measure is **step complexity**: the maximum number of
+//! shared-memory accesses performed by any single process. [`StepCounters`]
+//! keeps one cache-padded counter per process (padding avoids false
+//! sharing between concurrently incrementing processes — see the Rust
+//! Performance Book on type layout) and [`StepSummary`] reduces a run to
+//! the numbers the experiment tables report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One counter on its own cache line.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedCounter(AtomicU64);
+
+/// Cache-padded per-process step counters.
+#[derive(Debug)]
+pub struct StepCounters {
+    counters: Box<[PaddedCounter]>,
+}
+
+impl StepCounters {
+    /// Counters for `n` processes, all starting at zero.
+    pub fn new(n: usize) -> Self {
+        Self { counters: (0..n).map(|_| PaddedCounter::default()).collect() }
+    }
+
+    /// Number of processes tracked.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether zero processes are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Records one step for `pid`.
+    #[inline]
+    pub fn record(&self, pid: usize) {
+        self.counters[pid].0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `k` steps for `pid` at once (used when an algorithm charges
+    /// a batch of reads as individual steps).
+    #[inline]
+    pub fn record_many(&self, pid: usize, k: u64) {
+        self.counters[pid].0.fetch_add(k, Ordering::Relaxed);
+    }
+
+    /// Steps taken by `pid` so far.
+    pub fn get(&self, pid: usize) -> u64 {
+        self.counters[pid].0.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all per-process counts.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.counters.iter().map(|c| c.0.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Reduces the counters to summary statistics.
+    pub fn summarize(&self) -> StepSummary {
+        StepSummary::from_counts(&self.snapshot())
+    }
+
+    /// Resets all counters to zero. Exclusive access, so no races.
+    pub fn reset(&mut self) {
+        for c in self.counters.iter_mut() {
+            *c.0.get_mut() = 0;
+        }
+    }
+}
+
+/// Summary of a run's step counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepSummary {
+    /// The paper's step complexity: `max_p steps(p)`.
+    pub max: u64,
+    /// Minimum over processes.
+    pub min: u64,
+    /// Mean steps per process.
+    pub mean: f64,
+    /// Total work: `Σ_p steps(p)`.
+    pub total: u64,
+    /// Number of processes.
+    pub n: usize,
+}
+
+impl StepSummary {
+    /// Computes the summary from raw per-process counts.
+    pub fn from_counts(counts: &[u64]) -> Self {
+        if counts.is_empty() {
+            return Self { max: 0, min: 0, mean: 0.0, total: 0, n: 0 };
+        }
+        let total: u64 = counts.iter().sum();
+        Self {
+            max: *counts.iter().max().unwrap(),
+            min: *counts.iter().min().unwrap(),
+            mean: total as f64 / counts.len() as f64,
+            total,
+            n: counts.len(),
+        }
+    }
+
+    /// `max / log2(n)` — the normalized step complexity the Theorem 5
+    /// table reports (should be bounded by a constant if the claim holds).
+    pub fn max_over_log2n(&self) -> f64 {
+        if self.n < 2 {
+            return self.max as f64;
+        }
+        self.max as f64 / (self.n as f64).log2()
+    }
+}
+
+impl std::fmt::Display for StepSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "steps: max={} min={} mean={:.2} total={} (n={})",
+            self.max, self.min, self.mean, self.total, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn record_and_summarize() {
+        let c = StepCounters::new(3);
+        c.record(0);
+        c.record(0);
+        c.record(1);
+        c.record_many(2, 5);
+        assert_eq!(c.get(0), 2);
+        assert_eq!(c.get(1), 1);
+        assert_eq!(c.get(2), 5);
+        let s = c.summarize();
+        assert_eq!(s.max, 5);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.total, 8);
+        assert!((s.mean - 8.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = StepSummary::from_counts(&[]);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.n, 0);
+    }
+
+    #[test]
+    fn normalized_step_complexity() {
+        let s = StepSummary::from_counts(&[10; 1024]);
+        assert!((s.max_over_log2n() - 1.0).abs() < 1e-12);
+        let single = StepSummary::from_counts(&[7]);
+        assert_eq!(single.max_over_log2n(), 7.0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut c = StepCounters::new(2);
+        c.record(0);
+        c.reset();
+        assert_eq!(c.get(0), 0);
+        assert_eq!(c.summarize().total, 0);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let c = Arc::new(StepCounters::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|pid| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.record(pid);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.summarize().total, 40_000);
+        assert_eq!(c.summarize().max, 10_000);
+    }
+
+    #[test]
+    fn padding_keeps_counters_on_separate_lines() {
+        assert!(std::mem::size_of::<PaddedCounter>() >= 64);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = StepSummary::from_counts(&[1, 2, 3]);
+        let text = s.to_string();
+        assert!(text.contains("max=3"));
+        assert!(text.contains("total=6"));
+    }
+}

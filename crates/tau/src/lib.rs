@@ -1,0 +1,27 @@
+//! # rr-tau — the τ-register and its counting device
+//!
+//! Cycle-accurate simulation of the special hardware register proposed in
+//! §II-B/§II-C of Berenbrink et al. (IPDPS 2015). The paper itself notes
+//! the register is "unlikely … \[to\] be actually built", so this crate
+//! *is* the artifact: it executes the published register-transfer
+//! pseudocode per clock cycle.
+//!
+//! * [`device`] — [`CountingDevice`]: `2·log n` TAS bits whose confirmed
+//!   population never exceeds τ, implemented with the two-phase cycle
+//!   (request, discard) from the paper, including a literal transcription
+//!   of the shift/`popcnt`/bit-test selection ([`device::rtl`]).
+//! * [`register`] — [`TauRegister`]: the device plus τ name slots and the
+//!   systematic slot search a winner performs.
+//! * [`concurrent`] — [`ConcurrentTauRegister`]: flat-combining front end
+//!   so free-running OS threads share a register; concurrent requests are
+//!   answered at cycle boundaries exactly like the asynchronous hardware.
+//! * [`trace`] — cycle-by-cycle rendering for demos and experiments.
+
+pub mod concurrent;
+pub mod device;
+pub mod register;
+pub mod trace;
+
+pub use concurrent::ConcurrentTauRegister;
+pub use device::{BitOutcome, CountingDevice, CycleReport};
+pub use register::TauRegister;

@@ -1,0 +1,254 @@
+//! The τ-register (§II-B): τ name-holding TAS registers guarded by a
+//! counting device.
+//!
+//! A process that wants one of the register's τ names must first win one
+//! of the device's `2·log n` TAS bits; because the device confirms at
+//! most τ bits, at most τ processes are ever admitted to the name search,
+//! so every admitted process is guaranteed to win one of the τ name
+//! slots. This module provides the *sequential* register used by the
+//! deterministic experiments; [`crate::concurrent`] wraps it for
+//! free-running threads.
+
+use crate::device::{BitOutcome, CountingDevice, CycleReport, Request};
+use rr_shmem::tas::{AtomicTasArray, TasMemory};
+
+/// A τ-register: counting device + τ name slots mapped onto a base name.
+#[derive(Debug)]
+pub struct TauRegister {
+    device: CountingDevice,
+    slots: AtomicTasArray,
+    base_name: usize,
+}
+
+impl TauRegister {
+    /// A register handing out names `base_name .. base_name + tau`,
+    /// guarded by a device of `width` TAS bits.
+    pub fn new(width: u32, tau: u32, base_name: usize) -> Self {
+        Self {
+            device: CountingDevice::new(width, tau),
+            slots: AtomicTasArray::new(tau as usize),
+            base_name,
+        }
+    }
+
+    /// The paper's `(log n)`-register: `2·⌈log₂ n⌉` device bits, τ =
+    /// `⌈log₂ n⌉` names starting at `base_name`.
+    pub fn log_register(n: usize, base_name: usize) -> Self {
+        let device = CountingDevice::log_register(n);
+        let tau = device.tau();
+        Self { device, slots: AtomicTasArray::new(tau as usize), base_name }
+    }
+
+    /// Number of device TAS bits.
+    pub fn width(&self) -> u32 {
+        self.device.width()
+    }
+
+    /// Number of names this register holds.
+    pub fn tau(&self) -> u32 {
+        self.device.tau()
+    }
+
+    /// First name handed out by this register.
+    pub fn base_name(&self) -> usize {
+        self.base_name
+    }
+
+    /// Immutable view of the counting device.
+    pub fn device(&self) -> &CountingDevice {
+        &self.device
+    }
+
+    /// Runs one device clock cycle over `requests` (see
+    /// [`CountingDevice::clock_cycle`]).
+    pub fn clock_cycle(&mut self, requests: &[Request]) -> CycleReport {
+        self.device.clock_cycle(requests)
+    }
+
+    /// Name-slot search (§II-B): an *admitted* process — one whose device
+    /// bit is confirmed — systematically TASes the τ name slots until it
+    /// wins one. Returns `(name, probes)` where `probes` is the number of
+    /// TAS operations spent (each is one step in the paper's accounting).
+    ///
+    /// # Panics
+    /// Panics if called by a process that was never admitted — the search
+    /// is only defined for winners, and calling it otherwise would break
+    /// the ≤ τ searchers invariant the guarantee rests on.
+    pub fn claim_name(&self, won_bit: usize) -> (usize, u32) {
+        assert!(
+            self.device.is_confirmed(won_bit),
+            "claim_name requires a confirmed device bit (bit {won_bit} is not)"
+        );
+        let mut probes = 0;
+        for slot in 0..self.slots.len() {
+            probes += 1;
+            if self.slots.tas(slot) {
+                return (self.base_name + slot, probes);
+            }
+        }
+        unreachable!(
+            "a confirmed process always finds a free slot: the device admits \
+             at most τ searchers and there are τ slots"
+        );
+    }
+
+    /// Number of name slots already claimed.
+    pub fn claimed_slots(&self) -> usize {
+        self.slots.count_set()
+    }
+
+    /// Convenience: request `bit` as a single-request cycle and, on
+    /// success, immediately claim a name. Returns `(outcome, name)`.
+    pub fn request_and_claim(&mut self, pid: usize, bit: usize) -> (BitOutcome, Option<usize>) {
+        let report = self.device.clock_cycle(&[(pid, bit)]);
+        match report.outcomes[0].1 {
+            BitOutcome::Won => {
+                let (name, _) = self.claim_name(bit);
+                (BitOutcome::Won, Some(name))
+            }
+            BitOutcome::Lost => (BitOutcome::Lost, None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admitted_process_claims_name() {
+        let mut r = TauRegister::new(8, 4, 100);
+        let (outcome, name) = r.request_and_claim(0, 3);
+        assert_eq!(outcome, BitOutcome::Won);
+        assert_eq!(name, Some(100));
+        let (_, name2) = r.request_and_claim(1, 5);
+        assert_eq!(name2, Some(101));
+    }
+
+    #[test]
+    fn all_tau_names_distinct_and_in_range() {
+        let mut r = TauRegister::new(16, 8, 64);
+        let mut names = Vec::new();
+        for bit in 0..8 {
+            let (_, name) = r.request_and_claim(bit, bit);
+            names.push(name.unwrap());
+        }
+        names.sort_unstable();
+        assert_eq!(names, (64..72).collect::<Vec<_>>());
+        assert_eq!(r.claimed_slots(), 8);
+        // The device is full; a ninth request loses.
+        let (outcome, name) = r.request_and_claim(8, 9);
+        assert_eq!(outcome, BitOutcome::Lost);
+        assert_eq!(name, None);
+    }
+
+    #[test]
+    fn losers_get_no_name() {
+        let mut r = TauRegister::new(4, 1, 0);
+        assert_eq!(r.request_and_claim(0, 0).1, Some(0));
+        assert_eq!(r.request_and_claim(1, 1).1, None);
+        assert_eq!(r.request_and_claim(2, 0).1, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "confirmed device bit")]
+    fn unadmitted_claim_rejected() {
+        let r = TauRegister::new(8, 4, 0);
+        r.claim_name(2);
+    }
+
+    #[test]
+    fn log_register_shape() {
+        let r = TauRegister::log_register(1 << 16, 0);
+        assert_eq!(r.width(), 32);
+        assert_eq!(r.tau(), 16);
+        assert_eq!(r.base_name(), 0);
+    }
+
+    #[test]
+    fn probe_count_bounded_by_tau() {
+        let mut r = TauRegister::new(8, 4, 0);
+        for bit in 0..4 {
+            let report = r.clock_cycle(&[(bit, bit)]);
+            assert_eq!(report.win_count(), 1);
+            let (_, probes) = r.claim_name(bit);
+            assert!(probes <= 4);
+        }
+    }
+
+    #[test]
+    fn batch_cycle_respects_quota_then_all_claim() {
+        let mut r = TauRegister::new(16, 8, 0);
+        let reqs: Vec<_> = (0..16).map(|p| (p, p)).collect();
+        let report = r.clock_cycle(&reqs);
+        assert_eq!(report.win_count(), 8);
+        let mut names: Vec<_> = report
+            .outcomes
+            .iter()
+            .filter(|(_, o)| *o == BitOutcome::Won)
+            .map(|&(pid, _)| r.claim_name(pid).0) // pid == bit in this setup
+            .collect();
+        names.sort_unstable();
+        assert_eq!(names, (0..8).collect::<Vec<_>>());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Against any admission order, every admitted process claims a
+        /// distinct in-range name, never more than τ are admitted, and
+        /// slot probes stay ≤ τ.
+        #[test]
+        fn admitted_claims_are_distinct(
+            width in 2u32..=64,
+            tau_raw in 1u32..=64,
+            bits in proptest::collection::vec(0u32..64, 1..80),
+        ) {
+            let tau = tau_raw.min(width);
+            let mut reg = TauRegister::new(width, tau, 1000);
+            let mut names = Vec::new();
+            for (pid, bit) in bits.into_iter().enumerate() {
+                let bit = (bit % width) as usize;
+                let (_, name) = reg.request_and_claim(pid, bit);
+                if let Some(name) = name {
+                    prop_assert!((1000..1000 + tau as usize).contains(&name));
+                    names.push(name);
+                }
+            }
+            let mut sorted = names.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), names.len(), "duplicate names");
+            prop_assert!(names.len() <= tau as usize);
+            prop_assert_eq!(reg.claimed_slots(), names.len());
+            prop_assert_eq!(reg.device().confirmed_count() as usize, names.len());
+        }
+
+        /// Batched cycles and single-request cycles admit the same
+        /// *number* of processes when all requested bits are distinct.
+        #[test]
+        fn batching_preserves_admission_count(
+            width in 4u32..=64,
+            tau_raw in 1u32..=64,
+            k in 1usize..64,
+        ) {
+            let tau = tau_raw.min(width);
+            let k = k.min(width as usize);
+            // Batch: all k distinct bits in one cycle.
+            let mut batched = TauRegister::new(width, tau, 0);
+            let reqs: Vec<_> = (0..k).map(|p| (p, p)).collect();
+            let batch_wins = batched.clock_cycle(&reqs).win_count();
+            // Serial: one request per cycle.
+            let mut serial = TauRegister::new(width, tau, 0);
+            let serial_wins = (0..k)
+                .filter(|&p| serial.request_and_claim(p, p).1.is_some())
+                .count();
+            prop_assert_eq!(batch_wins, k.min(tau as usize));
+            prop_assert_eq!(serial_wins, k.min(tau as usize));
+        }
+    }
+}

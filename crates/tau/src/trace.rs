@@ -1,0 +1,76 @@
+//! Human-readable cycle traces of the counting device, used by the
+//! `tau_register_demo` example and the E10 experiment to show the
+//! hardware doing its job cycle by cycle.
+
+use crate::device::{BitOutcome, CycleReport};
+
+/// Renders a register value as a `width`-bit string, most significant
+/// position first (the paper's position 1 on the left).
+pub fn bits(value: u64, width: u32) -> String {
+    (0..width).rev().map(|b| if value >> b & 1 == 1 { '1' } else { '0' }).collect()
+}
+
+/// One formatted line per cycle: registers before/after, discards,
+/// winners and losers.
+pub fn render_cycle(report: &CycleReport, width: u32) -> String {
+    let winners: Vec<String> = report
+        .outcomes
+        .iter()
+        .filter(|(_, o)| *o == BitOutcome::Won)
+        .map(|(t, _)| format!("p{t}"))
+        .collect();
+    let losers: Vec<String> = report
+        .outcomes
+        .iter()
+        .filter(|(_, o)| *o == BitOutcome::Lost)
+        .map(|(t, _)| format!("p{t}"))
+        .collect();
+    format!(
+        "cycle {:>3}  in/out {} -> {}  discarded {}  won [{}]  lost [{}]",
+        report.cycle,
+        bits(report.before, width),
+        bits(report.after, width),
+        bits(report.discarded, width),
+        winners.join(" "),
+        losers.join(" "),
+    )
+}
+
+/// Renders a whole trace.
+pub fn render_trace(reports: &[CycleReport], width: u32) -> String {
+    reports.iter().map(|r| render_cycle(r, width)).collect::<Vec<_>>().join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::CountingDevice;
+
+    #[test]
+    fn bit_string_is_msb_first() {
+        assert_eq!(bits(0b0001, 4), "0001");
+        assert_eq!(bits(0b1000, 4), "1000");
+        assert_eq!(bits(0, 4), "0000");
+        assert_eq!(bits(u64::MAX, 8), "11111111");
+    }
+
+    #[test]
+    fn cycle_rendering_contains_outcomes() {
+        let mut d = CountingDevice::new(4, 1);
+        let r = d.clock_cycle(&[(3, 0), (5, 2)]);
+        let line = render_cycle(&r, 4);
+        assert!(line.contains("cycle   0"));
+        assert!(line.contains("won [p3]"));
+        assert!(line.contains("lost [p5]"));
+        assert!(line.contains("0001"));
+    }
+
+    #[test]
+    fn trace_joins_lines() {
+        let mut d = CountingDevice::new(4, 4);
+        let r1 = d.clock_cycle(&[(0, 0)]);
+        let r2 = d.clock_cycle(&[(1, 1)]);
+        let trace = render_trace(&[r1, r2], 4);
+        assert_eq!(trace.lines().count(), 2);
+    }
+}

@@ -1,0 +1,64 @@
+//! Drive the paper's model directly: an adaptive adversary that sees
+//! every coin flip schedules the processes, crashes some of them at the
+//! worst moment, and the renaming guarantees still hold.
+//!
+//! Run with: `cargo run --release --example adversarial_sim`
+
+use randomized_renaming::renaming::TightRenaming;
+use randomized_renaming::renaming::traits::{Cor9, RenamingAlgorithm};
+use randomized_renaming::sched::adversary::{
+    CollisionMaximizer, CrashAdversary, FairAdversary, RandomAdversary,
+};
+use randomized_renaming::sched::process::Process;
+use randomized_renaming::sched::virtual_exec::run;
+use randomized_renaming::sched::Adversary;
+
+fn run_under(algo: &dyn RenamingAlgorithm, n: usize, adv: &mut dyn Adversary, label: &str) {
+    let inst = algo.instantiate(n, 99);
+    let m = inst.m;
+    let procs: Vec<Box<dyn Process>> =
+        inst.processes.into_iter().map(|p| p as Box<dyn Process>).collect();
+    let out = run(procs, adv, algo.step_budget(n)).expect("execution failed");
+    out.verify_renaming(m).expect("renaming safety violated");
+    let crashed = out.crashed.iter().filter(|&&c| c).count();
+    let named = out.names.iter().filter(|x| x.is_some()).count();
+    println!(
+        "  {label:<22} step complexity {:>4}, total steps {:>8}, named {named:>5}, crashed {crashed:>3}",
+        out.step_complexity(),
+        out.total_steps()
+    );
+}
+
+fn main() {
+    let n = 2048;
+    println!("n = {n}; every run is audited for duplicate/out-of-range names\n");
+
+    for (name, algo) in [
+        ("tight-tau(c=4)", Box::new(TightRenaming::calibrated(4)) as Box<dyn RenamingAlgorithm>),
+        ("cor9(l=1)", Box::new(Cor9 { ell: 1 })),
+    ] {
+        println!("{name}:");
+        run_under(algo.as_ref(), n, &mut FairAdversary::default(), "fair round-robin");
+        run_under(algo.as_ref(), n, &mut RandomAdversary::new(5), "seeded random");
+        run_under(
+            algo.as_ref(),
+            n,
+            &mut CollisionMaximizer::default(),
+            "collision maximizer",
+        );
+        // Crash 10% of processes, preferentially right when they announce
+        // a winning access — after the adversary saw their coin flips.
+        run_under(
+            algo.as_ref(),
+            n,
+            &mut CrashAdversary::new(FairAdversary::default(), 0.05, n / 10, 17),
+            "crash storm (10%)",
+        );
+        println!();
+    }
+    println!(
+        "the collision maximizer schedules same-target processes back to \
+         back and still cannot break safety or blow up the step bound — \
+         the protocols' randomness is spent before the adversary moves."
+    );
+}

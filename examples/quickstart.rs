@@ -1,0 +1,40 @@
+//! Quickstart: rename 1000 OS threads into a compact name space.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//!
+//! Shows the two-line happy path — pick an algorithm, run it — plus the
+//! audit that proves every thread got a distinct name.
+
+use randomized_renaming::renaming::traits::{Cor9, RenamingAlgorithm};
+use randomized_renaming::sched::run_threads_bounded;
+
+fn main() {
+    let n = 1000;
+    // Corollary 9 with ℓ = 1: name space n + 2n/log n (= 1.2·n at this
+    // size), O((log log n)²) TAS operations per thread w.h.p.
+    let algo = Cor9 { ell: 1 };
+    let instance = algo.instantiate(n, /* seed */ 42);
+    println!(
+        "renaming {n} threads into [0, {}) with {} …",
+        instance.m,
+        algo.name()
+    );
+
+    let outcome = run_threads_bounded(instance.processes, 16, 1 << 20);
+
+    // Every thread must hold a distinct in-range name.
+    outcome.verify_renaming(algo.m(n)).expect("renaming safety violated");
+    let mut names: Vec<usize> = outcome.names.iter().map(|x| x.unwrap()).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), n, "duplicate names");
+
+    let max_steps = outcome.steps.iter().max().unwrap();
+    let mean: f64 = outcome.steps.iter().sum::<u64>() as f64 / n as f64;
+    println!("done: {} named, step complexity {max_steps}, mean steps {mean:.2}", n);
+    println!(
+        "largest name used: {} (name space allows {})",
+        names.last().unwrap(),
+        algo.m(n) - 1
+    );
+}

@@ -1,0 +1,30 @@
+//! # randomized-renaming — umbrella crate
+//!
+//! One-stop re-export of the whole workspace reproducing *Berenbrink,
+//! Brinkmann, Elsässer, Friedetzky, Nagel: "Randomized Renaming in
+//! Shared Memory Systems" (IPDPS 2015)*. See README.md for the tour,
+//! DESIGN.md for the system inventory and fidelity notes, and
+//! EXPERIMENTS.md for claimed-vs-measured on every result.
+//!
+//! ```
+//! use randomized_renaming::renaming::traits::{Cor9, RenamingAlgorithm};
+//! use randomized_renaming::sched::adversary::FairAdversary;
+//! use randomized_renaming::sched::process::Process;
+//!
+//! // Corollary 9: loose renaming into n + 2n/log n names.
+//! let algo = Cor9 { ell: 1 };
+//! let inst = algo.instantiate(256, 42);
+//! let procs: Vec<Box<dyn Process>> =
+//!     inst.processes.into_iter().map(|p| p as Box<dyn Process>).collect();
+//! let out = randomized_renaming::sched::virtual_exec::run(
+//!     procs, &mut FairAdversary::default(), algo.step_budget(256)).unwrap();
+//! out.verify_renaming(inst.m).unwrap();
+//! assert_eq!(out.gave_up_count(), 0);
+//! ```
+
+pub use rr_analysis as analysis;
+pub use rr_baselines as baselines;
+pub use rr_renaming as renaming;
+pub use rr_sched as sched;
+pub use rr_shmem as shmem;
+pub use rr_tau as tau;

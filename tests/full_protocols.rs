@@ -1,0 +1,138 @@
+//! Cross-crate integration: every renaming algorithm in the workspace —
+//! the paper's protocols and the baselines — runs under every adversary
+//! and passes the full renaming audit.
+
+use randomized_renaming::baselines::{
+    BitonicRenaming, FetchAddRenaming, LinearScan, ScanStart, SplitterGrid, UniformProbing,
+};
+use randomized_renaming::renaming::TightRenaming;
+use randomized_renaming::renaming::traits::{
+    AagwLoose, Cor7, Cor9, LooseL6, LooseL8, RenamingAlgorithm,
+};
+use randomized_renaming::sched::adversary::{
+    Adversary, CollisionMaximizer, CrashAdversary, FairAdversary, RandomAdversary,
+};
+use randomized_renaming::sched::process::Process;
+use randomized_renaming::sched::virtual_exec::run;
+
+fn all_algorithms() -> Vec<Box<dyn RenamingAlgorithm>> {
+    vec![
+        Box::new(TightRenaming::calibrated(4)),
+        Box::new(TightRenaming::paper_exact(4)),
+        Box::new(LooseL6 { ell: 1 }),
+        Box::new(LooseL6 { ell: 2 }),
+        Box::new(LooseL8 { ell: 1 }),
+        Box::new(LooseL8 { ell: 2 }),
+        Box::new(Cor7 { ell: 1 }),
+        Box::new(Cor7 { ell: 2 }),
+        Box::new(Cor9 { ell: 1 }),
+        Box::new(Cor9 { ell: 2 }),
+        Box::new(AagwLoose),
+        Box::new(BitonicRenaming),
+        Box::new(FetchAddRenaming),
+        Box::new(UniformProbing::double()),
+        Box::new(UniformProbing { epsilon: 0.25 }),
+        Box::new(LinearScan { start: ScanStart::Zero }),
+        Box::new(LinearScan { start: ScanStart::OwnPid }),
+        Box::new(SplitterGrid),
+        Box::new(randomized_renaming::renaming::adaptive::AdaptiveRenaming),
+    ]
+}
+
+fn adversaries(seed: u64) -> Vec<Box<dyn Adversary>> {
+    vec![
+        Box::new(FairAdversary::default()),
+        Box::new(RandomAdversary::new(seed)),
+        Box::new(CollisionMaximizer::default()),
+        Box::new(CrashAdversary::new(FairAdversary::default(), 0.02, 32, seed)),
+    ]
+}
+
+#[test]
+fn every_algorithm_under_every_adversary_is_safe() {
+    let n = 256;
+    for algo in all_algorithms() {
+        for (ai, mut adv) in adversaries(7).into_iter().enumerate() {
+            let inst = algo.instantiate(n, 11);
+            let m = inst.m;
+            let procs: Vec<Box<dyn Process>> =
+                inst.processes.into_iter().map(|p| p as Box<dyn Process>).collect();
+            let out = run(procs, adv.as_mut(), algo.step_budget(n))
+                .unwrap_or_else(|e| panic!("{} under adversary {ai}: {e}", algo.name()));
+            out.verify_renaming(m)
+                .unwrap_or_else(|v| panic!("{} under adversary {ai}: {v}", algo.name()));
+            // Full (non-almost-tight) protocols must name every survivor.
+            if !algo.almost_tight() {
+                assert_eq!(
+                    out.gave_up_count(),
+                    0,
+                    "{} under adversary {ai} left processes unnamed",
+                    algo.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn names_fit_tighter_than_advertised_space() {
+    // For each algorithm check max emitted name < m (audited) and report
+    // that tight algorithms use the space exactly.
+    for algo in all_algorithms() {
+        if algo.almost_tight() {
+            continue;
+        }
+        let n = 128;
+        let inst = algo.instantiate(n, 3);
+        let m = inst.m;
+        let procs: Vec<Box<dyn Process>> =
+            inst.processes.into_iter().map(|p| p as Box<dyn Process>).collect();
+        let out = run(procs, &mut FairAdversary::default(), algo.step_budget(n)).unwrap();
+        out.verify_renaming(m).unwrap();
+        let max_name = out.names.iter().flatten().max().copied().unwrap();
+        assert!(max_name < m);
+        if algo.m(n) == n {
+            // Tight: names are exactly [0, n).
+            let mut names: Vec<usize> = out.names.iter().flatten().copied().collect();
+            names.sort_unstable();
+            assert_eq!(names, (0..n).collect::<Vec<_>>(), "{} is not tight", algo.name());
+        }
+    }
+}
+
+#[test]
+fn crashes_never_break_survivor_completeness() {
+    for algo in [
+        Box::new(TightRenaming::calibrated(4)) as Box<dyn RenamingAlgorithm>,
+        Box::new(Cor9 { ell: 1 }),
+        Box::new(BitonicRenaming),
+    ] {
+        for crash_budget in [1usize, 16, 64, 120] {
+            let n = 128;
+            let inst = algo.instantiate(n, 5);
+            let m = inst.m;
+            let procs: Vec<Box<dyn Process>> =
+                inst.processes.into_iter().map(|p| p as Box<dyn Process>).collect();
+            let mut adv =
+                CrashAdversary::new(FairAdversary::default(), 0.2, crash_budget, 9);
+            let out = run(procs, &mut adv, algo.step_budget(n)).unwrap();
+            out.verify_renaming(m).unwrap();
+            let crashed = out.crashed.iter().filter(|&&c| c).count();
+            let named = out.names.iter().filter(|x| x.is_some()).count();
+            assert_eq!(named + crashed, n, "{}: survivor unnamed", algo.name());
+        }
+    }
+}
+
+#[test]
+fn step_budget_is_generous_enough_for_all() {
+    // The default budget must never be the reason a run fails.
+    for algo in all_algorithms() {
+        let n = 512;
+        let inst = algo.instantiate(n, 1);
+        let procs: Vec<Box<dyn Process>> =
+            inst.processes.into_iter().map(|p| p as Box<dyn Process>).collect();
+        let result = run(procs, &mut RandomAdversary::new(3), algo.step_budget(n));
+        assert!(result.is_ok(), "{} exceeded its own step budget", algo.name());
+    }
+}
