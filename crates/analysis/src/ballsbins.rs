@@ -87,7 +87,7 @@ pub fn lemma3_bound(n: usize, c: u64) -> f64 {
     let log_n = ceil_log2(n) as f64;
     let c = c as f64;
     let denom_log = c - 1.0 + 2.0 / c.exp(); // ln-free exponent of e
-    // bound = (2 / e^{denom_log})^{log n} = exp(log n · (ln 2 − denom_log))
+                                             // bound = (2 / e^{denom_log})^{log n} = exp(log n · (ln 2 − denom_log))
     (log_n * (std::f64::consts::LN_2 - denom_log)).exp().min(1.0)
 }
 

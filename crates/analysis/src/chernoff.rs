@@ -34,7 +34,11 @@ pub fn upper_tail_large(mu: f64, delta: f64) -> f64 {
 
 /// Best available upper-tail bound for any `δ ≥ 0`.
 pub fn upper_tail(mu: f64, delta: f64) -> f64 {
-    if delta <= 1.0 { upper_tail_small(mu, delta) } else { upper_tail_large(mu, delta) }
+    if delta <= 1.0 {
+        upper_tail_small(mu, delta)
+    } else {
+        upper_tail_large(mu, delta)
+    }
 }
 
 /// Lower-tail bound `P[X ≤ (1−δ)µ]` for `δ > 0` (Lemma 1.3).

@@ -54,7 +54,11 @@ impl Histogram {
 
     /// Mean of the observations (0 when empty).
     pub fn mean(&self) -> f64 {
-        if self.total == 0 { 0.0 } else { self.sum as f64 / self.total as f64 }
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
     }
 
     /// Largest observation.

@@ -6,12 +6,12 @@
 //! printer every `exp_*` binary uses ([`table`]).
 
 pub mod ballsbins;
-pub mod histogram;
 pub mod chernoff;
+pub mod histogram;
 pub mod stats;
 pub mod table;
 
-pub use histogram::Histogram;
 pub use ballsbins::{ceil_log2, floor_log2, lemma3_bound, simulate_lemma3};
-pub use stats::{Welford, percentile_row, quantile};
+pub use histogram::Histogram;
+pub use stats::{percentile_row, quantile, Welford};
 pub use table::{Align, Table};

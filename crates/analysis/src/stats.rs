@@ -40,7 +40,11 @@ impl Welford {
 
     /// Unbiased sample variance; 0 with fewer than two observations.
     pub fn variance(&self) -> f64 {
-        if self.n < 2 { 0.0 } else { self.m2 / (self.n - 1) as f64 }
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
     }
 
     /// Sample standard deviation.
@@ -50,18 +54,30 @@ impl Welford {
 
     /// Minimum observation (`NaN` if empty).
     pub fn min(&self) -> f64 {
-        if self.n == 0 { f64::NAN } else { self.min }
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
     }
 
     /// Maximum observation (`NaN` if empty).
     pub fn max(&self) -> f64 {
-        if self.n == 0 { f64::NAN } else { self.max }
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
     }
 
     /// Half-width of the ~95% normal-approximation confidence interval
     /// for the mean (`1.96·s/√n`).
     pub fn ci95_half_width(&self) -> f64 {
-        if self.n < 2 { 0.0 } else { 1.96 * self.std_dev() / (self.n as f64).sqrt() }
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev() / (self.n as f64).sqrt()
+        }
     }
 }
 

@@ -36,9 +36,8 @@ impl Table {
     /// case). Use [`Table::with_alignment`] for full control.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
         let header: Vec<String> = header.into_iter().map(Into::into).collect();
-        let align = (0..header.len())
-            .map(|i| if i == 0 { Align::Left } else { Align::Right })
-            .collect();
+        let align =
+            (0..header.len()).map(|i| if i == 0 { Align::Left } else { Align::Right }).collect();
         Self { header, align, rows: Vec::new() }
     }
 
@@ -194,8 +193,7 @@ mod tests {
 
     #[test]
     fn custom_alignment() {
-        let mut t =
-            Table::with_alignment(vec!["x", "y"], vec![Align::Right, Align::Left]);
+        let mut t = Table::with_alignment(vec!["x", "y"], vec![Align::Right, Align::Left]);
         t.row(vec!["1", "abc"]);
         let out = t.render();
         assert!(out.lines().count() == 3);

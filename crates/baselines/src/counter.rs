@@ -8,10 +8,10 @@
 //! steps, at the cost of a stronger primitive and a single hot spot.
 
 use rr_renaming::traits::{Instance, RenamingAlgorithm};
-use rr_shmem::Access;
 use rr_sched::process::{Process, StepOutcome};
-use std::sync::Arc;
+use rr_shmem::Access;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// One fetch-add process.
 pub struct CounterProcess {

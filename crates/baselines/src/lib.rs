@@ -23,7 +23,7 @@ pub mod splitter_grid;
 pub mod uniform;
 
 pub use counter::FetchAddRenaming;
-pub use splitter_grid::{GridProcess, GridShared, Splitter, SplitterGrid};
 pub use linear::{LinearScan, ScanStart};
 pub use network::{BitonicRenaming, ComparatorNetwork, NetworkProcess, NetworkShared};
+pub use splitter_grid::{GridProcess, GridShared, Splitter, SplitterGrid};
 pub use uniform::{UniformProbing, UniformProcess};

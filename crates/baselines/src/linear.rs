@@ -9,9 +9,9 @@
 //! step complexity is exactly n.
 
 use rr_renaming::traits::{Instance, RenamingAlgorithm};
+use rr_sched::process::{Process, StepOutcome};
 use rr_shmem::tas::{AtomicTasArray, TasMemory};
 use rr_shmem::Access;
-use rr_sched::process::{Process, StepOutcome};
 use std::sync::Arc;
 
 /// Where scans begin.
@@ -57,7 +57,11 @@ impl Process for ScanProcess {
         let idx = self.cursor;
         self.cursor = (self.cursor + 1) % self.mem.len();
         self.remaining -= 1;
-        if self.mem.tas(idx) { StepOutcome::Done(idx) } else { StepOutcome::Continue }
+        if self.mem.tas(idx) {
+            StepOutcome::Done(idx)
+        } else {
+            StepOutcome::Continue
+        }
     }
 
     fn pid(&self) -> usize {

@@ -19,9 +19,9 @@
 //! [`crate::aks_model`] for the crossover tables. See DESIGN.md.
 
 use rr_renaming::traits::{Instance, RenamingAlgorithm};
+use rr_sched::process::{Process, StepOutcome};
 use rr_shmem::tas::{AtomicTasArray, TasMemory};
 use rr_shmem::Access;
-use rr_sched::process::{Process, StepOutcome};
 use std::sync::Arc;
 
 /// A single comparator between wires `lo < hi` within one layer.
@@ -218,8 +218,7 @@ impl RenamingAlgorithm for BitonicRenaming {
         let shared = Arc::new(NetworkShared::new(ComparatorNetwork::bitonic(width)));
         let processes = (0..n)
             .map(|pid| {
-                Box::new(NetworkProcess::new(pid, Arc::clone(&shared)))
-                    as Box<dyn Process + Send>
+                Box::new(NetworkProcess::new(pid, Arc::clone(&shared))) as Box<dyn Process + Send>
             })
             .collect();
         Instance { processes, m: width, n }

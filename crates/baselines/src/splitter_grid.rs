@@ -24,10 +24,10 @@
 //! splitter visit), faithful to the read/write cost model.
 
 use rr_renaming::traits::{Instance, RenamingAlgorithm};
-use rr_shmem::Access;
 use rr_sched::process::{Process, StepOutcome};
-use std::sync::Arc;
+use rr_shmem::Access;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Sentinel for an unwritten `X` register.
 const NOBODY: usize = usize::MAX;
@@ -65,7 +65,11 @@ impl Splitter {
             return SplitOutcome::Right;
         }
         self.y.store(true, Ordering::SeqCst);
-        if self.x.load(Ordering::SeqCst) == pid { SplitOutcome::Stop } else { SplitOutcome::Down }
+        if self.x.load(Ordering::SeqCst) == pid {
+            SplitOutcome::Stop
+        } else {
+            SplitOutcome::Down
+        }
     }
 }
 

@@ -7,10 +7,10 @@
 //! exhibits.
 
 use rr_renaming::traits::{Instance, RenamingAlgorithm};
+use rr_sched::process::{Process, StepOutcome};
 use rr_shmem::rng::ProcessRng;
 use rr_shmem::tas::{AtomicTasArray, TasMemory};
 use rr_shmem::Access;
-use rr_sched::process::{Process, StepOutcome};
 use std::sync::Arc;
 
 /// One uniform-probing process.
@@ -45,7 +45,11 @@ impl Process for UniformProcess {
             return StepOutcome::GaveUp;
         }
         self.budget -= 1;
-        if self.mem.tas(idx) { StepOutcome::Done(idx) } else { StepOutcome::Continue }
+        if self.mem.tas(idx) {
+            StepOutcome::Done(idx)
+        } else {
+            StepOutcome::Continue
+        }
     }
 
     fn pid(&self) -> usize {

@@ -4,7 +4,7 @@
 //! probes per process, so total time should scale ~linearly in n with a
 //! tiny constant.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use rr_baselines::UniformProbing;
 use rr_renaming::traits::{Cor9, LooseL6, LooseL8, RenamingAlgorithm};
 use rr_sched::adversary::FairAdversary;
@@ -43,9 +43,7 @@ fn bench_loose_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("cor9_scaling");
     g.sample_size(10);
     for n in [1usize << 10, 1 << 13, 1 << 16] {
-        g.bench_function(format!("n={n}"), |b| {
-            b.iter(|| black_box(run_algo(&Cor9 { ell: 1 }, n)))
-        });
+        g.bench_function(format!("n={n}"), |b| b.iter(|| black_box(run_algo(&Cor9 { ell: 1 }, n))));
     }
     g.finish();
 }

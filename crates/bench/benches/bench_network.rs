@@ -2,11 +2,11 @@
 //! cost and full renaming runs, against the τ-register protocol at equal
 //! n — the wall-clock side of the paper's O(log n) vs O(log² n) claim.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use rr_baselines::network::ComparatorNetwork;
 use rr_baselines::BitonicRenaming;
-use rr_renaming::TightRenaming;
 use rr_renaming::traits::RenamingAlgorithm;
+use rr_renaming::TightRenaming;
 use rr_sched::adversary::FairAdversary;
 use rr_sched::process::Process;
 use rr_sched::virtual_exec;

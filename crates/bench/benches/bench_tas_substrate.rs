@@ -3,7 +3,7 @@
 //! verifying the primitives are cheap enough that the experiment numbers
 //! measure the algorithms, not the harness.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use rr_shmem::namespace::NameSpaceAudit;
 use rr_shmem::tas::{AtomicTasArray, TasMemory};
 use std::hint::black_box;

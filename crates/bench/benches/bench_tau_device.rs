@@ -2,7 +2,7 @@
 //! cost of one clock cycle (the "constant slowdown" the paper claims)
 //! and of an acquire through the flat-combining front end.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use rr_tau::{ConcurrentTauRegister, CountingDevice};
 use std::hint::black_box;
 

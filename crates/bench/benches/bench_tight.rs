@@ -3,7 +3,7 @@
 //! same state machines. Sweep over n; the per-element cost should grow
 //! only logarithmically.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use rr_renaming::TightRenaming;
 use rr_sched::adversary::FairAdversary;
 use rr_sched::process::Process;
@@ -19,8 +19,7 @@ fn bench_virtual(c: &mut Criterion) {
                 let (_s, procs) = TightRenaming::calibrated(4).instantiate_shared(n, 1);
                 let boxed: Vec<Box<dyn Process>> =
                     procs.into_iter().map(|p| Box::new(p) as Box<dyn Process>).collect();
-                let out =
-                    virtual_exec::run(boxed, &mut FairAdversary::default(), 1 << 32).unwrap();
+                let out = virtual_exec::run(boxed, &mut FairAdversary::default(), 1 << 32).unwrap();
                 black_box(out.step_complexity())
             })
         });
@@ -35,10 +34,8 @@ fn bench_threads(c: &mut Criterion) {
         g.bench_function(format!("n={n},threads=8"), |b| {
             b.iter(|| {
                 let (_s, procs) = TightRenaming::calibrated(4).instantiate_shared(n, 1);
-                let boxed: Vec<Box<dyn Process + Send>> = procs
-                    .into_iter()
-                    .map(|p| Box::new(p) as Box<dyn Process + Send>)
-                    .collect();
+                let boxed: Vec<Box<dyn Process + Send>> =
+                    procs.into_iter().map(|p| Box::new(p) as Box<dyn Process + Send>).collect();
                 let out = run_threads_bounded(boxed, 8, 1 << 26);
                 black_box(out.names.len())
             })

@@ -11,8 +11,8 @@
 //!    segment — confirms the growing budgets are what keeps the sweep
 //!    unreached.
 
-use rr_analysis::table::{Table, fnum};
-use rr_bench::runner::{Schedule, header, quick_mode, run_batch};
+use rr_analysis::table::{fnum, Table};
+use rr_bench::runner::{header, quick_mode, run_batch, Schedule};
 use rr_renaming::aagw::{AagwProcess, SpareShared};
 use rr_renaming::params::FinisherPlan;
 use rr_renaming::phase::AlmostTight;
@@ -25,14 +25,8 @@ use std::sync::Arc;
 
 fn ablate_c(n: usize, seeds: u64) {
     println!("\n-- ablation 1: Lemma 3 constant c (tight renaming @ n={n}) --");
-    let mut table = Table::new(vec![
-        "c",
-        "rounds",
-        "steps p50",
-        "steps max",
-        "max/log2 n",
-        "mean steps",
-    ]);
+    let mut table =
+        Table::new(vec!["c", "rounds", "steps p50", "steps max", "max/log2 n", "mean steps"]);
     for c in [1u32, 2, 4, 8] {
         let algo = TightRenaming::calibrated(c);
         let plan = rr_renaming::TightPlan::calibrated(n, c);

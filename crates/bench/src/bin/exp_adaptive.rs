@@ -3,13 +3,13 @@
 //! only `O(k)` names regardless of how large the ladder was provisioned,
 //! and pays a `log k` ladder factor over the non-adaptive protocol.
 
-use rr_analysis::table::{Table, fnum};
+use rr_analysis::table::{fnum, Table};
 use rr_bench::runner::{header, quick_mode};
 use rr_renaming::adaptive::AdaptiveRenaming;
+use rr_renaming::traits::RenamingAlgorithm;
 use rr_sched::adversary::FairAdversary;
 use rr_sched::process::Process;
 use rr_sched::virtual_exec::run;
-use rr_renaming::traits::RenamingAlgorithm;
 
 fn main() {
     header("E12", "adaptive renaming — name usage O(k) with k unknown to the processes");
@@ -33,8 +33,7 @@ fn main() {
         let mut worst_steps = 0u64;
         let mut unnamed = 0usize;
         for seed in 0..seeds {
-            let (shared, procs) =
-                AdaptiveRenaming.instantiate_participants(k, max_n, seed);
+            let (shared, procs) = AdaptiveRenaming.instantiate_participants(k, max_n, seed);
             let boxed: Vec<Box<dyn Process>> =
                 procs.into_iter().map(|p| Box::new(p) as Box<dyn Process>).collect();
             let out = run(
@@ -45,8 +44,7 @@ fn main() {
             .unwrap();
             out.verify_renaming(shared.layout().total).unwrap();
             unnamed += out.gave_up_count();
-            worst_name =
-                worst_name.max(out.names.iter().flatten().copied().max().unwrap_or(0));
+            worst_name = worst_name.max(out.names.iter().flatten().copied().max().unwrap_or(0));
             worst_steps = worst_steps.max(out.step_complexity());
         }
         let log_k = (k.max(2) as f64).log2();

@@ -7,10 +7,10 @@
 //! complexity inflation relative to the fair schedule. Renaming safety is
 //! audited on every run (the harness panics on any violation).
 
-use rr_analysis::table::{Table, fnum};
-use rr_bench::runner::{Schedule, header, quick_mode, run_batch};
-use rr_renaming::TightRenaming;
+use rr_analysis::table::{fnum, Table};
+use rr_bench::runner::{header, quick_mode, run_batch, Schedule};
 use rr_renaming::traits::{Cor9, RenamingAlgorithm};
+use rr_renaming::TightRenaming;
 
 fn main() {
     header("E9", "adaptive adversaries and crashes — safety and step inflation");
@@ -22,7 +22,7 @@ fn main() {
         Schedule::Crashes { p_permille: 20, budget_pct: 10 },
         Schedule::Crashes { p_permille: 200, budget_pct: 50 },
     ];
-    let algos: Vec<Box<dyn RenamingAlgorithm>> =
+    let algos: Vec<Box<dyn RenamingAlgorithm + Sync>> =
         vec![Box::new(TightRenaming::calibrated(4)), Box::new(Cor9 { ell: 1 })];
 
     let mut table = Table::new(vec![

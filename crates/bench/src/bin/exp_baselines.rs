@@ -8,12 +8,12 @@
 //! ≈ O(log n) beats the network's O(log² n); AKS "wins" only beyond
 //! astronomically large n; loose protocols sit at poly-log-log.
 
-use rr_analysis::table::{Table, fnum};
+use rr_analysis::table::{fnum, Table};
 use rr_baselines::aks_model;
 use rr_baselines::{BitonicRenaming, FetchAddRenaming, UniformProbing};
-use rr_bench::runner::{Schedule, header, quick_mode, run_batch, seeds_for};
-use rr_renaming::TightRenaming;
+use rr_bench::runner::{header, quick_mode, run_batch, seeds_for, Schedule};
 use rr_renaming::traits::{AagwLoose, Cor9, LooseL6, LooseL8, RenamingAlgorithm};
+use rr_renaming::TightRenaming;
 
 fn main() {
     header("E8", "comparison — tau-register vs sorting networks vs loose baselines");
@@ -24,7 +24,7 @@ fn main() {
     };
 
     println!("\n-- tight renaming (m = n, or next power of two for the network) --");
-    let tight: Vec<Box<dyn RenamingAlgorithm>> = vec![
+    let tight: Vec<Box<dyn RenamingAlgorithm + Sync>> = vec![
         Box::new(TightRenaming::calibrated(4)),
         Box::new(BitonicRenaming),
         Box::new(FetchAddRenaming),
@@ -77,7 +77,7 @@ fn main() {
     );
 
     println!("\n-- loose renaming --");
-    let loose: Vec<Box<dyn RenamingAlgorithm>> = vec![
+    let loose: Vec<Box<dyn RenamingAlgorithm + Sync>> = vec![
         Box::new(LooseL6 { ell: 2 }),
         Box::new(LooseL8 { ell: 1 }),
         Box::new(Cor9 { ell: 1 }),

@@ -6,8 +6,8 @@
 //! poly-log-log envelope and against `log₂ n` (to show it is genuinely
 //! below logarithmic), plus how much of the spare space was used.
 
-use rr_analysis::table::{Table, fnum};
-use rr_bench::runner::{Schedule, header, quick_mode, run_batch, seeds_for};
+use rr_analysis::table::{fnum, Table};
+use rr_bench::runner::{header, quick_mode, run_batch, seeds_for, Schedule};
 use rr_renaming::spare;
 use rr_renaming::traits::{Cor7, RenamingAlgorithm};
 

@@ -5,8 +5,8 @@
 //! (`(1+o(1))·n` with a *polynomially* small o(1)-term) at
 //! poly-double-logarithmic step complexity.
 
-use rr_analysis::table::{Table, fnum};
-use rr_bench::runner::{Schedule, header, quick_mode, run_batch, seeds_for};
+use rr_analysis::table::{fnum, Table};
+use rr_bench::runner::{header, quick_mode, run_batch, seeds_for, Schedule};
 use rr_renaming::spare;
 use rr_renaming::traits::{Cor9, RenamingAlgorithm};
 

@@ -7,11 +7,11 @@
 //! pay `O(log n)` (tight) or `O((log log n)²)` (loose). The ratio column
 //! is the exponential gap.
 
-use rr_analysis::table::{Table, fnum};
+use rr_analysis::table::{fnum, Table};
 use rr_baselines::{LinearScan, ScanStart, SplitterGrid};
-use rr_bench::runner::{Schedule, header, quick_mode, run_batch};
-use rr_renaming::TightRenaming;
+use rr_bench::runner::{header, quick_mode, run_batch, Schedule};
 use rr_renaming::traits::Cor9;
+use rr_renaming::TightRenaming;
 
 fn main() {
     header("E11", "deterministic Θ(n) vs randomized O(log n) / O((loglog n)^2)");
@@ -37,9 +37,9 @@ fn main() {
     ]);
     for &n in &sizes {
         let d = run_batch(&det, n, 1, Schedule::Fair); // deterministic: 1 run
-        // The grid is Θ(n) steps/process and Θ(n²) registers — cap its size
-        // so the table regenerates in seconds (the linear trend is
-        // unambiguous by 2^12).
+                                                       // The grid is Θ(n) steps/process and Θ(n²) registers — cap its size
+                                                       // so the table regenerates in seconds (the linear trend is
+                                                       // unambiguous by 2^12).
         let g = run_batch(&grid, n.min(1 << 12), 1, Schedule::Fair);
         let t = run_batch(&tight, n, seeds, Schedule::Fair);
         let l = run_batch(&loose, n, seeds, Schedule::Fair);

@@ -8,7 +8,7 @@
 //! saturation argument leans on.
 
 use rr_analysis::ballsbins::{expected_empty_bins, lemma3_bound, simulate_lemma3};
-use rr_analysis::table::{Table, fnum, fprob};
+use rr_analysis::table::{fnum, fprob, Table};
 use rr_bench::runner::{header, quick_mode};
 
 fn main() {

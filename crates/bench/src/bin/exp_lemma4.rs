@@ -11,7 +11,7 @@
 //! because the active population hardly shrinks — the documented gap);
 //! the calibrated rows sit on the 4cL target.
 
-use rr_analysis::table::{Table, fnum};
+use rr_analysis::table::{fnum, Table};
 use rr_bench::runner::{header, quick_mode};
 use rr_renaming::tight::TightRenaming;
 use rr_sched::adversary::FairAdversary;
@@ -38,14 +38,8 @@ fn report(algo: TightRenaming, n: usize, seed: u64, max_rounds: usize) {
         4 * c * l
     );
     let rec = shared.recorder.as_ref().unwrap();
-    let mut table = Table::new(vec![
-        "round",
-        "registers",
-        "req min",
-        "req mean",
-        "req max",
-        "full registers",
-    ]);
+    let mut table =
+        Table::new(vec!["round", "registers", "req min", "req mean", "req max", "full registers"]);
     for round in 0..plan.rounds().min(max_rounds) {
         let counts = rec.round_counts(round);
         let regs = counts.len();

@@ -6,10 +6,10 @@
 //! `Σ 2^i`. The claim holds if `unnamed max ≤ bound` on every run and
 //! the step column matches the schedule.
 
-use rr_analysis::table::{Table, fnum};
-use rr_bench::runner::{Schedule, header, quick_mode, run_batch, seeds_for};
-use rr_renaming::Lemma6Schedule;
+use rr_analysis::table::{fnum, Table};
+use rr_bench::runner::{header, quick_mode, run_batch, seeds_for, Schedule};
 use rr_renaming::traits::LooseL6;
+use rr_renaming::Lemma6Schedule;
 
 fn main() {
     header("E4", "Lemma 6 — n/(loglog n)^l-almost-tight renaming in O((loglog n)^l) steps");

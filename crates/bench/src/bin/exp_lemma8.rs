@@ -6,10 +6,10 @@
 //! structural floor `n − capacity` that the corrected schedule makes
 //! compatible with it) and the exact step ceiling.
 
-use rr_analysis::table::{Table, fnum};
-use rr_bench::runner::{Schedule, header, quick_mode, run_batch, seeds_for};
-use rr_renaming::Lemma8Schedule;
+use rr_analysis::table::{fnum, Table};
+use rr_bench::runner::{header, quick_mode, run_batch, seeds_for, Schedule};
 use rr_renaming::traits::LooseL8;
+use rr_renaming::Lemma8Schedule;
 
 fn main() {
     header("E6", "Lemma 8 — n/(log n)^l-almost-tight renaming in 2l^2(loglog n)^2 steps");

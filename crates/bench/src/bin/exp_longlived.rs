@@ -3,7 +3,7 @@
 //! acquire cost stays ~`(1+ε)/ε` probes across arbitrary acquire/release
 //! churn, independent of how many cycles have happened.
 
-use rr_analysis::table::{Table, fnum};
+use rr_analysis::table::{fnum, Table};
 use rr_bench::runner::{header, quick_mode};
 use rr_renaming::longlived::{LongLivedClient, ReleasableTasArray};
 

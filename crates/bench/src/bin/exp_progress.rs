@@ -4,11 +4,11 @@
 //! printed as aligned columns (one row per checkpoint, one column per
 //! algorithm) so the crossing points are visible in text form.
 
-use rr_analysis::table::{Table, fnum};
+use rr_analysis::table::{fnum, Table};
 use rr_baselines::{BitonicRenaming, UniformProbing};
 use rr_bench::runner::{header, quick_mode};
-use rr_renaming::TightRenaming;
 use rr_renaming::traits::{Cor9, RenamingAlgorithm};
+use rr_renaming::TightRenaming;
 use rr_sched::adversary::{Adversary, Decision, FairAdversary, View};
 use rr_sched::process::Process;
 use rr_sched::virtual_exec::run;
@@ -58,7 +58,7 @@ fn series_for(algo: &dyn RenamingAlgorithm, n: usize, seed: u64) -> Vec<f64> {
 fn main() {
     header("E15", "progress curves — named fraction vs per-process steps (fair schedule)");
     let n = if quick_mode() { 1 << 10 } else { 1 << 14 };
-    let algos: Vec<Box<dyn RenamingAlgorithm>> = vec![
+    let algos: Vec<Box<dyn RenamingAlgorithm + Sync>> = vec![
         Box::new(TightRenaming::calibrated(4)),
         Box::new(BitonicRenaming),
         Box::new(Cor9 { ell: 1 }),

@@ -7,8 +7,8 @@
 //! constant as `n` grows and no run fails. Space usage is reported as
 //! total device bits + name slots over `n`.
 
-use rr_analysis::table::{Table, fnum};
-use rr_bench::runner::{Schedule, header, quick_mode, run_batch, seeds_for};
+use rr_analysis::table::{fnum, Table};
+use rr_bench::runner::{header, quick_mode, run_batch, seeds_for, Schedule};
 use rr_renaming::{TightPlan, TightRenaming};
 
 fn main() {

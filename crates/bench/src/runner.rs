@@ -7,7 +7,8 @@ use rr_sched::adversary::{
     Adversary, CollisionMaximizer, CrashAdversary, FairAdversary, RandomAdversary,
 };
 use rr_sched::process::Process;
-use rr_sched::virtual_exec::{RunOutcome, run};
+use rr_sched::virtual_exec::{run, RunOutcome};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Aggregated statistics over a batch of seeded runs.
 #[derive(Debug, Clone)]
@@ -132,29 +133,118 @@ pub fn run_once(
     out
 }
 
-/// Runs `algo` at size `n` across `seeds` seeds.
-pub fn run_batch(
+/// Per-seed measurements in the order [`BatchStats`] stores them.
+type SeedRow = (u64, f64, usize, usize);
+
+fn measure(out: &RunOutcome, n: usize) -> SeedRow {
+    (
+        out.step_complexity(),
+        out.total_steps() as f64 / n as f64,
+        out.gave_up_count(),
+        out.crashed.iter().filter(|&&c| c).count(),
+    )
+}
+
+fn assemble(rows: Vec<SeedRow>) -> BatchStats {
+    let mut stats = BatchStats {
+        step_complexity: Vec::with_capacity(rows.len()),
+        mean_steps: Vec::with_capacity(rows.len()),
+        unnamed: Vec::with_capacity(rows.len()),
+        crashed: Vec::with_capacity(rows.len()),
+        violations: 0,
+        runs: rows.len(),
+    };
+    for (steps, mean, unnamed, crashed) in rows {
+        stats.step_complexity.push(steps);
+        stats.mean_steps.push(mean);
+        stats.unnamed.push(unnamed);
+        stats.crashed.push(crashed);
+    }
+    stats
+}
+
+/// Runs `algo` at size `n` across `seeds` seeds, one seed at a time.
+///
+/// Reference path for [`run_batch`]: same output, no threads. Exposed so
+/// the equivalence test (and anyone debugging a single seed) can bypass
+/// the parallel executor.
+pub fn run_batch_serial(
     algo: &dyn RenamingAlgorithm,
     n: usize,
     seeds: u64,
     schedule: Schedule,
 ) -> BatchStats {
-    let mut stats = BatchStats {
-        step_complexity: Vec::with_capacity(seeds as usize),
-        mean_steps: Vec::with_capacity(seeds as usize),
-        unnamed: Vec::with_capacity(seeds as usize),
-        crashed: Vec::with_capacity(seeds as usize),
-        violations: 0,
-        runs: seeds as usize,
-    };
-    for seed in 0..seeds {
-        let out = run_once(algo, n, seed, schedule);
-        stats.step_complexity.push(out.step_complexity());
-        stats.mean_steps.push(out.total_steps() as f64 / n as f64);
-        stats.unnamed.push(out.gave_up_count());
-        stats.crashed.push(out.crashed.iter().filter(|&&c| c).count());
+    assemble((0..seeds).map(|seed| measure(&run_once(algo, n, seed, schedule), n)).collect())
+}
+
+/// Runs `algo` at size `n` across `seeds` seeds, in parallel over seeds.
+///
+/// Every seed's run is already deterministic in isolation (instantiation,
+/// coin flips and the adversary all derive from `(seed, pid)` streams),
+/// so seeds are farmed out to scoped worker threads via an atomic
+/// work-stealing counter and the rows are re-assembled **in seed order**
+/// — the resulting [`BatchStats`] is bit-identical to
+/// [`run_batch_serial`], just `min(seeds, cores)` times sooner.
+///
+/// Thread count: `RR_RUNNER_THREADS` if set, else the machine's available
+/// parallelism.
+pub fn run_batch(
+    algo: &(dyn RenamingAlgorithm + Sync),
+    n: usize,
+    seeds: u64,
+    schedule: Schedule,
+) -> BatchStats {
+    run_batch_with_threads(algo, n, seeds, schedule, runner_threads())
+}
+
+/// [`run_batch`] with an explicit worker count (≤ 1 runs serially).
+pub fn run_batch_with_threads(
+    algo: &(dyn RenamingAlgorithm + Sync),
+    n: usize,
+    seeds: u64,
+    schedule: Schedule,
+    workers: usize,
+) -> BatchStats {
+    let workers = workers.min(seeds as usize);
+    if workers <= 1 {
+        return run_batch_serial(algo, n, seeds, schedule);
     }
-    stats
+    let next_seed = AtomicU64::new(0);
+    let mut rows: Vec<Option<SeedRow>> = vec![None; seeds as usize];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next_seed = &next_seed;
+                scope.spawn(move || {
+                    let mut local: Vec<(u64, SeedRow)> = Vec::new();
+                    loop {
+                        let seed = next_seed.fetch_add(1, Ordering::Relaxed);
+                        if seed >= seeds {
+                            break;
+                        }
+                        local.push((seed, measure(&run_once(algo, n, seed, schedule), n)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (seed, row) in handle.join().expect("runner worker panicked") {
+                rows[seed as usize] = Some(row);
+            }
+        }
+    });
+    assemble(rows.into_iter().map(|r| r.expect("every seed claimed exactly once")).collect())
+}
+
+/// Worker-thread count for [`run_batch`]: `RR_RUNNER_THREADS` when set
+/// to a positive integer, else the machine's available parallelism.
+pub fn runner_threads() -> usize {
+    std::env::var("RR_RUNNER_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
 }
 
 /// `--quick` flag: experiment binaries shrink their sweeps so CI can run
@@ -184,8 +274,8 @@ pub fn header(id: &str, claim: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rr_renaming::TightRenaming;
     use rr_renaming::traits::LooseL6;
+    use rr_renaming::TightRenaming;
 
     #[test]
     fn batch_runs_and_aggregates() {
@@ -212,6 +302,39 @@ mod tests {
             Schedule::Crashes { p_permille: 500, budget_pct: 20 },
         );
         assert!(stats.crashed.iter().any(|&c| c > 0));
+    }
+
+    /// The tentpole guarantee: the parallel runner's output is
+    /// bit-identical to the serial reference, per field, for every
+    /// schedule (f64s compared by bits, not tolerance).
+    #[test]
+    fn parallel_batch_bit_identical_to_serial() {
+        let algo = TightRenaming::calibrated(4);
+        for schedule in [
+            Schedule::Fair,
+            Schedule::Random,
+            Schedule::CollisionMax,
+            Schedule::Crashes { p_permille: 200, budget_pct: 25 },
+        ] {
+            let serial = run_batch_serial(&algo, 96, 8, schedule);
+            // Force real threading: `run_batch` alone would fall back to
+            // serial on single-core CI machines.
+            let parallel = run_batch_with_threads(&algo, 96, 8, schedule, 4);
+            assert_eq!(serial.step_complexity, parallel.step_complexity, "{schedule:?}");
+            assert_eq!(serial.unnamed, parallel.unnamed, "{schedule:?}");
+            assert_eq!(serial.crashed, parallel.crashed, "{schedule:?}");
+            assert_eq!(serial.runs, parallel.runs, "{schedule:?}");
+            assert_eq!(serial.violations, parallel.violations, "{schedule:?}");
+            let serial_bits: Vec<u64> = serial.mean_steps.iter().map(|f| f.to_bits()).collect();
+            let parallel_bits: Vec<u64> = parallel.mean_steps.iter().map(|f| f.to_bits()).collect();
+            assert_eq!(serial_bits, parallel_bits, "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn single_seed_batch_falls_back_to_serial() {
+        let stats = run_batch(&TightRenaming::calibrated(4), 64, 1, Schedule::Fair);
+        assert_eq!(stats.runs, 1);
     }
 
     #[test]

@@ -83,13 +83,26 @@ impl AagwProcess {
         } else {
             State::Segment { seg: 0, spent: 0 }
         };
-        Self { pid, rng: ProcessRng::new(seed, pid), shared, plan, state, pending: None, sweep: true }
+        Self {
+            pid,
+            rng: ProcessRng::new(seed, pid),
+            shared,
+            plan,
+            state,
+            pending: None,
+            sweep: true,
+        }
     }
 
     /// A finisher that reports `Exhausted` instead of falling back to the
     /// deterministic sweep (used by the adaptive guess ladder on
     /// non-final segments).
-    pub fn without_sweep(pid: usize, seed: u64, shared: Arc<SpareShared>, plan: FinisherPlan) -> Self {
+    pub fn without_sweep(
+        pid: usize,
+        seed: u64,
+        shared: Arc<SpareShared>,
+        plan: FinisherPlan,
+    ) -> Self {
         let mut p = Self::new(pid, seed, shared, plan);
         p.sweep = false;
         p
@@ -155,11 +168,7 @@ impl PhaseProcess for AagwProcess {
                     // straggler bound did not hold.
                     return PhaseOutcome::Exhausted;
                 }
-                State::Sweep {
-                    cursor: (cursor + 1) % self.shared.registers.len(),
-                    start,
-                    visited,
-                }
+                State::Sweep { cursor: (cursor + 1) % self.shared.registers.len(), start, visited }
             }
         };
         PhaseOutcome::Continue

@@ -28,8 +28,8 @@ use crate::loose_l6::{L6Process, LooseShared};
 use crate::params::{FinisherPlan, Lemma6Schedule};
 use crate::phase::{PhaseOutcome, PhaseProcess};
 use crate::traits::{Instance, RenamingAlgorithm};
-use rr_shmem::Access;
 use rr_sched::process::{Process, StepOutcome};
+use rr_shmem::Access;
 use std::sync::Arc;
 
 /// Layout of the estimate segments inside one flat name space.
@@ -281,10 +281,7 @@ impl RenamingAlgorithm for AdaptiveRenaming {
         let m = self.m(n);
         let (_shared, procs) = self.instantiate_participants(n, n, seed);
         Instance {
-            processes: procs
-                .into_iter()
-                .map(|p| Box::new(p) as Box<dyn Process + Send>)
-                .collect(),
+            processes: procs.into_iter().map(|p| Box::new(p) as Box<dyn Process + Send>).collect(),
             m,
             n,
         }
@@ -346,10 +343,7 @@ mod tests {
         for k in [8usize, 32, 128, 512] {
             let (names, _, _) = run_adaptive(k, 2048, 7);
             let max_name = *names.iter().max().unwrap();
-            assert!(
-                max_name < 12 * k,
-                "k={k}: max name {max_name} is not O(k)"
-            );
+            assert!(max_name < 12 * k, "k={k}: max name {max_name} is not O(k)");
             assert!(max_name >= prev_max / 8, "sanity: usage grows with k");
             prev_max = max_name;
         }

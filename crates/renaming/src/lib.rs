@@ -37,9 +37,7 @@ pub use adaptive::{AdaptiveLayout, AdaptiveProcess, AdaptiveRenaming, AdaptiveSh
 pub use longlived::{LongLivedClient, ReleasableTasArray};
 pub use loose_l6::{L6Process, LooseShared};
 pub use loose_l8::L8Process;
-pub use params::{
-    FinisherPlan, Lemma6Schedule, Lemma8Schedule, TightPlan, TightVariant, spare,
-};
+pub use params::{spare, FinisherPlan, Lemma6Schedule, Lemma8Schedule, TightPlan, TightVariant};
 pub use phase::{AlmostTight, Chain, PhaseOutcome, PhaseProcess};
 pub use tight::{TightProcess, TightRenaming, TightShared};
 pub use traits::{AagwLoose, Cor7, Cor9, Instance, LooseL6, LooseL8, RenamingAlgorithm};

@@ -76,8 +76,7 @@ impl PhaseProcess for L6Process {
             // Exhausted; poll() will report it. Announce a no-op.
             return Access::Local;
         }
-        let idx =
-            *self.pending.get_or_insert_with(|| self.rng.index(self.shared.registers.len()));
+        let idx = *self.pending.get_or_insert_with(|| self.rng.index(self.shared.registers.len()));
         Access::Tas { array: 0, index: idx }
     }
 

@@ -9,9 +9,9 @@
 //! contenders; the proof bounds the survivors after all phases by
 //! `n/(log n)^ℓ` w.h.p., with `2ℓ(log log n)²` total steps.
 
+use crate::loose_l6::LooseShared;
 use crate::params::Lemma8Schedule;
 use crate::phase::{PhaseOutcome, PhaseProcess};
-use crate::loose_l6::LooseShared;
 use rr_shmem::rng::ProcessRng;
 use rr_shmem::tas::TasMemory;
 use rr_shmem::Access;

@@ -411,8 +411,7 @@ mod tests {
             let c = 4u32;
             let plan = TightPlan::calibrated(n, c);
             let l = plan.l as f64;
-            let predicted =
-                4.0 * c as f64 * (n as f64 / (6.0 * c as f64 * l)).ln().max(0.1) + 1.0;
+            let predicted = 4.0 * c as f64 * (n as f64 / (6.0 * c as f64 * l)).ln().max(0.1) + 1.0;
             let rounds = plan.rounds() as f64;
             assert!(
                 rounds < predicted * 2.0 + 4.0 && rounds > predicted / 3.0,
@@ -508,10 +507,7 @@ mod tests {
         // Capacity now supports the n/(log n)^ℓ claim.
         let n = 1usize << 20;
         let uncovered = n - s20.capacity();
-        assert!(
-            (uncovered as f64) <= n as f64 / (20.0f64).powi(2) + 1.0,
-            "uncovered {uncovered}"
-        );
+        assert!((uncovered as f64) <= n as f64 / (20.0f64).powi(2) + 1.0, "uncovered {uncovered}");
     }
 
     #[test]

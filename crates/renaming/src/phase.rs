@@ -12,8 +12,8 @@
 //! * [`Chain`] — `Exhausted` hands the process to a second stage (the
 //!   finisher), yielding the full loose renaming of the corollaries.
 
-use rr_shmem::Access;
 use rr_sched::process::{Process, StepOutcome};
+use rr_shmem::Access;
 
 /// Result of one stage step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,7 +87,11 @@ impl<A: PhaseProcess, B: PhaseProcess> Chain<A, B> {
 
 impl<A: PhaseProcess, B: PhaseProcess> Process for Chain<A, B> {
     fn announce(&mut self) -> Access {
-        if self.in_second { self.second.announce() } else { self.first.announce() }
+        if self.in_second {
+            self.second.announce()
+        } else {
+            self.first.announce()
+        }
     }
 
     fn step(&mut self) -> StepOutcome {

@@ -17,12 +17,12 @@
 //! request and one per name-slot TAS.
 
 use crate::params::{TightPlan, TightVariant};
+use rr_sched::process::{Process, StepOutcome};
 use rr_shmem::rng::ProcessRng;
 use rr_shmem::Access;
-use rr_sched::process::{Process, StepOutcome};
 use rr_tau::ConcurrentTauRegister;
-use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Records per-round, per-register request counts — the measurements the
 /// Lemma 4 experiment (E3) reports.
@@ -92,11 +92,19 @@ impl TightShared {
 
 #[derive(Debug, Clone, Copy)]
 enum Planned {
-    Request { reg: usize, bit: usize },
-    Slot { reg: usize, slot: usize },
+    Request {
+        reg: usize,
+        bit: usize,
+    },
+    Slot {
+        reg: usize,
+        slot: usize,
+    },
     /// One-step read of a register's confirmed bit map (the paper allows
     /// reading all `2·log n` bits in one operation).
-    Inspect { reg: usize },
+    Inspect {
+        reg: usize,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -182,8 +190,6 @@ impl TightProcess {
             }
         }
     }
-
-
 }
 
 impl Process for TightProcess {
@@ -253,8 +259,8 @@ impl Process for TightProcess {
                     _ => unreachable!("inspections are planned only in Sweep state"),
                 };
                 let free_quota = register.remaining_quota();
-                let unset = !register.confirmed_bits()
-                    & (((1u128 << (2 * self.shared.plan.l)) - 1) as u64);
+                let unset =
+                    !register.confirmed_bits() & (((1u128 << (2 * self.shared.plan.l)) - 1) as u64);
                 if free_quota > 0 && unset != 0 {
                     self.state = State::SweepBits { reg: cur, free: unset, attempts };
                 } else {
@@ -383,10 +389,7 @@ mod tests {
             assert!(*r < 30.0, "ratio blew up: {ratios:?}");
         }
         // No steep growth between consecutive sizes.
-        assert!(
-            ratios[2] < ratios[0] * 2.0 + 8.0,
-            "super-logarithmic growth: {ratios:?}"
-        );
+        assert!(ratios[2] < ratios[0] * 2.0 + 8.0, "super-logarithmic growth: {ratios:?}");
     }
 
     #[test]

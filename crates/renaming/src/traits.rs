@@ -9,7 +9,7 @@
 use crate::aagw::{AagwProcess, SpareShared};
 use crate::loose_l6::{L6Process, LooseShared};
 use crate::loose_l8::L8Process;
-use crate::params::{FinisherPlan, Lemma6Schedule, Lemma8Schedule, spare};
+use crate::params::{spare, FinisherPlan, Lemma6Schedule, Lemma8Schedule};
 use crate::phase::{AlmostTight, Chain};
 use crate::tight::TightRenaming;
 use rr_sched::process::Process;
@@ -68,10 +68,7 @@ impl RenamingAlgorithm for TightRenaming {
     fn instantiate(&self, n: usize, seed: u64) -> Instance {
         let (_shared, procs) = self.instantiate_shared(n, seed);
         Instance {
-            processes: procs
-                .into_iter()
-                .map(|p| Box::new(p) as Box<dyn Process + Send>)
-                .collect(),
+            processes: procs.into_iter().map(|p| Box::new(p) as Box<dyn Process + Send>).collect(),
             m: n,
             n,
         }

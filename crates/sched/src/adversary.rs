@@ -182,7 +182,8 @@ impl Adversary for StallWinners {
         }
         // Everyone would win; grant the first runnable (some progress is
         // forced — an adversary cannot block all processes forever).
-        let pid = view.active
+        let pid = view
+            .active
             .iter()
             .copied()
             .find(|&p| view.announced[p].is_some())
@@ -339,8 +340,7 @@ mod tests {
             Some(Access::Tas { array: 0, index: 1 }), // would lose
         ];
         let steps = [0u64; 2];
-        let mut adv =
-            StallWinners::new(Box::new(|a: &Access| a.index() == Some(0)));
+        let mut adv = StallWinners::new(Box::new(|a: &Access| a.index() == Some(0)));
         assert_eq!(adv.decide(&view(&active, &ann, &steps)), Decision::Grant(1));
     }
 

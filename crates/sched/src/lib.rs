@@ -27,7 +27,7 @@ pub use adversary::{
     Adversary, CollisionMaximizer, CrashAdversary, Decision, FairAdversary, RandomAdversary,
     StallWinners, View,
 };
+pub use process::{run_to_completion, Process, StepOutcome};
 pub use replay::{RecordingAdversary, ReplayAdversary, Tape};
-pub use process::{Process, StepOutcome, run_to_completion};
 pub use thread_exec::{run_threads, run_threads_bounded};
-pub use virtual_exec::{ExecError, RunOutcome, run};
+pub use virtual_exec::{run, ExecError, RunOutcome};

@@ -154,8 +154,7 @@ mod tests {
         let mem = Arc::new(AtomicTasArray::new(n));
         (0..n)
             .map(|pid| {
-                Box::new(ScanProcess { pid, mem: Arc::clone(&mem), cursor: 0 })
-                    as Box<dyn Process>
+                Box::new(ScanProcess { pid, mem: Arc::clone(&mem), cursor: 0 }) as Box<dyn Process>
             })
             .collect()
     }
@@ -206,9 +205,6 @@ mod tests {
     fn tape_accessors() {
         let tape = Tape::from_text("g3 c1 g0").unwrap();
         assert_eq!(tape.len(), 3);
-        assert_eq!(
-            tape.decisions(),
-            &[Decision::Grant(3), Decision::Crash(1), Decision::Grant(0)]
-        );
+        assert_eq!(tape.decisions(), &[Decision::Grant(3), Decision::Crash(1), Decision::Grant(0)]);
     }
 }

@@ -3,7 +3,7 @@
 //! machines are identical to the ones the virtual executor polls, so the
 //! numbers measure the same algorithm.
 
-use crate::process::{Process, run_to_completion};
+use crate::process::{run_to_completion, Process};
 use crate::virtual_exec::RunOutcome;
 
 /// Drives every process on its own thread until all have a name.

@@ -6,8 +6,8 @@
 //! is seed-portable across platforms (unlike `StdRng`, whose algorithm is
 //! unspecified), which keeps EXPERIMENTS.md numbers stable.
 
-use rand::{RngExt, SeedableRng};
 use rand::rngs::ChaCha8Rng;
+use rand::{RngExt, SeedableRng};
 
 /// A process-private random stream.
 ///

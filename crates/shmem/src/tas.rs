@@ -265,8 +265,8 @@ impl<M: TasMemory + ?Sized> TasMemory for &M {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
 
     #[test]
     fn tas_wins_exactly_once() {

@@ -4,20 +4,19 @@
 //! processes; requests arrive asynchronously and are answered at the next
 //! cycle boundary (§II-C: "since requests are only answered in a certain
 //! phase, the processing may start with a (constant) delay"). We
-//! reproduce that with **flat combining**: requests are published to a
-//! lock-free injector queue, and whichever thread acquires the device
-//! lock drains the queue and executes one clock cycle for the whole
-//! batch. Every thread therefore pays O(1) publication plus a bounded
+//! reproduce that with **flat combining**: requests are published to an
+//! injector queue, and whichever thread acquires the device lock drains
+//! the queue and executes one clock cycle for the whole batch. Every
+//! thread therefore pays O(1) publication plus a bounded
 //! wait for its answer — the paper's "constant slowdown compared to a
 //! standard TAS register" — and batching behaviour matches the hardware:
 //! concurrent requests land in the same cycle.
 
 use crate::device::{BitOutcome, CountingDevice};
-use crossbeam::queue::SegQueue;
-use parking_lot::Mutex;
 use rr_shmem::tas::{AtomicTasArray, TasMemory};
-use std::sync::Arc;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
 
 const PENDING: u8 = 0;
 const WON: u8 = 1;
@@ -42,7 +41,7 @@ pub struct ConcurrentTauRegister {
 #[derive(Debug)]
 struct Inner {
     device: Mutex<CountingDevice>,
-    queue: SegQueue<Arc<Ticket>>,
+    queue: Mutex<VecDeque<Arc<Ticket>>>,
     slots: AtomicTasArray,
     base_name: usize,
 }
@@ -53,7 +52,7 @@ impl ConcurrentTauRegister {
         Self {
             inner: Arc::new(Inner {
                 device: Mutex::new(CountingDevice::new(width, tau)),
-                queue: SegQueue::new(),
+                queue: Mutex::new(VecDeque::new()),
                 slots: AtomicTasArray::new(tau as usize),
                 base_name,
             }),
@@ -67,7 +66,7 @@ impl ConcurrentTauRegister {
         Self {
             inner: Arc::new(Inner {
                 device: Mutex::new(device),
-                queue: SegQueue::new(),
+                queue: Mutex::new(VecDeque::new()),
                 slots: AtomicTasArray::new(tau as usize),
                 base_name,
             }),
@@ -76,12 +75,12 @@ impl ConcurrentTauRegister {
 
     /// Number of device TAS bits.
     pub fn width(&self) -> u32 {
-        self.inner.device.lock().width()
+        self.inner.device.lock().unwrap().width()
     }
 
     /// Number of names (τ).
     pub fn tau(&self) -> u32 {
-        self.inner.device.lock().tau()
+        self.inner.device.lock().unwrap().tau()
     }
 
     /// First name handed out by this register.
@@ -91,44 +90,53 @@ impl ConcurrentTauRegister {
 
     /// Device clock cycles executed so far.
     pub fn cycles(&self) -> u64 {
-        self.inner.device.lock().cycles()
+        self.inner.device.lock().unwrap().cycles()
     }
 
     /// Confirmed winner count (≤ τ always).
     pub fn confirmed_count(&self) -> u32 {
-        self.inner.device.lock().confirmed_count()
+        self.inner.device.lock().unwrap().confirmed_count()
     }
 
     /// Snapshot of the confirmed bit map (`out_reg`). The paper assumes
     /// all `2·log n` bits of a register can be read in one operation, so
     /// callers may charge this as a single step.
     pub fn confirmed_bits(&self) -> u64 {
-        self.inner.device.lock().confirmed()
+        self.inner.device.lock().unwrap().confirmed()
     }
 
     /// Remaining winner quota (τ − confirmed).
     pub fn remaining_quota(&self) -> u32 {
-        self.inner.device.lock().remaining_quota()
+        self.inner.device.lock().unwrap().remaining_quota()
     }
 
     /// Requests device bit `bit` and waits for the cycle that answers it.
     ///
-    /// Returns `true` iff the bit was won. Lock-free publication; the
-    /// combining thread runs the cycle for everyone queued behind it.
+    /// Returns `true` iff the bit was won. Publication only touches the
+    /// queue; the combining thread runs the cycle for everyone queued
+    /// behind it.
     pub fn request_bit(&self, bit: usize) -> bool {
         let ticket = Arc::new(Ticket { bit, outcome: AtomicU8::new(PENDING) });
-        self.inner.queue.push(Arc::clone(&ticket));
+        self.inner.queue.lock().unwrap().push_back(Arc::clone(&ticket));
         loop {
             match ticket.outcome.load(Ordering::Acquire) {
                 WON => return true,
                 LOST => return false,
                 _ => {}
             }
-            if let Some(mut device) = self.inner.device.try_lock() {
-                self.combine(&mut device);
-                // Our ticket may or may not have been in the drained
-                // batch; loop re-checks before combining again.
-                continue;
+            match self.inner.device.try_lock() {
+                Ok(mut device) => {
+                    self.combine(&mut device);
+                    // Our ticket may or may not have been in the drained
+                    // batch; loop re-checks before combining again.
+                    continue;
+                }
+                // A combiner panicked mid-cycle: propagate instead of
+                // spinning forever on a ticket nobody will answer.
+                Err(std::sync::TryLockError::Poisoned(e)) => {
+                    panic!("counting device poisoned by a panicked combiner: {e}")
+                }
+                Err(std::sync::TryLockError::WouldBlock) => {}
             }
             std::hint::spin_loop();
         }
@@ -136,10 +144,7 @@ impl ConcurrentTauRegister {
 
     /// Drains the queue and executes one clock cycle for the batch.
     fn combine(&self, device: &mut CountingDevice) {
-        let mut batch = Vec::new();
-        while let Some(t) = self.inner.queue.pop() {
-            batch.push(t);
-        }
+        let batch: Vec<Arc<Ticket>> = self.inner.queue.lock().unwrap().drain(..).collect();
         if batch.is_empty() {
             return;
         }
@@ -231,8 +236,7 @@ mod tests {
                 thread::spawn(move || reg.acquire(i % 16).ok().map(|(name, _)| name))
             })
             .collect();
-        let names: Vec<usize> =
-            handles.into_iter().filter_map(|h| h.join().unwrap()).collect();
+        let names: Vec<usize> = handles.into_iter().filter_map(|h| h.join().unwrap()).collect();
         let distinct: HashSet<_> = names.iter().copied().collect();
         assert_eq!(names.len(), distinct.len(), "duplicate names handed out");
         assert!(names.len() <= 8, "more winners than τ");

@@ -153,7 +153,11 @@ impl CountingDevice {
     }
 
     fn mask(&self) -> u64 {
-        if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 }
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
     }
 
     /// Executes one clock cycle over `requests`.

@@ -1,0 +1,161 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the benchmark-harness surface its five benches use:
+//! [`Criterion`], [`Criterion::benchmark_group`] with `sample_size` /
+//! `bench_function` / `finish`, [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. It times with
+//! [`std::time::Instant`] and prints one mean-per-iteration line per
+//! benchmark — no statistics engine, no HTML reports.
+//!
+//! `--test` (what `cargo bench -- --test` forwards) runs every benchmark
+//! body exactly once and reports `ok`, matching real criterion's smoke
+//! mode; CI uses that to keep the bench surface compiling *and* running.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver handed to each registered group function.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        // Skip flags cargo's bench runner forwards (`--bench`, profile
+        // knobs we don't implement); a bare positional arg is a filter.
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Self { test_mode, filter }
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 20, criterion: self }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self, &id, 20, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (1 in `--test` mode).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Register and immediately run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(self.criterion, &id, self.sample_size, f);
+        self
+    }
+
+    /// End the group (kept for API compatibility; nothing buffered).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(criterion: &Criterion, id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if !criterion.selected(id) {
+        return;
+    }
+    if criterion.test_mode {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("test {id} ... ok");
+        return;
+    }
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        total += b.elapsed;
+        iters += b.iters;
+    }
+    let per_iter = total.as_nanos() as f64 / iters.max(1) as f64;
+    println!("{id:<48} time: {:>12.1} ns/iter ({iters} iters)", per_iter);
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive so the optimizer cannot
+    /// delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        black_box(out);
+    }
+}
+
+/// Opaque value barrier (re-exported for criterion API compatibility).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Entry point running every group passed to it.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::__from_args_public();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+impl Criterion {
+    /// Implementation detail of [`criterion_main!`].
+    #[doc(hidden)]
+    pub fn __from_args_public() -> Self {
+        Self::from_args()
+    }
+}

@@ -1,0 +1,134 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the property-testing surface its tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), integer-range
+//! and tuple strategies, [`Strategy::prop_map`], [`collection::vec`],
+//! [`bool::ANY`], plain typed parameters via [`arbitrary::Arbitrary`],
+//! and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberate and documented:
+//! * **No shrinking.** A failing case panics with its sampled inputs in
+//!   the assertion message instead of a minimized counterexample.
+//! * **Deterministic sampling.** Cases are drawn from a ChaCha8 stream
+//!   keyed by `(module path, test name, case index)`, so failures
+//!   reproduce exactly across runs and machines. Set `PROPTEST_CASES`
+//!   to override the default case count.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Boolean strategies (mirrors `proptest::bool`).
+pub mod bool {
+    /// Uniform boolean strategy.
+    pub const ANY: BoolAny = BoolAny;
+
+    /// Strategy type behind [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    impl crate::strategy::Strategy for BoolAny {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut crate::test_runner::TestRng) -> bool {
+            use rand::RngExt;
+            rng.random()
+        }
+    }
+}
+
+/// Everything a proptest-based test module needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn` is expanded into a `#[test]` that
+/// samples its parameters `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            for case in 0..config.cases {
+                let mut __rng = $crate::test_runner::rng_for(
+                    module_path!(),
+                    stringify!($name),
+                    case as u64,
+                );
+                $crate::__proptest_bind!(__rng, ($($params)*) => $body);
+            }
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, () => $body:block) => { $body };
+    ($rng:ident, ($name:ident in $strat:expr) => $body:block) => {
+        $crate::__proptest_bind!($rng, ($name in $strat,) => $body)
+    };
+    ($rng:ident, ($name:ident in $strat:expr, $($rest:tt)*) => $body:block) => {{
+        let $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, ($($rest)*) => $body)
+    }};
+    ($rng:ident, ($name:ident : $ty:ty) => $body:block) => {
+        $crate::__proptest_bind!($rng, ($name: $ty,) => $body)
+    };
+    ($rng:ident, ($name:ident : $ty:ty, $($rest:tt)*) => $body:block) => {{
+        let $name = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng, ($($rest)*) => $body)
+    }};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its precondition fails. (Real proptest
+/// resamples; skipping keeps determinism and is just as sound.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}

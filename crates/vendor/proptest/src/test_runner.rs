@@ -1,0 +1,46 @@
+//! Case-count configuration and the deterministic per-test RNG.
+
+use rand::rngs::ChaCha8Rng;
+use rand::SeedableRng;
+
+/// RNG driving all sampling (one independent stream per test case).
+pub type TestRng = ChaCha8Rng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 32 cases, overridable with the `PROPTEST_CASES` env var. (Real
+    /// proptest defaults to 256; these suites run whole-protocol
+    /// simulations per case, so the default stays CI-friendly.)
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(32);
+        Self { cases }
+    }
+}
+
+/// Deterministic RNG for one test case: seeded from the fully qualified
+/// test name, one stream per case index. Failures therefore reproduce
+/// run-to-run and machine-to-machine.
+pub fn rng_for(module_path: &str, test_name: &str, case: u64) -> TestRng {
+    // FNV-1a over "module::name".
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in module_path.bytes().chain("::".bytes()).chain(test_name.bytes()) {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(hash);
+    rng.set_stream(case);
+    rng
+}

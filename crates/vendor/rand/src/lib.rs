@@ -1,0 +1,217 @@
+//! Offline, API-compatible subset of `rand` 0.9 + `rand_chacha`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of the `rand` API it actually uses:
+//! [`SeedableRng`], the [`RngExt`] extension trait (`random`,
+//! `random_range`) and a genuine ChaCha8 stream cipher RNG
+//! ([`rngs::ChaCha8Rng`]) with per-stream derivation via `set_stream`.
+//!
+//! The ChaCha8 core follows RFC 7539's quarter-round with 8 rounds; the
+//! 64-bit block counter lives in state words 12–13 and the stream id in
+//! words 14–15, so `(seed, stream)` pairs give independent, seed-portable
+//! sequences — exactly the property `rr_shmem::rng::ProcessRng` documents.
+//! Output is **not** bit-compatible with upstream `rand_chacha` (the
+//! `seed_from_u64` key-derivation differs); every consumer in this
+//! workspace only relies on determinism and stream independence, both of
+//! which hold.
+
+pub mod rngs;
+
+mod uniform;
+
+pub use uniform::SampleRange;
+
+/// Minimal core RNG interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+/// Construction of an RNG from seed material (subset of
+/// `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Build from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64`, expanded with SplitMix64 as in `rand_core`.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Distribution of a type under fresh uniform bits (stand-in for the
+/// `StandardUniform` distribution).
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Convenience draws over any [`RngCore`] (the `rand` 0.9 `Rng` surface
+/// this workspace uses).
+pub trait RngExt: RngCore {
+    /// Uniform value of type `T`.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform draw from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_in(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::ChaCha8Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn streams_differ_and_are_deterministic() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        a.set_stream(1);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        b.set_stream(2);
+        let mut a2 = ChaCha8Rng::seed_from_u64(9);
+        a2.set_stream(1);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let xs2: Vec<u64> = (0..16).map(|_| a2.next_u64()).collect();
+        assert_ne!(xs, ys);
+        assert_eq!(xs, xs2);
+    }
+
+    #[test]
+    fn range_draws_in_bounds() {
+        let mut r = ChaCha8Rng::seed_from_u64(3);
+        for bound in [1usize, 2, 3, 10, 1000, 1 << 40] {
+            for _ in 0..200 {
+                assert!(r.random_range(0..bound) < bound);
+            }
+        }
+        for _ in 0..200 {
+            let v: u32 = r.random_range(5..=9);
+            assert!((5..=9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut r = ChaCha8Rng::seed_from_u64(11);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[r.random_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Uniform sampling from ranges, with rejection to kill modulo bias.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types drawable uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[low, high]` (inclusive). Caller guarantees
+    /// `low <= high`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+
+    /// Uniform draw from `[low, high)`. Caller guarantees `low < high`.
+    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as u64).wrapping_sub(low as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = span + 1;
+                // Rejection sampling: draw again while in the biased
+                // tail; at most one extra draw in expectation.
+                let zone = u64::MAX - u64::MAX.wrapping_rem(span);
+                loop {
+                    let v = rng.next_u64();
+                    if v < zone {
+                        return low.wrapping_add((v % span) as $t);
+                    }
+                }
+            }
+
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                <$t>::sample_inclusive(rng, low, high - 1)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                // Shift to unsigned space, draw, shift back.
+                const FLIP: $u = 1 << (<$u>::BITS - 1);
+                let v = <$u>::sample_inclusive(rng, (low as $u) ^ FLIP, (high as $u) ^ FLIP);
+                (v ^ FLIP) as $t
+            }
+
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                <$t>::sample_inclusive(rng, low, high - 1)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Ranges usable with [`crate::RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Uniform draw from `self`.
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample from empty range");
+        T::sample_inclusive(rng, low, high)
+    }
+}

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example adversarial_sim`
 
-use randomized_renaming::renaming::TightRenaming;
 use randomized_renaming::renaming::traits::{Cor9, RenamingAlgorithm};
+use randomized_renaming::renaming::TightRenaming;
 use randomized_renaming::sched::adversary::{
     CollisionMaximizer, CrashAdversary, FairAdversary, RandomAdversary,
 };
@@ -40,12 +40,7 @@ fn main() {
         println!("{name}:");
         run_under(algo.as_ref(), n, &mut FairAdversary::default(), "fair round-robin");
         run_under(algo.as_ref(), n, &mut RandomAdversary::new(5), "seeded random");
-        run_under(
-            algo.as_ref(),
-            n,
-            &mut CollisionMaximizer::default(),
-            "collision maximizer",
-        );
+        run_under(algo.as_ref(), n, &mut CollisionMaximizer::default(), "collision maximizer");
         // Crash 10% of processes, preferentially right when they announce
         // a winning access — after the adversary saw their coin flips.
         run_under(

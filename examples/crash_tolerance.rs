@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --release --example crash_tolerance`
 
-use randomized_renaming::renaming::TightRenaming;
 use randomized_renaming::renaming::traits::{Cor7, RenamingAlgorithm};
+use randomized_renaming::renaming::TightRenaming;
 use randomized_renaming::sched::adversary::{CrashAdversary, FairAdversary};
 use randomized_renaming::sched::process::Process;
 use randomized_renaming::sched::virtual_exec::run;
@@ -29,8 +29,12 @@ fn main() {
             let m = inst.m;
             let procs: Vec<Box<dyn Process>> =
                 inst.processes.into_iter().map(|p| p as Box<dyn Process>).collect();
-            let mut adv =
-                CrashAdversary::new(FairAdversary::default(), 0.1, n * pct / 100, 1234 + pct as u64);
+            let mut adv = CrashAdversary::new(
+                FairAdversary::default(),
+                0.1,
+                n * pct / 100,
+                1234 + pct as u64,
+            );
             let out = run(procs, &mut adv, algo.step_budget(n)).expect("run failed");
             out.verify_renaming(m).expect("safety violated under crashes");
             let crashed = out.crashed.iter().filter(|&&c| c).count();

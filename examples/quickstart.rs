@@ -14,11 +14,7 @@ fn main() {
     // size), O((log log n)²) TAS operations per thread w.h.p.
     let algo = Cor9 { ell: 1 };
     let instance = algo.instantiate(n, /* seed */ 42);
-    println!(
-        "renaming {n} threads into [0, {}) with {} …",
-        instance.m,
-        algo.name()
-    );
+    println!("renaming {n} threads into [0, {}) with {} …", instance.m, algo.name());
 
     let outcome = run_threads_bounded(instance.processes, 16, 1 << 20);
 
@@ -32,9 +28,5 @@ fn main() {
     let max_steps = outcome.steps.iter().max().unwrap();
     let mean: f64 = outcome.steps.iter().sum::<u64>() as f64 / n as f64;
     println!("done: {} named, step complexity {max_steps}, mean steps {mean:.2}", n);
-    println!(
-        "largest name used: {} (name space allows {})",
-        names.last().unwrap(),
-        algo.m(n) - 1
-    );
+    println!("largest name used: {} (name space allows {})", names.last().unwrap(), algo.m(n) - 1);
 }

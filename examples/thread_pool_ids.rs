@@ -10,8 +10,8 @@
 //! through the idealized fetch-add counter for comparison.
 
 use randomized_renaming::baselines::FetchAddRenaming;
-use randomized_renaming::renaming::TightRenaming;
 use randomized_renaming::renaming::traits::RenamingAlgorithm;
+use randomized_renaming::renaming::TightRenaming;
 use randomized_renaming::sched::process::run_to_completion;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;

@@ -2,11 +2,11 @@
 //! (algorithm, n, seed, adversary) — the property EXPERIMENTS.md numbers
 //! rely on.
 
-use randomized_renaming::renaming::TightRenaming;
 use randomized_renaming::renaming::traits::{Cor7, Cor9, LooseL6, LooseL8, RenamingAlgorithm};
+use randomized_renaming::renaming::TightRenaming;
 use randomized_renaming::sched::adversary::RandomAdversary;
 use randomized_renaming::sched::process::Process;
-use randomized_renaming::sched::virtual_exec::{RunOutcome, run};
+use randomized_renaming::sched::virtual_exec::{run, RunOutcome};
 
 fn run_once(algo: &dyn RenamingAlgorithm, n: usize, seed: u64) -> RunOutcome {
     let inst = algo.instantiate(n, seed);

@@ -5,10 +5,10 @@
 use randomized_renaming::baselines::{
     BitonicRenaming, FetchAddRenaming, LinearScan, ScanStart, SplitterGrid, UniformProbing,
 };
-use randomized_renaming::renaming::TightRenaming;
 use randomized_renaming::renaming::traits::{
     AagwLoose, Cor7, Cor9, LooseL6, LooseL8, RenamingAlgorithm,
 };
+use randomized_renaming::renaming::TightRenaming;
 use randomized_renaming::sched::adversary::{
     Adversary, CollisionMaximizer, CrashAdversary, FairAdversary, RandomAdversary,
 };
@@ -49,8 +49,21 @@ fn adversaries(seed: u64) -> Vec<Box<dyn Adversary>> {
 }
 
 #[test]
+fn every_algorithm_under_every_adversary_is_safe_quick() {
+    // Fast CI cut of the test below: same coverage matrix at n = 64.
+    every_algorithm_under_every_adversary_is_safe_at(64);
+}
+
+#[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "multi-second sweep; run with --features slow-tests (or -- --ignored)"
+)]
 fn every_algorithm_under_every_adversary_is_safe() {
-    let n = 256;
+    every_algorithm_under_every_adversary_is_safe_at(256);
+}
+
+fn every_algorithm_under_every_adversary_is_safe_at(n: usize) {
     for algo in all_algorithms() {
         for (ai, mut adv) in adversaries(7).into_iter().enumerate() {
             let inst = algo.instantiate(n, 11);
@@ -113,8 +126,7 @@ fn crashes_never_break_survivor_completeness() {
             let m = inst.m;
             let procs: Vec<Box<dyn Process>> =
                 inst.processes.into_iter().map(|p| p as Box<dyn Process>).collect();
-            let mut adv =
-                CrashAdversary::new(FairAdversary::default(), 0.2, crash_budget, 9);
+            let mut adv = CrashAdversary::new(FairAdversary::default(), 0.2, crash_budget, 9);
             let out = run(procs, &mut adv, algo.step_budget(n)).unwrap();
             out.verify_renaming(m).unwrap();
             let crashed = out.crashed.iter().filter(|&&c| c).count();

@@ -8,8 +8,8 @@
 //! processes and verify both properties over full runs.
 
 use randomized_renaming::baselines::{BitonicRenaming, UniformProbing};
-use randomized_renaming::renaming::TightRenaming;
 use randomized_renaming::renaming::traits::{Cor9, RenamingAlgorithm};
+use randomized_renaming::renaming::TightRenaming;
 use randomized_renaming::sched::adversary::{Adversary, Decision, FairAdversary, View};
 use randomized_renaming::sched::process::{Process, StepOutcome};
 use randomized_renaming::sched::virtual_exec::run;

@@ -7,7 +7,7 @@ use randomized_renaming::renaming::traits::{Cor7, Cor9, LooseL6, LooseL8, Renami
 use randomized_renaming::renaming::{Lemma6Schedule, Lemma8Schedule, TightRenaming};
 use randomized_renaming::sched::adversary::FairAdversary;
 use randomized_renaming::sched::process::Process;
-use randomized_renaming::sched::virtual_exec::{RunOutcome, run};
+use randomized_renaming::sched::virtual_exec::{run, RunOutcome};
 
 fn run_fair(algo: &dyn RenamingAlgorithm, n: usize, seed: u64) -> RunOutcome {
     let inst = algo.instantiate(n, seed);
@@ -20,6 +20,25 @@ fn run_fair(algo: &dyn RenamingAlgorithm, n: usize, seed: u64) -> RunOutcome {
 }
 
 #[test]
+fn theorem5_step_complexity_is_logarithmic_quick() {
+    // Fast CI cut of the test below: 16× growth in n, 2 seeds.
+    let mut worst_ratio: f64 = 0.0;
+    for n in [1usize << 8, 1 << 12] {
+        for seed in 0..2 {
+            let out = run_fair(&TightRenaming::calibrated(4), n, seed);
+            assert_eq!(out.gave_up_count(), 0);
+            let ratio = out.step_complexity() as f64 / (n as f64).log2();
+            worst_ratio = worst_ratio.max(ratio);
+        }
+    }
+    assert!(worst_ratio < 12.0, "Theorem 5 ratio blew up: {worst_ratio}");
+}
+
+#[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "multi-second sweep; run with --features slow-tests (or -- --ignored)"
+)]
 fn theorem5_step_complexity_is_logarithmic() {
     // Step complexity / log2(n) bounded by a constant across a 64×
     // growth in n (5 seeds each).

@@ -3,8 +3,8 @@
 //! algorithms emit them.
 
 use randomized_renaming::baselines::{BitonicRenaming, FetchAddRenaming, UniformProbing};
-use randomized_renaming::renaming::TightRenaming;
 use randomized_renaming::renaming::traits::{Cor7, Cor9, RenamingAlgorithm};
+use randomized_renaming::renaming::TightRenaming;
 use randomized_renaming::sched::process::run_to_completion;
 use randomized_renaming::sched::run_threads_bounded;
 use randomized_renaming::shmem::NameSpaceAudit;
