@@ -13,5 +13,7 @@ pub mod table;
 
 pub use ballsbins::{ceil_log2, floor_log2, lemma3_bound, simulate_lemma3};
 pub use histogram::Histogram;
-pub use stats::{percentile_row, quantile, Welford};
+pub use stats::{
+    norm_log2, norm_loglog_sq, per_n, percentile_row, quantile, upper_median, Welford,
+};
 pub use table::{Align, Table};

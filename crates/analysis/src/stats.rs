@@ -100,6 +100,38 @@ pub fn quantile(sorted: &[f64], q: f64) -> f64 {
     sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
+/// The upper median of an integer sample: sorts a copy and returns the
+/// element at index `len / 2` — the exact `sc.sort(); sc[len/2]`
+/// convention every experiment table's "steps p50" column uses (no
+/// interpolation, so the value is always an observed data point).
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn upper_median(values: &[u64]) -> u64 {
+    assert!(!values.is_empty(), "upper_median of empty sample");
+    let mut v = values.to_vec();
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+/// Normalizes `x` by `log₂ n` — the "max/log2(n)" column of the
+/// `O(log n)` step-complexity claims.
+pub fn norm_log2(x: f64, n: usize) -> f64 {
+    x / (n as f64).log2()
+}
+
+/// Normalizes `x` by `(log₂ log₂ n)²` — the "max/(lln)^2" column of the
+/// poly-double-logarithmic loose-renaming claims.
+pub fn norm_loglog_sq(x: f64, n: usize) -> f64 {
+    let lln = (n as f64).log2().log2();
+    x / (lln * lln)
+}
+
+/// Normalizes `x` by `n` — space-per-process and similar columns.
+pub fn per_n(x: f64, n: usize) -> f64 {
+    x / n as f64
+}
+
 /// Sorts a copy and returns `(p50, p95, p99, max)` — the row format used
 /// by the step-complexity tables.
 pub fn percentile_row(values: &[u64]) -> (f64, f64, f64, u64) {
@@ -155,6 +187,31 @@ mod tests {
     #[should_panic(expected = "empty sample")]
     fn quantile_empty_panics() {
         quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn upper_median_matches_sort_index_convention() {
+        // Odd length: the true median.
+        assert_eq!(upper_median(&[5, 1, 9]), 5);
+        // Even length: the *upper* of the two middle elements.
+        assert_eq!(upper_median(&[4, 1, 3, 2]), 3);
+        assert_eq!(upper_median(&[7]), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn upper_median_empty_panics() {
+        upper_median(&[]);
+    }
+
+    #[test]
+    fn normalizations_are_the_table_formulas() {
+        let n = 1 << 16;
+        assert!((norm_log2(32.0, n) - 2.0).abs() < 1e-12);
+        assert_eq!(norm_log2(32.0, n).to_bits(), (32.0f64 / (n as f64).log2()).to_bits());
+        let lln = (n as f64).log2().log2();
+        assert_eq!(norm_loglog_sq(8.0, n).to_bits(), (8.0 / (lln * lln)).to_bits());
+        assert_eq!(per_n(512.0, 256), 2.0);
     }
 
     #[test]

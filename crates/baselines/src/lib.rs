@@ -13,17 +13,20 @@
 //!
 //! Everything implements [`rr_renaming::RenamingAlgorithm`], so the E8
 //! comparison harness treats the paper's protocols and these baselines
-//! uniformly.
+//! uniformly; [`registry::register_baselines`] adds them all to an
+//! [`rr_renaming::AlgorithmRegistry`] under string keys.
 
 pub mod aks_model;
 pub mod counter;
 pub mod linear;
 pub mod network;
+pub mod registry;
 pub mod splitter_grid;
 pub mod uniform;
 
 pub use counter::FetchAddRenaming;
 pub use linear::{LinearScan, ScanStart};
 pub use network::{BitonicRenaming, ComparatorNetwork, NetworkProcess, NetworkShared};
+pub use registry::register_baselines;
 pub use splitter_grid::{GridProcess, GridShared, Splitter, SplitterGrid};
 pub use uniform::{UniformProbing, UniformProcess};

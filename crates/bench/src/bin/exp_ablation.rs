@@ -1,146 +1,6 @@
-//! E14 — ablations of the design constants DESIGN.md calls out:
-//!
-//! 1. The Lemma 3 constant `c` in the tight protocol: smaller `c` means
-//!    fewer, larger clusters (fewer rounds) but weaker per-register
-//!    saturation; larger `c` more rounds but near-certain fills. The
-//!    sweet spot the paper's analysis needs is `c ≥ 2ℓ+2`.
-//! 2. Device width factor: the paper fixes width = 2·τ (2 log n bits for
-//!    τ = log n names). Wider devices lower the collision rate per
-//!    request at the price of more hardware.
-//! 3. Finisher probe budgets: linear (`j+2`, ours) vs constant per
-//!    segment — confirms the growing budgets are what keeps the sweep
-//!    unreached.
-
-use rr_analysis::table::{fnum, Table};
-use rr_bench::runner::{header, quick_mode, run_batch, Schedule};
-use rr_renaming::aagw::{AagwProcess, SpareShared};
-use rr_renaming::params::FinisherPlan;
-use rr_renaming::phase::AlmostTight;
-use rr_renaming::TightRenaming;
-use rr_sched::adversary::FairAdversary;
-use rr_sched::process::Process;
-use rr_sched::virtual_exec::run;
-use rr_tau::CountingDevice;
-use std::sync::Arc;
-
-fn ablate_c(n: usize, seeds: u64) {
-    println!("\n-- ablation 1: Lemma 3 constant c (tight renaming @ n={n}) --");
-    let mut table =
-        Table::new(vec!["c", "rounds", "steps p50", "steps max", "max/log2 n", "mean steps"]);
-    for c in [1u32, 2, 4, 8] {
-        let algo = TightRenaming::calibrated(c);
-        let plan = rr_renaming::TightPlan::calibrated(n, c);
-        let stats = run_batch(&algo, n, seeds, Schedule::Fair);
-        let mut sc = stats.step_complexity.clone();
-        sc.sort_unstable();
-        table.row(vec![
-            c.to_string(),
-            plan.rounds().to_string(),
-            sc[sc.len() / 2].to_string(),
-            stats.max_steps().to_string(),
-            fnum(stats.max_steps() as f64 / (n as f64).log2(), 2),
-            fnum(stats.mean_mean_steps(), 2),
-        ]);
-    }
-    println!("{table}");
-}
-
-fn ablate_device_width() {
-    println!("\n-- ablation 2: device width factor (single register, tau = 16) --");
-    // 64 requesters spray random bits at one device; measure how many
-    // distinct winners the first cycle admits (width → less aliasing).
-    let mut table =
-        Table::new(vec!["width/tau", "width", "first-cycle winners (mean of 50)", "tau"]);
-    use rand::{RngExt, SeedableRng};
-    for factor in [1u32, 2, 3, 4] {
-        let width = 16 * factor;
-        let mut total = 0usize;
-        let trials = 50;
-        for t in 0..trials {
-            let mut device = CountingDevice::new(width, 16);
-            let mut rng = rand::rngs::ChaCha8Rng::seed_from_u64(t);
-            let reqs: Vec<(usize, usize)> =
-                (0..64).map(|p| (p, rng.random_range(0..width as usize))).collect();
-            total += device.clock_cycle(&reqs).win_count();
-        }
-        table.row(vec![
-            factor.to_string(),
-            width.to_string(),
-            fnum(total as f64 / trials as f64, 2),
-            "16".into(),
-        ]);
-    }
-    println!("{table}");
-}
-
-/// A per-segment probe-budget policy.
-type BudgetPolicy = Box<dyn Fn(usize) -> u32>;
-
-fn ablate_finisher(k: usize, spare: usize, seeds: u64) {
-    println!("\n-- ablation 3: finisher probe budgets (k={k} stragglers, spare={spare}) --");
-    let mut table = Table::new(vec![
-        "budget policy",
-        "steps max",
-        "mean steps",
-        "sweepers (max steps > random budget)",
-    ]);
-    let policies: Vec<(&str, BudgetPolicy)> = vec![
-        ("linear j+2 (ours)", Box::new(|j: usize| j as u32 + 3)),
-        ("constant 1", Box::new(|_| 1)),
-        ("constant 4", Box::new(|_| 4)),
-    ];
-    for (label, probes) in policies {
-        let mut max_steps = 0u64;
-        let mut total_steps = 0u64;
-        let mut sweepers = 0usize;
-        for seed in 0..seeds {
-            let mut plan = FinisherPlan::new(spare);
-            for (j, p) in plan.probes.iter_mut().enumerate() {
-                *p = probes(j);
-            }
-            let random_budget = plan.max_random_probes();
-            let shared = Arc::new(SpareShared::new(0, spare));
-            let procs: Vec<Box<dyn Process>> = (0..k)
-                .map(|pid| {
-                    Box::new(AlmostTight(AagwProcess::new(
-                        pid,
-                        seed,
-                        Arc::clone(&shared),
-                        plan.clone(),
-                    ))) as Box<dyn Process>
-                })
-                .collect();
-            let out = run(procs, &mut FairAdversary::default(), 1 << 30).unwrap();
-            out.verify_renaming(spare).unwrap();
-            max_steps = max_steps.max(out.step_complexity());
-            total_steps += out.total_steps();
-            sweepers += out.steps.iter().filter(|&&s| s > random_budget).count();
-        }
-        table.row(vec![
-            label.to_string(),
-            max_steps.to_string(),
-            fnum(total_steps as f64 / (k as u64 * seeds) as f64, 2),
-            sweepers.to_string(),
-        ]);
-    }
-    println!("{table}");
-}
+//! E14 — ablations: cluster constant c, device width, finisher budgets.
+//! See [`rr_bench::scenario::specs::ablation`] for details.
 
 fn main() {
-    header("E14", "ablations — cluster constant c, device width, finisher budgets");
-    let (n, seeds) = if quick_mode() { (1 << 10, 5u64) } else { (1 << 14, 15u64) };
-    ablate_c(n, seeds);
-    ablate_device_width();
-    ablate_finisher(3 * n / 16, n / 4, seeds);
-    println!(
-        "\nfindings: smaller c is empirically *faster* at laptop sizes \
-         (fewer rounds dominate the cost); c >= 2l+2 is what the *proof* \
-         needs for inverse-polynomial failure probability — the classic \
-         theory-practice constant gap, worth knowing before tuning. \
-         Width 2·tau (the paper's choice) already absorbs essentially all \
-         aliasing in one cycle; wider devices buy nothing. At straggler \
-         ratios up to 3/4 of the spare, every budget policy avoids the \
-         sweep; the growing j+2 budgets are insurance for the w.h.p. tail, \
-         not the common case."
-    );
+    rr_bench::scenario::drive(rr_bench::scenario::specs::ablation);
 }

@@ -1,69 +1,6 @@
-//! E12 — adaptive renaming (§IV remark): when the participant count k is
-//! unknown, the doubling-guess transform still renames everyone, uses
-//! only `O(k)` names regardless of how large the ladder was provisioned,
-//! and pays a `log k` ladder factor over the non-adaptive protocol.
-
-use rr_analysis::table::{fnum, Table};
-use rr_bench::runner::{header, quick_mode};
-use rr_renaming::adaptive::AdaptiveRenaming;
-use rr_renaming::traits::RenamingAlgorithm;
-use rr_sched::adversary::FairAdversary;
-use rr_sched::process::Process;
-use rr_sched::virtual_exec::run;
+//! E12 — adaptive renaming: name usage O(k) with k unknown to the
+//! processes. See [`rr_bench::scenario::specs::adaptive`] for details.
 
 fn main() {
-    header("E12", "adaptive renaming — name usage O(k) with k unknown to the processes");
-    let (max_n, ks, seeds): (usize, Vec<usize>, u64) = if quick_mode() {
-        (1 << 10, vec![4, 32, 256], 3)
-    } else {
-        (1 << 14, vec![4, 16, 64, 256, 1024, 4096, 16384], 10)
-    };
-
-    let mut table = Table::new(vec![
-        "k (actual)",
-        "ladder for",
-        "max name used",
-        "used/k",
-        "steps max",
-        "steps/(log k)",
-        "unnamed",
-    ]);
-    for &k in &ks {
-        let mut worst_name = 0usize;
-        let mut worst_steps = 0u64;
-        let mut unnamed = 0usize;
-        for seed in 0..seeds {
-            let (shared, procs) = AdaptiveRenaming.instantiate_participants(k, max_n, seed);
-            let boxed: Vec<Box<dyn Process>> =
-                procs.into_iter().map(|p| Box::new(p) as Box<dyn Process>).collect();
-            let out = run(
-                boxed,
-                &mut FairAdversary::default(),
-                RenamingAlgorithm::step_budget(&AdaptiveRenaming, max_n),
-            )
-            .unwrap();
-            out.verify_renaming(shared.layout().total).unwrap();
-            unnamed += out.gave_up_count();
-            worst_name = worst_name.max(out.names.iter().flatten().copied().max().unwrap_or(0));
-            worst_steps = worst_steps.max(out.step_complexity());
-        }
-        let log_k = (k.max(2) as f64).log2();
-        table.row(vec![
-            k.to_string(),
-            format!("≤{max_n}"),
-            worst_name.to_string(),
-            fnum(worst_name as f64 / k as f64, 2),
-            worst_steps.to_string(),
-            fnum(worst_steps as f64 / log_k, 2),
-            unnamed.to_string(),
-        ]);
-    }
-    println!("{table}");
-    println!(
-        "\nclaim check: 'used/k' bounded by a constant (the adaptive O(k) \
-         name space — processes never learn k and the ladder is sized for \
-         {max_n}); 'unnamed' identically 0; steps grow like log k × \
-         polyloglog (our simple transform; the paper notes the transform \
-         yields no improvement over [8])."
-    );
+    rr_bench::scenario::drive(rr_bench::scenario::specs::adaptive);
 }

@@ -1,62 +1,6 @@
-//! E9 — model validation (§II-A): the w.h.p. guarantees hold against an
-//! *adaptive* adversary that sees coin flips, and under crashes.
-//!
-//! Each protocol runs under four schedules — fair, random,
-//! collision-maximizing (exploits announced coin flips), and fair with
-//! crash injection at winning announces — and we report the step
-//! complexity inflation relative to the fair schedule. Renaming safety is
-//! audited on every run (the harness panics on any violation).
-
-use rr_analysis::table::{fnum, Table};
-use rr_bench::runner::{header, quick_mode, run_batch, Schedule};
-use rr_renaming::traits::{Cor9, RenamingAlgorithm};
-use rr_renaming::TightRenaming;
+//! E9 — model validation: adaptive adversaries and crashes — safety and
+//! step inflation. See [`rr_bench::scenario::specs::adversary`].
 
 fn main() {
-    header("E9", "adaptive adversaries and crashes — safety and step inflation");
-    let (n, seeds) = if quick_mode() { (1 << 8, 5u64) } else { (1 << 12, 20u64) };
-    let schedules = [
-        Schedule::Fair,
-        Schedule::Random,
-        Schedule::CollisionMax,
-        Schedule::Crashes { p_permille: 20, budget_pct: 10 },
-        Schedule::Crashes { p_permille: 200, budget_pct: 50 },
-    ];
-    let algos: Vec<Box<dyn RenamingAlgorithm + Sync>> =
-        vec![Box::new(TightRenaming::calibrated(4)), Box::new(Cor9 { ell: 1 })];
-
-    let mut table = Table::new(vec![
-        "algorithm",
-        "schedule",
-        "steps max",
-        "inflation",
-        "crashed mean",
-        "survivors unnamed",
-    ]);
-    for algo in &algos {
-        let mut fair_max = 0u64;
-        for schedule in schedules {
-            let stats = run_batch(algo.as_ref(), n, seeds, schedule);
-            if schedule == Schedule::Fair {
-                fair_max = stats.max_steps().max(1);
-            }
-            let crashed_mean =
-                stats.crashed.iter().sum::<usize>() as f64 / stats.crashed.len() as f64;
-            table.row(vec![
-                algo.name(),
-                schedule.label(),
-                stats.max_steps().to_string(),
-                fnum(stats.max_steps() as f64 / fair_max as f64, 2),
-                fnum(crashed_mean, 1),
-                stats.max_unnamed().to_string(),
-            ]);
-        }
-    }
-    println!("{table}");
-    println!(
-        "\nclaim check: no safety violations under any schedule (the \
-         harness aborts otherwise); step inflation stays a small constant \
-         — the protocols' bounds are adversary-robust, as proved; crashes \
-         never strand a surviving process ('survivors unnamed' = 0)."
-    );
+    rr_bench::scenario::drive(rr_bench::scenario::specs::adversary);
 }

@@ -1,120 +1,7 @@
-//! E8 — the paper's comparison landscape (§I, §I.A, §V).
-//!
-//! Tight renaming: τ-register protocol (this paper) vs comparator-network
-//! renaming \[7\] (bitonic as the buildable AKS stand-in, plus the analytic
-//! AKS depth) vs ideal fetch-add. Loose renaming: Lemma 6 / Lemma 8 /
-//! Corollary 9 vs the \[8\]-style finisher standalone vs uniform probing.
-//! The table reproduces the paper's qualitative claims: τ-register
-//! ≈ O(log n) beats the network's O(log² n); AKS "wins" only beyond
-//! astronomically large n; loose protocols sit at poly-log-log.
-
-use rr_analysis::table::{fnum, Table};
-use rr_baselines::aks_model;
-use rr_baselines::{BitonicRenaming, FetchAddRenaming, UniformProbing};
-use rr_bench::runner::{header, quick_mode, run_batch, seeds_for, Schedule};
-use rr_renaming::traits::{AagwLoose, Cor9, LooseL6, LooseL8, RenamingAlgorithm};
-use rr_renaming::TightRenaming;
+//! E8 — the paper's comparison landscape: τ-register vs sorting
+//! networks vs loose baselines. See
+//! [`rr_bench::scenario::specs::baselines`] for details.
 
 fn main() {
-    header("E8", "comparison — tau-register vs sorting networks vs loose baselines");
-    let (sizes, seeds): (Vec<usize>, u64) = if quick_mode() {
-        (vec![1 << 8, 1 << 10], 5)
-    } else {
-        (vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18], 20)
-    };
-
-    println!("\n-- tight renaming (m = n, or next power of two for the network) --");
-    let tight: Vec<Box<dyn RenamingAlgorithm + Sync>> = vec![
-        Box::new(TightRenaming::calibrated(4)),
-        Box::new(BitonicRenaming),
-        Box::new(FetchAddRenaming),
-    ];
-    let mut table = Table::new(vec![
-        "algorithm",
-        "n",
-        "m",
-        "steps p50",
-        "steps max",
-        "max/log2 n",
-        "max/log2^2 n",
-    ]);
-    for &n in &sizes {
-        for algo in &tight {
-            let stats = run_batch(algo.as_ref(), n, seeds_for(n, seeds), Schedule::Fair);
-            let mut sc = stats.step_complexity.clone();
-            sc.sort_unstable();
-            let log_n = (n as f64).log2();
-            table.row(vec![
-                algo.name(),
-                n.to_string(),
-                algo.m(n).to_string(),
-                sc[sc.len() / 2].to_string(),
-                stats.max_steps().to_string(),
-                fnum(stats.max_steps() as f64 / log_n, 2),
-                fnum(stats.max_steps() as f64 / (log_n * log_n), 3),
-            ]);
-        }
-    }
-    println!("{table}");
-
-    println!("\n-- AKS depth model (why the paper avoids AKS) --");
-    let mut aks = Table::new(vec!["width", "bitonic depth", "AKS model depth", "bitonic wins"]);
-    for exp in [10u32, 16, 20, 30] {
-        let w = 1usize << exp;
-        let b = aks_model::bitonic_depth(w);
-        let a = aks_model::aks_depth(w);
-        aks.row(vec![
-            format!("2^{exp}"),
-            b.to_string(),
-            fnum(a, 0),
-            if (b as f64) < a { "yes".into() } else { "no".to_string() },
-        ]);
-    }
-    println!("{aks}");
-    println!(
-        "(AKS only catches up at width ≈ 2^{}, far beyond any machine.)",
-        aks_model::aks_crossover_log2()
-    );
-
-    println!("\n-- loose renaming --");
-    let loose: Vec<Box<dyn RenamingAlgorithm + Sync>> = vec![
-        Box::new(LooseL6 { ell: 2 }),
-        Box::new(LooseL8 { ell: 1 }),
-        Box::new(Cor9 { ell: 1 }),
-        Box::new(AagwLoose),
-        Box::new(UniformProbing::double()),
-    ];
-    let mut table = Table::new(vec![
-        "algorithm",
-        "n",
-        "m/n",
-        "steps p50",
-        "steps max",
-        "max/(lln)^2",
-        "unnamed max",
-    ]);
-    for &n in &sizes {
-        for algo in &loose {
-            let stats = run_batch(algo.as_ref(), n, seeds_for(n, seeds), Schedule::Fair);
-            let mut sc = stats.step_complexity.clone();
-            sc.sort_unstable();
-            let lln = (n as f64).log2().log2();
-            table.row(vec![
-                algo.name(),
-                n.to_string(),
-                fnum(algo.m(n) as f64 / n as f64, 3),
-                sc[sc.len() / 2].to_string(),
-                stats.max_steps().to_string(),
-                fnum(stats.max_steps() as f64 / (lln * lln), 2),
-                stats.max_unnamed().to_string(),
-            ]);
-        }
-    }
-    println!("{table}");
-    println!(
-        "\nclaim check: tau-register max/log2 n bounded while bitonic \
-         max/log2^2 n is the bounded one (O(log n) vs O(log² n)); \
-         fetch-add = 1 step (ideal hardware); loose protocols bounded in \
-         (loglog n)^2 while uniform probing's max grows like log n."
-    );
+    rr_bench::scenario::drive(rr_bench::scenario::specs::baselines);
 }

@@ -1,60 +1,6 @@
-//! E5 — Corollary 7: full loose renaming with
-//! `m = n + 2n/(log log n)^ℓ` names and `O((log log n)^ℓ)` steps w.h.p.
-//!
-//! The composed protocol (Lemma 6 + \[8\]-style finisher on the spare
-//! space) must name *everyone*; we report the step complexity against a
-//! poly-log-log envelope and against `log₂ n` (to show it is genuinely
-//! below logarithmic), plus how much of the spare space was used.
-
-use rr_analysis::table::{fnum, Table};
-use rr_bench::runner::{header, quick_mode, run_batch, seeds_for, Schedule};
-use rr_renaming::spare;
-use rr_renaming::traits::{Cor7, RenamingAlgorithm};
+//! E5 — Corollary 7: loose renaming, m = n + 2n/(loglog n)^ℓ in
+//! O((loglog n)^ℓ) steps. See [`rr_bench::scenario::specs::cor7`].
 
 fn main() {
-    header("E5", "Corollary 7 — loose renaming, m = n + 2n/(loglog n)^l, O((loglog n)^l) steps");
-    let (sizes, seeds): (Vec<usize>, u64) = if quick_mode() {
-        (vec![1 << 10, 1 << 12], 5)
-    } else {
-        (vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20], 30)
-    };
-
-    let mut table = Table::new(vec![
-        "n",
-        "l",
-        "m/n",
-        "spare",
-        "steps p50",
-        "steps max",
-        "max/(lln)^2",
-        "max/log2 n",
-        "unnamed",
-    ]);
-    for &n in &sizes {
-        for ell in [1u32, 2] {
-            let algo = Cor7 { ell };
-            let stats = run_batch(&algo, n, seeds_for(n, seeds), Schedule::Fair);
-            let mut sc = stats.step_complexity.clone();
-            sc.sort_unstable();
-            let lln = (n as f64).log2().log2();
-            table.row(vec![
-                n.to_string(),
-                ell.to_string(),
-                fnum(algo.m(n) as f64 / n as f64, 4),
-                spare::cor7(n, ell).to_string(),
-                sc[sc.len() / 2].to_string(),
-                stats.max_steps().to_string(),
-                fnum(stats.max_steps() as f64 / (lln * lln), 2),
-                fnum(stats.max_steps() as f64 / (n as f64).log2(), 2),
-                stats.max_unnamed().to_string(),
-            ]);
-        }
-    }
-    println!("{table}");
-    println!(
-        "\nclaim check: 'unnamed' identically 0 (full renaming); \
-         'max/(lln)^2' bounded (poly-log-log steps; our finisher costs \
-         O((loglog)^2), see DESIGN.md); m/n → 1 as n or l grows \
-         ((1+o(1))·n name space)."
-    );
+    rr_bench::scenario::drive(rr_bench::scenario::specs::cor7);
 }

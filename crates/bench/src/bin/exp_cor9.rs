@@ -1,57 +1,6 @@
-//! E7 — Corollary 9: full loose renaming with `m = n + 2n/(log n)^ℓ`
-//! names and `O((log log n)²)` steps w.h.p.
-//!
-//! The headline loose-renaming result: almost-tight name space
-//! (`(1+o(1))·n` with a *polynomially* small o(1)-term) at
-//! poly-double-logarithmic step complexity.
-
-use rr_analysis::table::{fnum, Table};
-use rr_bench::runner::{header, quick_mode, run_batch, seeds_for, Schedule};
-use rr_renaming::spare;
-use rr_renaming::traits::{Cor9, RenamingAlgorithm};
+//! E7 — Corollary 9: loose renaming, m = n + 2n/(log n)^ℓ in
+//! O((loglog n)²) steps. See [`rr_bench::scenario::specs::cor9`].
 
 fn main() {
-    header("E7", "Corollary 9 — loose renaming, m = n + 2n/(log n)^l, O((loglog n)^2) steps");
-    let (sizes, seeds): (Vec<usize>, u64) = if quick_mode() {
-        (vec![1 << 10, 1 << 12], 5)
-    } else {
-        (vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20], 30)
-    };
-
-    let mut table = Table::new(vec![
-        "n",
-        "l",
-        "m/n",
-        "spare",
-        "steps p50",
-        "steps max",
-        "max/(lln)^2",
-        "max/log2 n",
-        "unnamed",
-    ]);
-    for &n in &sizes {
-        for ell in [1u32, 2] {
-            let algo = Cor9 { ell };
-            let stats = run_batch(&algo, n, seeds_for(n, seeds), Schedule::Fair);
-            let mut sc = stats.step_complexity.clone();
-            sc.sort_unstable();
-            let lln = (n as f64).log2().log2();
-            table.row(vec![
-                n.to_string(),
-                ell.to_string(),
-                fnum(algo.m(n) as f64 / n as f64, 5),
-                spare::cor9(n, ell).to_string(),
-                sc[sc.len() / 2].to_string(),
-                stats.max_steps().to_string(),
-                fnum(stats.max_steps() as f64 / (lln * lln), 2),
-                fnum(stats.max_steps() as f64 / (n as f64).log2(), 2),
-                stats.max_unnamed().to_string(),
-            ]);
-        }
-    }
-    println!("{table}");
-    println!(
-        "\nclaim check: 'unnamed' identically 0; 'max/(lln)^2' bounded by \
-         a constant as n grows; m/n = 1 + 2/(log n)^l → 1 polynomially."
-    );
+    rr_bench::scenario::drive(rr_bench::scenario::specs::cor9);
 }

@@ -1,62 +1,6 @@
-//! E11 — §I.A: deterministic renaming costs Θ(n) steps, "exponentially
-//! worse" than the randomized protocols.
-//!
-//! The deterministic linear scan (everyone starts at 0 — no initial
-//! symmetry for the adversary to leave unexploited) pays exactly `n`
-//! steps in the worst position, while the paper's randomized protocols
-//! pay `O(log n)` (tight) or `O((log log n)²)` (loose). The ratio column
-//! is the exponential gap.
-
-use rr_analysis::table::{fnum, Table};
-use rr_baselines::{LinearScan, ScanStart, SplitterGrid};
-use rr_bench::runner::{header, quick_mode, run_batch, Schedule};
-use rr_renaming::traits::Cor9;
-use rr_renaming::TightRenaming;
+//! E11 — deterministic Θ(n) vs randomized O(log n) / O((loglog n)²).
+//! See [`rr_bench::scenario::specs::deterministic_gap`] for details.
 
 fn main() {
-    header("E11", "deterministic Θ(n) vs randomized O(log n) / O((loglog n)^2)");
-    let (sizes, seeds): (Vec<usize>, u64) = if quick_mode() {
-        (vec![1 << 8, 1 << 10], 3)
-    } else {
-        (vec![1 << 10, 1 << 12, 1 << 14, 1 << 16], 10)
-    };
-
-    let det = LinearScan { start: ScanStart::Zero };
-    let grid = SplitterGrid;
-    let tight = TightRenaming::calibrated(4);
-    let loose = Cor9 { ell: 1 };
-
-    let mut table = Table::new(vec![
-        "n",
-        "linear-scan max",
-        "grid max (r/w, n capped 2^12)",
-        "tight-tau max",
-        "cor9 max",
-        "det/tight",
-        "det/loose",
-    ]);
-    for &n in &sizes {
-        let d = run_batch(&det, n, 1, Schedule::Fair); // deterministic: 1 run
-                                                       // The grid is Θ(n) steps/process and Θ(n²) registers — cap its size
-                                                       // so the table regenerates in seconds (the linear trend is
-                                                       // unambiguous by 2^12).
-        let g = run_batch(&grid, n.min(1 << 12), 1, Schedule::Fair);
-        let t = run_batch(&tight, n, seeds, Schedule::Fair);
-        let l = run_batch(&loose, n, seeds, Schedule::Fair);
-        table.row(vec![
-            n.to_string(),
-            d.max_steps().to_string(),
-            g.max_steps().to_string(),
-            t.max_steps().to_string(),
-            l.max_steps().to_string(),
-            fnum(d.max_steps() as f64 / t.max_steps() as f64, 1),
-            fnum(d.max_steps() as f64 / l.max_steps() as f64, 1),
-        ]);
-    }
-    println!("{table}");
-    println!(
-        "\nclaim check: 'linear-scan max' = n exactly; both ratio columns \
-         grow roughly linearly in n/log n — the exponential separation \
-         between deterministic and randomized renaming."
-    );
+    rr_bench::scenario::drive(rr_bench::scenario::specs::deterministic_gap);
 }

@@ -1,60 +1,6 @@
-//! E2 — Lemma 3: throwing `2c·log n` balls i.u.r. into `2·log n` bins
-//! leaves at most `log n` empty bins with probability ≥ 1 − n^{−ℓ}
-//! (for `c ≥ max(ln 2, 2ℓ+2)`).
-//!
-//! We measure the empirical violation rate and print it next to the
-//! paper's analytic bound `(2/e^{c−1+2/e^c})^{log n}` — the table shows
-//! the bound is (very) conservative, which is what the τ-register's
-//! saturation argument leans on.
-
-use rr_analysis::ballsbins::{expected_empty_bins, lemma3_bound, simulate_lemma3};
-use rr_analysis::table::{fnum, fprob, Table};
-use rr_bench::runner::{header, quick_mode};
+//! E2 — Lemma 3: ≤ log n empty bins w.h.p. (balls into bins).
+//! See [`rr_bench::scenario::specs::lemma3`] for the claim details.
 
 fn main() {
-    header("E2", "Lemma 3 — ≤ log n empty bins w.h.p. (balls into bins)");
-    let (ns, trials): (Vec<usize>, u64) = if quick_mode() {
-        (vec![1 << 10, 1 << 14], 2_000)
-    } else {
-        (vec![1 << 10, 1 << 14, 1 << 18, 1 << 20], 20_000)
-    };
-    let cs = [1u64, 2, 4, 8];
-
-    let mut table = Table::new(vec![
-        "n",
-        "c",
-        "balls",
-        "bins",
-        "E[empty] exact",
-        "mean empty",
-        "max empty",
-        "thresh logn",
-        "P[viol] meas",
-        "P[viol] bound",
-    ]);
-    for &n in &ns {
-        for &c in &cs {
-            let r = simulate_lemma3(n, c, trials, 0xE2 + c);
-            let log_n = r.threshold;
-            let balls = 2 * c * log_n;
-            let bins = 2 * log_n;
-            table.row(vec![
-                n.to_string(),
-                c.to_string(),
-                balls.to_string(),
-                bins.to_string(),
-                fnum(expected_empty_bins(balls, bins), 2),
-                fnum(r.mean_empty, 2),
-                r.max_empty.to_string(),
-                log_n.to_string(),
-                fprob(r.violation_rate()),
-                fprob(lemma3_bound(n, c)),
-            ]);
-        }
-    }
-    println!("{table}");
-    println!(
-        "\nclaim check: for c ≥ 4 (= 2ℓ+2 at ℓ=1) the measured violation \
-         rate is 0 across all trials and the analytic bound is ≤ 1/n."
-    );
+    rr_bench::scenario::drive(rr_bench::scenario::specs::lemma3);
 }

@@ -1,83 +1,6 @@
-//! E3 — Lemma 4: in every §III round, every `(log n)`-register receives
-//! `4c·log n` requests in expectation and at least `2c·log n` w.h.p., so
-//! after the discarding step each register accepts exactly `log n`
-//! requests.
-//!
-//! We attach the request recorder to both parameterizations and print,
-//! per round: registers in the cluster, min/mean requests per register
-//! against the `2c log n` / `4c log n` targets, and how many registers
-//! filled their full τ quota. The paper-exact rows exhibit the
-//! *oversaturation* regime of Definition 2 (requests far above target,
-//! because the active population hardly shrinks — the documented gap);
-//! the calibrated rows sit on the 4cL target.
-
-use rr_analysis::table::{fnum, Table};
-use rr_bench::runner::{header, quick_mode};
-use rr_renaming::tight::TightRenaming;
-use rr_sched::adversary::FairAdversary;
-use rr_sched::process::Process;
-use rr_sched::virtual_exec::run;
-
-fn report(algo: TightRenaming, n: usize, seed: u64, max_rounds: usize) {
-    let algo = algo.with_recorder();
-    let (shared, procs) = algo.instantiate_shared(n, seed);
-    let boxed: Vec<Box<dyn Process>> =
-        procs.into_iter().map(|p| Box::new(p) as Box<dyn Process>).collect();
-    let budget = 400 * (n as u64) * ((n as f64).log2() as u64 + 16);
-    let out = run(boxed, &mut FairAdversary::default(), budget).unwrap();
-    out.verify_renaming(n).unwrap();
-
-    let plan = &shared.plan;
-    let l = plan.l as u64;
-    let c = plan.c as u64;
-    println!(
-        "\n{} @ n={n}: L={l}, c={c}, rounds={} (showing ≤ {max_rounds}), targets: whp ≥ {} (2cL), E = {} (4cL)",
-        rr_renaming::traits::RenamingAlgorithm::name(&algo),
-        plan.rounds(),
-        2 * c * l,
-        4 * c * l
-    );
-    let rec = shared.recorder.as_ref().unwrap();
-    let mut table =
-        Table::new(vec!["round", "registers", "req min", "req mean", "req max", "full registers"]);
-    for round in 0..plan.rounds().min(max_rounds) {
-        let counts = rec.round_counts(round);
-        let regs = counts.len();
-        let min = *counts.iter().min().unwrap();
-        let max = *counts.iter().max().unwrap();
-        let mean = counts.iter().sum::<u64>() as f64 / regs as f64;
-        // Full = register reached its τ quota.
-        let cl = plan.clusters[round];
-        let full = (0..cl.registers)
-            .filter(|&i| {
-                let r = cl.first_register + i;
-                shared.registers[r].confirmed_count() == plan.register_tau[r]
-            })
-            .count();
-        table.row(vec![
-            (round + 1).to_string(),
-            regs.to_string(),
-            min.to_string(),
-            fnum(mean, 1),
-            max.to_string(),
-            format!("{full}/{regs}"),
-        ]);
-    }
-    println!("{table}");
-}
+//! E3 — Lemma 4: per-round register saturation (≥ 2c log n requests
+//! w.h.p.). See [`rr_bench::scenario::specs::lemma4`] for details.
 
 fn main() {
-    header("E3", "Lemma 4 — per-round register saturation (≥ 2c log n requests w.h.p.)");
-    let n = if quick_mode() { 1 << 10 } else { 1 << 14 };
-    report(TightRenaming::calibrated(4), n, 0xE3, 10);
-    // The paper-exact variant funnels almost everyone through the final
-    // sweep (the documented under-provisioning), which is Θ(n·n/log n)
-    // total work — run it one size down so the table regenerates fast.
-    report(TightRenaming::paper_exact(4), n.min(1 << 12), 0xE3, 10);
-    println!(
-        "\nclaim check: calibrated rows keep 'req mean' ≈ 4cL and every \
-         register full; paper-exact rows oversaturate (mean ≫ 4cL) — \
-         saturation holds a fortiori, but most names are only reachable \
-         through the final-round sweep (DESIGN.md, gap 1)."
-    );
+    rr_bench::scenario::drive(rr_bench::scenario::specs::lemma4);
 }

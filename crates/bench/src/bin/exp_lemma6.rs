@@ -1,57 +1,6 @@
-//! E4 — Lemma 6: `n/(log log n)^ℓ`-almost-tight renaming on `n` TAS
-//! registers with step complexity `O((log log n)^ℓ)`.
-//!
-//! For ℓ ∈ {1,2,3} and a sweep of n we report the unnamed count against
-//! the `2n/(log log n)^ℓ` w.h.p. bound and the exact step ceiling
-//! `Σ 2^i`. The claim holds if `unnamed max ≤ bound` on every run and
-//! the step column matches the schedule.
-
-use rr_analysis::table::{fnum, Table};
-use rr_bench::runner::{header, quick_mode, run_batch, seeds_for, Schedule};
-use rr_renaming::traits::LooseL6;
-use rr_renaming::Lemma6Schedule;
+//! E4 — Lemma 6: n/(loglog n)^ℓ-almost-tight renaming in
+//! O((loglog n)^ℓ) steps. See [`rr_bench::scenario::specs::lemma6`].
 
 fn main() {
-    header("E4", "Lemma 6 — n/(loglog n)^l-almost-tight renaming in O((loglog n)^l) steps");
-    let (sizes, seeds): (Vec<usize>, u64) = if quick_mode() {
-        (vec![1 << 10, 1 << 12], 5)
-    } else {
-        (vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20], 30)
-    };
-
-    let mut table = Table::new(vec![
-        "n",
-        "l",
-        "rounds",
-        "step bound",
-        "steps max",
-        "unnamed mean",
-        "unnamed max",
-        "bound 2n/(lln)^l",
-        "ok",
-    ]);
-    for &n in &sizes {
-        for ell in [1u32, 2, 3] {
-            let schedule = Lemma6Schedule::new(n, ell);
-            let stats = run_batch(&LooseL6 { ell }, n, seeds_for(n, seeds), Schedule::Fair);
-            let ok = (stats.max_unnamed() as f64) <= schedule.unnamed_bound;
-            table.row(vec![
-                n.to_string(),
-                ell.to_string(),
-                schedule.rounds.to_string(),
-                schedule.total_steps.to_string(),
-                stats.max_steps().to_string(),
-                fnum(stats.mean_unnamed(), 1),
-                stats.max_unnamed().to_string(),
-                fnum(schedule.unnamed_bound, 1),
-                if ok { "yes".into() } else { "VIOLATED".to_string() },
-            ]);
-        }
-    }
-    println!("{table}");
-    println!(
-        "\nclaim check: every row 'ok' = yes (unnamed within the w.h.p. \
-         bound) and 'steps max' ≤ 'step bound' (the schedule is the exact \
-         ceiling)."
-    );
+    rr_bench::scenario::drive(rr_bench::scenario::specs::lemma6);
 }

@@ -1,56 +1,6 @@
-//! E6 — Lemma 8: `n/(log n)^ℓ`-almost-tight renaming with step
-//! complexity `2ℓ(log log n)²` (our corrected schedule: `ℓ·⌈loglog n⌉`
-//! phases; see DESIGN.md, gap 4).
-//!
-//! Reports unnamed counts against the `n/(log n)^ℓ` bound (plus the
-//! structural floor `n − capacity` that the corrected schedule makes
-//! compatible with it) and the exact step ceiling.
-
-use rr_analysis::table::{fnum, Table};
-use rr_bench::runner::{header, quick_mode, run_batch, seeds_for, Schedule};
-use rr_renaming::traits::LooseL8;
-use rr_renaming::Lemma8Schedule;
+//! E6 — Lemma 8: n/(log n)^ℓ-almost-tight renaming in 2ℓ(loglog n)²
+//! steps. See [`rr_bench::scenario::specs::lemma8`] for details.
 
 fn main() {
-    header("E6", "Lemma 8 — n/(log n)^l-almost-tight renaming in 2l^2(loglog n)^2 steps");
-    let (sizes, seeds): (Vec<usize>, u64) = if quick_mode() {
-        (vec![1 << 10, 1 << 12], 5)
-    } else {
-        (vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20], 30)
-    };
-
-    let mut table = Table::new(vec![
-        "n",
-        "l",
-        "phases",
-        "step bound",
-        "steps max",
-        "capacity floor",
-        "unnamed mean",
-        "unnamed max",
-        "bound n/(ln)^l",
-    ]);
-    for &n in &sizes {
-        for ell in [1u32, 2] {
-            let schedule = Lemma8Schedule::new(n, ell);
-            let stats = run_batch(&LooseL8 { ell }, n, seeds_for(n, seeds), Schedule::Fair);
-            table.row(vec![
-                n.to_string(),
-                ell.to_string(),
-                schedule.phases.to_string(),
-                schedule.total_steps().to_string(),
-                stats.max_steps().to_string(),
-                (n - schedule.capacity()).to_string(),
-                fnum(stats.mean_unnamed(), 1),
-                stats.max_unnamed().to_string(),
-                fnum(schedule.unnamed_bound, 1),
-            ]);
-        }
-    }
-    println!("{table}");
-    println!(
-        "\nclaim check: 'unnamed max' within a small constant of \
-         'bound n/(ln)^l' (asymptotic bound; the structural floor \
-         n − capacity is part of it), 'steps max' ≤ 'step bound'."
-    );
+    rr_bench::scenario::drive(rr_bench::scenario::specs::lemma8);
 }

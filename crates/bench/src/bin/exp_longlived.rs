@@ -1,63 +1,6 @@
-//! E13 — long-lived renaming under churn (related-work \[13\] context):
-//! with owner-release TAS registers and a `(1+ε)n` space, the amortized
-//! acquire cost stays ~`(1+ε)/ε` probes across arbitrary acquire/release
-//! churn, independent of how many cycles have happened.
-
-use rr_analysis::table::{fnum, Table};
-use rr_bench::runner::{header, quick_mode};
-use rr_renaming::longlived::{LongLivedClient, ReleasableTasArray};
-
-fn churn(n: usize, epsilon: f64, rounds: usize, seed: u64) -> (f64, f64) {
-    let m = ((1.0 + epsilon) * n as f64).ceil() as usize;
-    let names = ReleasableTasArray::new(m);
-    let mut clients: Vec<_> = (0..n).map(|p| LongLivedClient::new(p, seed)).collect();
-    let mut worst_single = 0u64;
-    for _ in 0..rounds {
-        for c in clients.iter_mut() {
-            let (before, _) = c.stats();
-            c.acquire(&names);
-            let (after, _) = c.stats();
-            worst_single = worst_single.max(after - before);
-        }
-        for c in clients.iter_mut() {
-            c.release(&names);
-        }
-    }
-    let probes: u64 = clients.iter().map(|c| c.stats().0).sum();
-    let acquires: u64 = clients.iter().map(|c| c.stats().1).sum();
-    (probes as f64 / acquires as f64, worst_single as f64)
-}
+//! E13 — long-lived renaming: amortized acquire cost under churn.
+//! See [`rr_bench::scenario::specs::longlived`] for details.
 
 fn main() {
-    header("E13", "long-lived renaming — amortized acquire cost under churn");
-    let (n, rounds) = if quick_mode() { (256usize, 20usize) } else { (4096, 100) };
-
-    let mut table = Table::new(vec![
-        "epsilon",
-        "m",
-        "rounds",
-        "acquires",
-        "amortized probes",
-        "bound (1+e)/e",
-        "worst single acquire",
-    ]);
-    for eps in [0.1f64, 0.25, 0.5, 1.0, 2.0] {
-        let (amortized, worst) = churn(n, eps, rounds, 0xE13);
-        let m = ((1.0 + eps) * n as f64).ceil() as usize;
-        table.row(vec![
-            fnum(eps, 2),
-            m.to_string(),
-            rounds.to_string(),
-            (n * rounds).to_string(),
-            fnum(amortized, 3),
-            fnum((1.0 + eps) / eps, 3),
-            fnum(worst, 0),
-        ]);
-    }
-    println!("{table}");
-    println!(
-        "\nclaim check: 'amortized probes' tracks the expected-cost bound \
-         (1+e)/e for every ε and does not grow with the number of churn \
-         rounds — names recycle indefinitely (long-lived renaming)."
-    );
+    rr_bench::scenario::drive(rr_bench::scenario::specs::longlived);
 }

@@ -1,0 +1,117 @@
+//! The umbrella experiment: run **any** registered algorithm under
+//! **any** registered adversary at any size — from string keys alone.
+//!
+//! ```text
+//! exp_matrix [--quick] [--json PATH] [--list]
+//!            [--algos k1,k2,…] [--adversaries k1,k2,…]
+//!            [--sizes n1,n2,…] [--seeds N]
+//! ```
+//!
+//! Defaults: every registered algorithm; `--quick` runs each once under
+//! the fair schedule (the CI smoke configuration), the full mode crosses
+//! every adversary too. `--list` prints both registries and exits.
+
+use rr_bench::runner::RunConfig;
+use rr_bench::scenario::specs::{matrix, MatrixOptions};
+use rr_bench::scenario::{drive, registry};
+
+/// Splits a comma-separated key list, re-joining bare `k=v` fragments
+/// with the preceding key — the key grammar itself uses commas between
+/// parameters, so `stall,crash:p=200,cap=25` is two keys, not three.
+fn split_keys(raw: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for part in raw.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        match out.last_mut() {
+            Some(last) if part.contains('=') && !part.contains(':') => {
+                last.push(',');
+                last.push_str(part);
+            }
+            _ => out.push(part.to_string()),
+        }
+    }
+    out
+}
+
+fn print_registries() {
+    println!("registered algorithms (key: summary):");
+    for (name, summary, example, n_cap) in registry().entries() {
+        let cap = n_cap.map(|c| format!(" [n ≤ {c}]")).unwrap_or_default();
+        println!("  {name:16} {summary}{cap}  e.g. `{example}`");
+    }
+    println!("registered adversaries (key: summary):");
+    for (name, summary, example) in rr_sched::registry::standard().entries() {
+        println!("  {name:16} {summary}  e.g. `{example}`");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        print_registries();
+        return;
+    }
+    drive(|cfg: &RunConfig| {
+        let mut opts = MatrixOptions::defaults(cfg);
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--algos" => {
+                    if let Some(v) = it.next() {
+                        opts.algorithms = split_keys(v);
+                    }
+                }
+                "--adversaries" => {
+                    if let Some(v) = it.next() {
+                        opts.adversaries = split_keys(v);
+                    }
+                }
+                "--sizes" => {
+                    if let Some(v) = it.next() {
+                        opts.sizes = split_keys(v)
+                            .iter()
+                            .map(|s| {
+                                s.parse().unwrap_or_else(|_| {
+                                    eprintln!("exp_matrix: bad size `{s}`");
+                                    std::process::exit(2);
+                                })
+                            })
+                            .collect();
+                    }
+                }
+                "--seeds" => {
+                    if let Some(v) = it.next() {
+                        opts.seeds = v.parse().unwrap_or_else(|_| {
+                            eprintln!("exp_matrix: bad seed count `{v}`");
+                            std::process::exit(2);
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Validate inputs up front for a friendly error instead of a
+        // mid-table panic.
+        if opts.seeds == 0 {
+            eprintln!("exp_matrix: --seeds must be ≥ 1");
+            std::process::exit(2);
+        }
+        let reg = registry();
+        for key in &opts.algorithms {
+            if let Err(e) = reg.build(key) {
+                eprintln!("exp_matrix: {e}");
+                std::process::exit(2);
+            }
+        }
+        for key in &opts.adversaries {
+            if let Err(e) = rr_sched::registry::standard().prepare(key) {
+                eprintln!("exp_matrix: {e}");
+                std::process::exit(2);
+            }
+        }
+        matrix(cfg, &opts)
+    });
+}

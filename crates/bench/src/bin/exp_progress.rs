@@ -1,101 +1,6 @@
-//! E15 — progress curves ("the figure"): fraction of processes named as
-//! a function of elapsed per-process steps, for the paper's protocols and
-//! the baselines. This is the series a plotting pipeline would consume;
-//! printed as aligned columns (one row per checkpoint, one column per
-//! algorithm) so the crossing points are visible in text form.
-
-use rr_analysis::table::{fnum, Table};
-use rr_baselines::{BitonicRenaming, UniformProbing};
-use rr_bench::runner::{header, quick_mode};
-use rr_renaming::traits::{Cor9, RenamingAlgorithm};
-use rr_renaming::TightRenaming;
-use rr_sched::adversary::{Adversary, Decision, FairAdversary, View};
-use rr_sched::process::Process;
-use rr_sched::virtual_exec::run;
-
-/// Wraps the fair adversary and snapshots `named / n` every `n` grants
-/// (≈ one global step per process under round-robin).
-struct ProgressProbe {
-    inner: FairAdversary,
-    grants: u64,
-    n: u64,
-    /// `series[t]` = named fraction after ~t steps per process.
-    series: Vec<f64>,
-}
-
-impl ProgressProbe {
-    fn new(n: usize) -> Self {
-        Self { inner: FairAdversary::default(), grants: 0, n: n as u64, series: vec![0.0] }
-    }
-}
-
-impl Adversary for ProgressProbe {
-    fn decide(&mut self, view: &View<'_>) -> Decision {
-        self.grants += 1;
-        if self.grants % self.n == 0 {
-            self.series.push(view.named as f64 / self.n as f64);
-        }
-        self.inner.decide(view)
-    }
-
-    fn name(&self) -> &'static str {
-        "progress-probe"
-    }
-}
-
-fn series_for(algo: &dyn RenamingAlgorithm, n: usize, seed: u64) -> Vec<f64> {
-    let inst = algo.instantiate(n, seed);
-    let m = inst.m;
-    let procs: Vec<Box<dyn Process>> =
-        inst.processes.into_iter().map(|p| p as Box<dyn Process>).collect();
-    let mut probe = ProgressProbe::new(n);
-    let out = run(procs, &mut probe, algo.step_budget(n)).unwrap();
-    out.verify_renaming(m).unwrap();
-    probe.series.push(1.0);
-    probe.series
-}
+//! E15 — progress curves: named fraction vs per-process steps.
+//! See [`rr_bench::scenario::specs::progress`] for details.
 
 fn main() {
-    header("E15", "progress curves — named fraction vs per-process steps (fair schedule)");
-    let n = if quick_mode() { 1 << 10 } else { 1 << 14 };
-    let algos: Vec<Box<dyn RenamingAlgorithm + Sync>> = vec![
-        Box::new(TightRenaming::calibrated(4)),
-        Box::new(BitonicRenaming),
-        Box::new(Cor9 { ell: 1 }),
-        Box::new(UniformProbing::double()),
-    ];
-    let series: Vec<(String, Vec<f64>)> =
-        algos.iter().map(|a| (a.name(), series_for(a.as_ref(), n, 0xE15))).collect();
-
-    let mut header_row: Vec<String> = vec!["steps/proc".into()];
-    header_row.extend(series.iter().map(|(name, _)| name.clone()));
-    let mut table = Table::new(header_row);
-    let max_len = series.iter().map(|(_, s)| s.len()).max().unwrap();
-    // Geometric checkpoints keep the table short while showing the tail.
-    let mut t = 1usize;
-    let mut checkpoints = vec![0usize];
-    while t < max_len {
-        checkpoints.push(t);
-        t = (t * 2).max(t + 1);
-    }
-    // Always include the final point so late synchronized finishes (the
-    // network completes at exactly its depth) are visible.
-    if *checkpoints.last().unwrap() != max_len - 1 {
-        checkpoints.push(max_len - 1);
-    }
-    for &cp in &checkpoints {
-        let mut row = vec![cp.to_string()];
-        for (_, s) in &series {
-            let v = s.get(cp).copied().unwrap_or(1.0);
-            row.push(fnum(v, 4));
-        }
-        table.row(row);
-    }
-    println!("{table}");
-    println!(
-        "\nclaim check (n = {n}): cor9 saturates within ~a dozen steps \
-         (poly-loglog); tight-tau and bitonic take a logarithmic tail; \
-         uniform probing starts fastest but its last stragglers linger — \
-         the distribution shapes behind the step-complexity tables."
-    );
+    rr_bench::scenario::drive(rr_bench::scenario::specs::progress);
 }

@@ -1,109 +1,6 @@
-//! E10 — §II-B/§II-C: the counting device admits exactly τ winners under
-//! every request pattern, and a cycle is a constant amount of hardware
-//! work.
-//!
-//! Three parts: (1) quota stress — adversarial request batches can never
-//! push confirmed bits past τ; (2) batching profile — how many cycles a
-//! τ-register needs to absorb bursts of various shapes; (3) the
-//! flat-combining front end under real threads (winners = τ exactly,
-//! names distinct).
-
-use rand::rngs::ChaCha8Rng;
-use rand::{RngExt, SeedableRng};
-use rr_analysis::table::Table;
-use rr_bench::runner::header;
-use rr_tau::{ConcurrentTauRegister, CountingDevice};
-use std::collections::HashSet;
+//! E10 — counting device: τ-quota invariant, cycle counts, concurrency.
+//! See [`rr_bench::scenario::specs::tau`] for details.
 
 fn main() {
-    header("E10", "counting device — τ-quota invariant, cycle counts, concurrency");
-
-    // Part 1: quota stress across widths and thresholds.
-    println!("\n-- quota invariant under random batches --");
-    let mut table = Table::new(vec!["width", "tau", "batches", "max confirmed", "wins total"]);
-    let mut rng = ChaCha8Rng::seed_from_u64(0xE10);
-    for (width, tau) in [(8u32, 4u32), (16, 8), (32, 16), (64, 32), (64, 64), (20, 10)] {
-        let mut device = CountingDevice::new(width, tau);
-        let mut max_confirmed = 0;
-        let mut wins = 0usize;
-        let batches = 200;
-        for _ in 0..batches {
-            let k = rng.random_range(0..2 * width as usize);
-            let reqs: Vec<(usize, usize)> =
-                (0..k).map(|t| (t, rng.random_range(0..width as usize))).collect();
-            let rep = device.clock_cycle(&reqs);
-            wins += rep.win_count();
-            max_confirmed = max_confirmed.max(device.confirmed_count());
-        }
-        assert!(max_confirmed <= tau, "τ invariant violated");
-        assert_eq!(wins as u32, device.confirmed_count());
-        table.row(vec![
-            width.to_string(),
-            tau.to_string(),
-            batches.to_string(),
-            max_confirmed.to_string(),
-            wins.to_string(),
-        ]);
-    }
-    println!("{table}");
-
-    // Part 2: cycles to absorb bursts.
-    println!("\n-- cycles until quiescence for burst shapes (width 32, tau 16) --");
-    let mut table = Table::new(vec!["burst shape", "requests", "cycles", "winners"]);
-    let shapes: &[(&str, Vec<usize>)] = &[
-        ("one big batch", vec![64]),
-        ("8-request trickle", vec![8; 8]),
-        ("single file", vec![1; 64]),
-        ("front-loaded", vec![32, 16, 8, 4, 2, 1, 1]),
-    ];
-    for (label, batches) in shapes {
-        let mut device = CountingDevice::new(32, 16);
-        let mut rng = ChaCha8Rng::seed_from_u64(7);
-        let mut tag = 0usize;
-        for &k in batches {
-            let reqs: Vec<(usize, usize)> = (0..k)
-                .map(|_| {
-                    tag += 1;
-                    (tag, rng.random_range(0..32))
-                })
-                .collect();
-            device.clock_cycle(&reqs);
-        }
-        table.row(vec![
-            label.to_string(),
-            batches.iter().sum::<usize>().to_string(),
-            device.cycles().to_string(),
-            device.confirmed_count().to_string(),
-        ]);
-    }
-    println!("{table}");
-
-    // Part 3: flat-combining wrapper under threads.
-    println!("\n-- concurrent tau-register: 256 threads, width 40, tau 20 --");
-    let reg = ConcurrentTauRegister::new(40, 20, 0);
-    let names: Vec<usize> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..256)
-            .map(|i| {
-                let reg = reg.clone();
-                s.spawn(move || reg.acquire(i % 40).ok().map(|(name, _)| name))
-            })
-            .collect();
-        handles.into_iter().filter_map(|h| h.join().unwrap()).collect()
-    });
-    let distinct: HashSet<_> = names.iter().collect();
-    println!(
-        "winners: {} (tau = 20), distinct names: {}, cycles: {}",
-        names.len(),
-        distinct.len(),
-        reg.cycles()
-    );
-    assert_eq!(names.len(), 20);
-    assert_eq!(distinct.len(), 20);
-
-    println!(
-        "\nclaim check: 'max confirmed' ≤ tau everywhere; cycle count \
-         tracks batch count, not request count (hardware absorbs any \
-         concurrency per cycle); threaded register admits exactly tau \
-         winners with distinct names."
-    );
+    rr_bench::scenario::drive(rr_bench::scenario::specs::tau);
 }

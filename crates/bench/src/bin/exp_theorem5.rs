@@ -1,57 +1,6 @@
-//! E1 — Theorem 5: tight renaming of `n` processes into `n` names in
-//! `O(log n)` steps w.h.p., using `O(n)` space.
-//!
-//! For each `n` we run the calibrated §III protocol over many seeds and
-//! report the step complexity (max steps of any process), normalized by
-//! `log₂ n`. The claim holds if the normalized column is bounded by a
-//! constant as `n` grows and no run fails. Space usage is reported as
-//! total device bits + name slots over `n`.
-
-use rr_analysis::table::{fnum, Table};
-use rr_bench::runner::{header, quick_mode, run_batch, seeds_for, Schedule};
-use rr_renaming::{TightPlan, TightRenaming};
+//! E1 — Theorem 5: tight renaming in O(log n) steps w.h.p., O(n) space.
+//! See [`rr_bench::scenario::specs::theorem5`] for the claim details.
 
 fn main() {
-    header("E1", "Theorem 5 — tight renaming in O(log n) steps w.h.p., O(n) space");
-    let (sizes, seeds): (Vec<usize>, u64) = if quick_mode() {
-        (vec![1 << 8, 1 << 10], 5)
-    } else {
-        (vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18], 30)
-    };
-    let c = 4;
-    let algo = TightRenaming::calibrated(c);
-
-    let mut table = Table::new(vec![
-        "n",
-        "runs",
-        "steps p50",
-        "steps max",
-        "max/log2(n)",
-        "mean steps",
-        "unnamed",
-        "space/n",
-    ]);
-    for &n in &sizes {
-        let stats = run_batch(&algo, n, seeds_for(n, seeds), Schedule::Fair);
-        let mut sc = stats.step_complexity.clone();
-        sc.sort_unstable();
-        let p50 = sc[sc.len() / 2];
-        let plan = TightPlan::calibrated(n, c);
-        let space = (plan.total_bits() + plan.total_names()) as f64 / n as f64;
-        table.row(vec![
-            n.to_string(),
-            seeds_for(n, seeds).to_string(),
-            p50.to_string(),
-            stats.max_steps().to_string(),
-            fnum(stats.max_steps() as f64 / (n as f64).log2(), 2),
-            fnum(stats.mean_mean_steps(), 2),
-            stats.max_unnamed().to_string(),
-            fnum(space, 2),
-        ]);
-    }
-    println!("{table}");
-    println!(
-        "\nclaim check: 'max/log2(n)' bounded by a constant as n grows; \
-         'unnamed' identically 0; 'space/n' bounded (O(n) space)."
-    );
+    rr_bench::scenario::drive(rr_bench::scenario::specs::theorem5);
 }

@@ -2,7 +2,8 @@
 //!
 //! One binary per quantitative claim of the paper (plus the extensions);
 //! see DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
-//! claimed-vs-measured tables. All binaries accept `--quick`.
+//! claimed-vs-measured tables. All binaries accept `--quick` (CI-sized
+//! sweeps) and `--json <path>` (structured records next to the tables).
 //!
 //! | binary | claim |
 //! |---|---|
@@ -21,8 +22,13 @@
 //! | `exp_longlived` | E13 — long-lived renaming under churn |
 //! | `exp_ablation` | E14 — design-constant ablations |
 //! | `exp_progress` | E15 — named-fraction progress curves |
+//! | `exp_matrix` | any algorithm × adversary × n, by registry key |
 //!
-//! The shared [`runner`] drives any [`rr_renaming::RenamingAlgorithm`]
-//! across seeds and schedules with the safety audit always on.
+//! Every binary is a thin `main` over the [`scenario`] engine: the
+//! experiment itself is a declarative [`scenario::ScenarioSpec`] in
+//! [`scenario::specs`], naming algorithms and adversaries by **registry
+//! key** and executed by the shared parallel [`runner`] with the safety
+//! audit always on.
 
 pub mod runner;
+pub mod scenario;

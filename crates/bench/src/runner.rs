@@ -1,12 +1,11 @@
-//! Shared machinery for the `exp_*` binaries: run an algorithm across
+//! Shared machinery for the experiment layer: run an algorithm across
 //! seeds under a chosen adversary, collect the renaming-relevant
 //! statistics, and fail loudly on any safety violation.
 
 use rr_renaming::traits::RenamingAlgorithm;
-use rr_sched::adversary::{
-    Adversary, CollisionMaximizer, CrashAdversary, FairAdversary, RandomAdversary,
-};
+use rr_sched::adversary::Adversary;
 use rr_sched::process::Process;
+use rr_sched::registry::{standard, ParsedKey};
 use rr_sched::virtual_exec::{run, RunOutcome};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -61,18 +60,38 @@ impl BatchStats {
     pub fn max_unnamed(&self) -> usize {
         self.unnamed.iter().copied().max().unwrap_or(0)
     }
+
+    /// Total crashes over all runs.
+    pub fn total_crashed(&self) -> usize {
+        self.crashed.iter().sum()
+    }
+
+    /// Assembles stats from already-executed outcomes, in order — the
+    /// same aggregation the batch runners perform, exposed so tests
+    /// (e.g. record/replay equivalence) can compare batches built from
+    /// arbitrary adversaries field-for-field.
+    pub fn from_outcomes<'a>(outcomes: impl IntoIterator<Item = &'a RunOutcome>, n: usize) -> Self {
+        assemble(outcomes.into_iter().map(|out| measure(out, n)).collect())
+    }
 }
 
-/// Which adversary to schedule under.
+/// Which adversary to schedule under. This is the typed mirror of the
+/// [`rr_sched::registry`] keys: every variant round-trips through
+/// [`Schedule::key`] / [`Schedule::parse`], and [`Schedule`]-driven runs
+/// build their adversary through the registry so there is exactly one
+/// construction path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Schedule {
-    /// Round-robin.
+    /// Round-robin (`"fair"`).
     Fair,
-    /// Seeded random.
+    /// Seeded random (`"random"`).
     Random,
-    /// Collision-maximizing adaptive adversary.
+    /// Collision-maximizing adaptive adversary (`"collisions"`).
     CollisionMax,
-    /// Fair schedule + crash injection `(probability ‰, budget %)`.
+    /// Stalls winning-kind announces behind everyone else (`"stall"`).
+    Stall,
+    /// Fair schedule + crash injection `(probability ‰, budget %)`
+    /// (`"crash:p=…,cap=…"`).
     Crashes {
         /// Crash probability at winning announces, in permille.
         p_permille: u32,
@@ -88,24 +107,66 @@ impl Schedule {
             Schedule::Fair => "fair".into(),
             Schedule::Random => "random".into(),
             Schedule::CollisionMax => "collision-max".into(),
+            Schedule::Stall => "stall".into(),
             Schedule::Crashes { p_permille, budget_pct } => {
                 format!("crash(p={:.1}%,cap={budget_pct}%)", *p_permille as f64 / 10.0)
             }
         }
     }
 
-    fn build(&self, n: usize, seed: u64) -> Box<dyn Adversary> {
-        match *self {
-            Schedule::Fair => Box::new(FairAdversary::default()),
-            Schedule::Random => Box::new(RandomAdversary::new(seed)),
-            Schedule::CollisionMax => Box::new(CollisionMaximizer::default()),
-            Schedule::Crashes { p_permille, budget_pct } => Box::new(CrashAdversary::new(
-                FairAdversary::default(),
-                p_permille as f64 / 1000.0,
-                n * budget_pct as usize / 100,
-                seed,
-            )),
+    /// The [`rr_sched::registry`] key this schedule builds through.
+    pub fn key(&self) -> String {
+        match self {
+            Schedule::Fair => "fair".into(),
+            Schedule::Random => "random".into(),
+            Schedule::CollisionMax => "collisions".into(),
+            Schedule::Stall => "stall".into(),
+            Schedule::Crashes { p_permille, budget_pct } => {
+                format!("crash:p={p_permille},cap={budget_pct}")
+            }
         }
+    }
+
+    /// Parses a registry key back into the typed schedule (accepts the
+    /// table label `collision-max` as an alias for `collisions`).
+    ///
+    /// # Errors
+    /// Returns a message for unknown names or bad parameters — the key
+    /// is validated through the registry factory itself, so anything
+    /// `parse` accepts, [`Schedule`]-driven runs can build.
+    pub fn parse(key: &str) -> Result<Self, String> {
+        let parsed = ParsedKey::parse(key)?;
+        if parsed.name == "collision-max" {
+            parsed.check_known(&[])?;
+            return Ok(Schedule::CollisionMax);
+        }
+        let schedule = match parsed.name.as_str() {
+            "fair" => Schedule::Fair,
+            "random" => Schedule::Random,
+            "collisions" => Schedule::CollisionMax,
+            "stall" => Schedule::Stall,
+            "crash" => Schedule::Crashes {
+                p_permille: parsed.get("p", 20)?,
+                budget_pct: parsed.get("cap", 10)?,
+            },
+            other => {
+                return Err(format!(
+                    "unknown schedule `{other}` (known: {})",
+                    standard().keys().join(", ")
+                ))
+            }
+        };
+        // Full validation (unknown params, value ranges) lives in the
+        // registry factories — run it so parse never accepts a key that
+        // build would later reject.
+        let _builder = standard().prepare(key)?;
+        Ok(schedule)
+    }
+
+    fn build(&self, n: usize, seed: u64) -> Box<dyn Adversary> {
+        standard()
+            .build(&self.key(), n, seed)
+            .expect("every Schedule variant maps to a registered adversary key")
     }
 }
 
@@ -120,12 +181,25 @@ pub fn run_once(
     seed: u64,
     schedule: Schedule,
 ) -> RunOutcome {
+    run_once_with(algo, n, seed, schedule.build(n, seed).as_mut())
+}
+
+/// Runs `algo` at size `n` once with `seed` under an arbitrary
+/// (possibly recording or replaying) adversary.
+///
+/// # Panics
+/// Panics on executor errors or renaming-safety violations.
+pub fn run_once_with(
+    algo: &dyn RenamingAlgorithm,
+    n: usize,
+    seed: u64,
+    adversary: &mut dyn Adversary,
+) -> RunOutcome {
     let inst = algo.instantiate(n, seed);
     let m = inst.m;
     let procs: Vec<Box<dyn Process>> =
         inst.processes.into_iter().map(|p| p as Box<dyn Process>).collect();
-    let mut adversary = schedule.build(n, seed);
-    let out = run(procs, adversary.as_mut(), algo.step_budget(n))
+    let out = run(procs, adversary, algo.step_budget(n))
         .unwrap_or_else(|e| panic!("{} at n={n}, seed {seed}: {e}", algo.name()));
     if let Err(v) = out.verify_renaming(m) {
         panic!("{} violated renaming safety at n={n}, seed {seed}: {v}", algo.name());
@@ -187,7 +261,7 @@ pub fn run_batch_serial(
 /// [`run_batch_serial`], just `min(seeds, cores)` times sooner.
 ///
 /// Thread count: `RR_RUNNER_THREADS` if set, else the machine's available
-/// parallelism.
+/// parallelism (see [`RunConfig::from_env`]).
 pub fn run_batch(
     algo: &(dyn RenamingAlgorithm + Sync),
     n: usize,
@@ -205,9 +279,55 @@ pub fn run_batch_with_threads(
     schedule: Schedule,
     workers: usize,
 ) -> BatchStats {
+    run_batch_core(algo, n, seeds, &move |n, seed| schedule.build(n, seed), workers)
+}
+
+/// Runs `algo` across seeds under the adversary named by a registry
+/// `key` (`"fair"`, `"stall"`, `"crash:p=200,cap=25"`, …) — the string
+/// path the scenario engine drives. Same parallel executor and the same
+/// bit-identical-to-serial guarantee as [`run_batch`].
+///
+/// # Errors
+/// Returns a message when `key` names no registered adversary or its
+/// parameters fail validation. The runs themselves panic on safety
+/// violations, exactly like [`run_batch`].
+pub fn run_batch_keyed(
+    algo: &(dyn RenamingAlgorithm + Sync),
+    n: usize,
+    seeds: u64,
+    key: &str,
+) -> Result<BatchStats, String> {
+    run_batch_keyed_with_threads(algo, n, seeds, key, runner_threads())
+}
+
+/// [`run_batch_keyed`] with an explicit worker count (≤ 1 runs
+/// serially) — the scenario engine passes [`RunConfig::threads`] here.
+pub fn run_batch_keyed_with_threads(
+    algo: &(dyn RenamingAlgorithm + Sync),
+    n: usize,
+    seeds: u64,
+    key: &str,
+    workers: usize,
+) -> Result<BatchStats, String> {
+    let builder = standard().prepare(key)?;
+    Ok(run_batch_core(algo, n, seeds, &move |n, seed| builder(n, seed), workers))
+}
+
+/// The shared batch executor: farms seeds to scoped workers, building a
+/// fresh adversary per seed via `build_adv`, and re-assembles rows in
+/// seed order.
+fn run_batch_core(
+    algo: &(dyn RenamingAlgorithm + Sync),
+    n: usize,
+    seeds: u64,
+    build_adv: &(dyn Fn(usize, u64) -> Box<dyn Adversary> + Sync),
+    workers: usize,
+) -> BatchStats {
+    let run_seed =
+        |seed: u64| measure(&run_once_with(algo, n, seed, build_adv(n, seed).as_mut()), n);
     let workers = workers.min(seeds as usize);
     if workers <= 1 {
-        return run_batch_serial(algo, n, seeds, schedule);
+        return assemble((0..seeds).map(run_seed).collect());
     }
     let next_seed = AtomicU64::new(0);
     let mut rows: Vec<Option<SeedRow>> = vec![None; seeds as usize];
@@ -215,6 +335,7 @@ pub fn run_batch_with_threads(
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let next_seed = &next_seed;
+                let run_seed = &run_seed;
                 scope.spawn(move || {
                     let mut local: Vec<(u64, SeedRow)> = Vec::new();
                     loop {
@@ -222,7 +343,7 @@ pub fn run_batch_with_threads(
                         if seed >= seeds {
                             break;
                         }
-                        local.push((seed, measure(&run_once(algo, n, seed, schedule), n)));
+                        local.push((seed, run_seed(seed)));
                     }
                     local
                 })
@@ -240,35 +361,88 @@ pub fn run_batch_with_threads(
 /// Worker-thread count for [`run_batch`]: `RR_RUNNER_THREADS` when set
 /// to a positive integer, else the machine's available parallelism.
 pub fn runner_threads() -> usize {
-    std::env::var("RR_RUNNER_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
+    parse_threads(std::env::var("RR_RUNNER_THREADS").ok().as_deref())
+}
+
+fn parse_threads(raw: Option<&str>) -> usize {
+    raw.and_then(|v| v.parse::<usize>().ok())
         .filter(|&t| t > 0)
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
 }
 
-/// `--quick` flag: experiment binaries shrink their sweeps so CI can run
-/// them in seconds.
-pub fn quick_mode() -> bool {
-    std::env::args().any(|a| a == "--quick")
+/// The experiment layer's environment, read **once** per binary: the
+/// single home of every knob that used to be re-implemented per binary
+/// (`--quick` parsing, seed scaling, `RR_RUNNER_THREADS`).
+///
+/// | knob | source | effect |
+/// |---|---|---|
+/// | `quick` | `--quick` CLI flag | shrink sweeps so CI finishes in seconds |
+/// | `threads` | `RR_RUNNER_THREADS` env (else available parallelism) | [`run_batch`] worker count |
+/// | `json_path` | `--json <path>` CLI flag | also write structured records (see `scenario::sink`) |
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// CI-sized sweeps when set (the `--quick` flag).
+    pub quick: bool,
+    /// Worker threads for seed-parallel batches.
+    pub threads: usize,
+    /// Where to write the JSON-lines record stream, if anywhere.
+    pub json_path: Option<std::path::PathBuf>,
 }
 
-/// Seeds per configuration, scaled down for the largest sizes so a full
-/// sweep stays in laptop territory (the variance of the measured
-/// quantities also shrinks with n, so fewer seeds lose little).
-pub fn seeds_for(n: usize, base: u64) -> u64 {
-    if n >= 1 << 20 {
-        (base / 6).max(3)
-    } else if n >= 1 << 18 {
-        (base / 3).max(5)
-    } else {
-        base
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self { quick: false, threads: parse_threads(None), json_path: None }
     }
 }
 
-/// Standard experiment header so EXPERIMENTS.md and stdout agree.
-pub fn header(id: &str, claim: &str) {
-    println!("=== {id}: {claim} ===");
+impl RunConfig {
+    /// Reads the process's CLI arguments and environment.
+    pub fn from_env() -> Self {
+        Self::from_args(std::env::args().skip(1), std::env::var("RR_RUNNER_THREADS").ok())
+    }
+
+    /// Testable core of [`RunConfig::from_env`]: `--quick` and
+    /// `--json <path>` are recognized, anything else is ignored (the
+    /// experiment binaries have always tolerated stray arguments).
+    pub fn from_args(args: impl IntoIterator<Item = String>, threads_env: Option<String>) -> Self {
+        let mut cfg =
+            Self { quick: false, threads: parse_threads(threads_env.as_deref()), json_path: None };
+        let mut args = args.into_iter().peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => cfg.quick = true,
+                // A following `--flag` is not a path — leave it in the
+                // stream instead of swallowing it.
+                "--json" if args.peek().is_some_and(|v| !v.starts_with("--")) => {
+                    cfg.json_path = args.next().map(Into::into);
+                }
+                _ => {}
+            }
+        }
+        cfg
+    }
+
+    /// Picks the full or the `--quick` variant of a sweep parameter.
+    pub fn pick<T>(&self, full: T, quick: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+
+    /// Seeds per configuration, scaled down for the largest sizes so a
+    /// full sweep stays in laptop territory (the variance of the measured
+    /// quantities also shrinks with n, so fewer seeds lose little).
+    pub fn seeds_for(&self, n: usize, base: u64) -> u64 {
+        if n >= 1 << 20 {
+            (base / 6).max(3)
+        } else if n >= 1 << 18 {
+            (base / 3).max(5)
+        } else {
+            base
+        }
+    }
 }
 
 #[cfg(test)]
@@ -302,6 +476,7 @@ mod tests {
             Schedule::Crashes { p_permille: 500, budget_pct: 20 },
         );
         assert!(stats.crashed.iter().any(|&c| c > 0));
+        assert!(stats.total_crashed() > 0);
     }
 
     /// The tentpole guarantee: the parallel runner's output is
@@ -314,6 +489,7 @@ mod tests {
             Schedule::Fair,
             Schedule::Random,
             Schedule::CollisionMax,
+            Schedule::Stall,
             Schedule::Crashes { p_permille: 200, budget_pct: 25 },
         ] {
             let serial = run_batch_serial(&algo, 96, 8, schedule);
@@ -331,6 +507,37 @@ mod tests {
         }
     }
 
+    /// The keyed (registry-string) path and the typed [`Schedule`] path
+    /// are the same executor over the same construction — identical
+    /// stats, bit for bit.
+    #[test]
+    fn keyed_batch_matches_schedule_batch() {
+        let algo = TightRenaming::calibrated(4);
+        for (key, schedule) in [
+            ("fair", Schedule::Fair),
+            ("random", Schedule::Random),
+            ("collisions", Schedule::CollisionMax),
+            ("stall", Schedule::Stall),
+            ("crash:p=200,cap=25", Schedule::Crashes { p_permille: 200, budget_pct: 25 }),
+        ] {
+            let keyed = run_batch_keyed(&algo, 96, 4, key).unwrap();
+            let typed = run_batch(&algo, 96, 4, schedule);
+            assert_eq!(keyed.step_complexity, typed.step_complexity, "{key}");
+            assert_eq!(keyed.unnamed, typed.unnamed, "{key}");
+            assert_eq!(keyed.crashed, typed.crashed, "{key}");
+            let kb: Vec<u64> = keyed.mean_steps.iter().map(|f| f.to_bits()).collect();
+            let tb: Vec<u64> = typed.mean_steps.iter().map(|f| f.to_bits()).collect();
+            assert_eq!(kb, tb, "{key}");
+        }
+    }
+
+    #[test]
+    fn keyed_batch_rejects_unknown_keys() {
+        let algo = TightRenaming::calibrated(4);
+        assert!(run_batch_keyed(&algo, 16, 1, "livelock").is_err());
+        assert!(run_batch_keyed(&algo, 16, 1, "crash:p=nope").is_err());
+    }
+
     #[test]
     fn single_seed_batch_falls_back_to_serial() {
         let stats = run_batch(&TightRenaming::calibrated(4), 64, 1, Schedule::Fair);
@@ -340,9 +547,84 @@ mod tests {
     #[test]
     fn schedule_labels() {
         assert_eq!(Schedule::Fair.label(), "fair");
+        assert_eq!(Schedule::Stall.label(), "stall");
         assert_eq!(
             Schedule::Crashes { p_permille: 100, budget_pct: 10 }.label(),
             "crash(p=10.0%,cap=10%)"
         );
+    }
+
+    #[test]
+    fn schedule_keys_round_trip() {
+        for schedule in [
+            Schedule::Fair,
+            Schedule::Random,
+            Schedule::CollisionMax,
+            Schedule::Stall,
+            Schedule::Crashes { p_permille: 150, budget_pct: 30 },
+        ] {
+            assert_eq!(Schedule::parse(&schedule.key()).unwrap(), schedule);
+        }
+        // The table label is accepted as an alias; defaults fill crash in.
+        assert_eq!(Schedule::parse("collision-max").unwrap(), Schedule::CollisionMax);
+        assert_eq!(
+            Schedule::parse("crash").unwrap(),
+            Schedule::Crashes { p_permille: 20, budget_pct: 10 }
+        );
+        assert!(Schedule::parse("livelock").is_err());
+        // parse runs the registry's full validation: anything it accepts,
+        // build can construct — and vice versa.
+        assert!(Schedule::parse("crash:p=2000").is_err(), "p > 1000 permille");
+        assert!(Schedule::parse("crash:typo=5").is_err(), "unknown parameter");
+        assert!(Schedule::parse("fair:x=1").is_err(), "fair takes no parameters");
+        assert!(Schedule::parse("collision-max:x=1").is_err(), "alias takes no parameters");
+    }
+
+    #[test]
+    fn run_config_parses_args_and_env() {
+        let cfg = RunConfig::from_args(
+            ["--quick", "--json", "out.json", "extra"].map(String::from),
+            Some("3".into()),
+        );
+        assert!(cfg.quick);
+        assert_eq!(cfg.threads, 3);
+        assert_eq!(cfg.json_path.as_deref(), Some(std::path::Path::new("out.json")));
+        assert_eq!(cfg.pick(10, 2), 2);
+
+        let cfg = RunConfig::from_args(std::iter::empty(), Some("0".into()));
+        assert!(!cfg.quick);
+        assert!(cfg.threads >= 1, "zero threads must fall back to parallelism");
+        assert!(cfg.json_path.is_none());
+        assert_eq!(cfg.pick(10, 2), 10);
+
+        // `--json` with no value is tolerated (no path recorded).
+        let cfg = RunConfig::from_args(["--json".to_string()], None);
+        assert!(cfg.json_path.is_none());
+
+        // `--json` must not swallow a following flag as its path.
+        let cfg = RunConfig::from_args(["--json", "--quick"].map(String::from), None);
+        assert!(cfg.json_path.is_none());
+        assert!(cfg.quick);
+    }
+
+    #[test]
+    fn seed_scaling_matches_documented_tiers() {
+        let cfg = RunConfig::default();
+        assert_eq!(cfg.seeds_for(1 << 10, 30), 30);
+        assert_eq!(cfg.seeds_for(1 << 18, 30), 10);
+        assert_eq!(cfg.seeds_for(1 << 20, 30), 5);
+        assert_eq!(cfg.seeds_for(1 << 20, 6), 3);
+    }
+
+    #[test]
+    fn from_outcomes_matches_batch_aggregation() {
+        let algo = TightRenaming::calibrated(4);
+        let outs: Vec<_> = (0..3).map(|s| run_once(&algo, 64, s, Schedule::Fair)).collect();
+        let manual = BatchStats::from_outcomes(&outs, 64);
+        let batch = run_batch_serial(&algo, 64, 3, Schedule::Fair);
+        assert_eq!(manual.step_complexity, batch.step_complexity);
+        assert_eq!(manual.unnamed, batch.unnamed);
+        assert_eq!(manual.crashed, batch.crashed);
+        assert_eq!(manual.runs, batch.runs);
     }
 }

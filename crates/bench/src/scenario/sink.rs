@@ -1,0 +1,277 @@
+//! Output backends for the scenario engine.
+//!
+//! A scenario produces two parallel streams: the **text** stream (the
+//! human tables every `exp_*` binary has always printed — byte-identical
+//! to the pre-engine output) and the **record** stream (structured
+//! per-row measurements). A [`Sink`] consumes either or both:
+//!
+//! * [`TableSink`] prints the text stream to any writer (stdout for the
+//!   binaries, a buffer for the golden tests) and ignores records.
+//! * [`JsonSink`] ignores text and serializes records into a JSON array
+//!   (one object per line — diff-friendly), e.g. `BENCH_scenarios.json`,
+//!   so step-complexity trajectories persist across PRs.
+//!
+//! No serde in the container, so the JSON writer is hand-rolled: only
+//! strings, unsigned integers and finite floats are emitted.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// One structured field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, sizes, step complexities).
+    U64(u64),
+    /// Finite float (means, normalized ratios). Non-finite values
+    /// serialize as `null`.
+    F64(f64),
+    /// Free-form string (keys, display names).
+    Str(String),
+}
+
+impl Value {
+    fn to_json(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::F64(v) if v.is_finite() => format!("{v}"),
+            Value::F64(_) => "null".into(),
+            Value::Str(s) => json_string(s),
+        }
+    }
+}
+
+/// One structured measurement row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Scenario id (`"E1"`, `"MATRIX"`, …).
+    pub scenario: String,
+    /// Section title within the scenario (empty for single-table runs).
+    pub section: String,
+    /// Ordered `(name, value)` fields.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"scenario\":{}", json_string(&self.scenario)));
+        out.push_str(&format!(",\"section\":{}", json_string(&self.section)));
+        for (k, v) in &self.fields {
+            out.push_str(&format!(",{}:{}", json_string(k), v.to_json()));
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A scenario output backend; see the module docs.
+pub trait Sink {
+    /// Consumes one text chunk (a line or a pre-rendered multi-line
+    /// table); the chunk is terminated with a newline on print.
+    fn text(&mut self, chunk: &str);
+
+    /// Consumes one structured record.
+    fn record(&mut self, record: &Record);
+
+    /// Flushes buffered output (e.g. writes the JSON file).
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the underlying writer.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Prints the text stream to a writer — stdout in the binaries, a byte
+/// buffer in the golden tests. Ignores records.
+#[derive(Debug)]
+pub struct TableSink<W: Write> {
+    out: W,
+}
+
+impl TableSink<io::Stdout> {
+    /// The binaries' stdout sink.
+    pub fn stdout() -> Self {
+        Self::new(io::stdout())
+    }
+}
+
+impl<W: Write> TableSink<W> {
+    /// Wraps any writer.
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+}
+
+impl<W: Write> Sink for TableSink<W> {
+    fn text(&mut self, chunk: &str) {
+        writeln!(self.out, "{chunk}").expect("scenario text sink write failed");
+    }
+
+    fn record(&mut self, _record: &Record) {}
+}
+
+/// Buffers records and writes them as a JSON array on finish. Ignores
+/// text.
+#[derive(Debug)]
+pub struct JsonSink {
+    path: PathBuf,
+    records: Vec<String>,
+}
+
+impl JsonSink {
+    /// Will write to `path` on [`Sink::finish`].
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into(), records: Vec::new() }
+    }
+
+    /// The destination path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Sink for JsonSink {
+    fn text(&mut self, _chunk: &str) {}
+
+    fn record(&mut self, record: &Record) {
+        self.records.push(record.to_json());
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        let body = if self.records.is_empty() {
+            "[]\n".to_string()
+        } else {
+            format!("[\n{}\n]\n", self.records.join(",\n"))
+        };
+        std::fs::write(&self.path, body)
+    }
+}
+
+/// The handle custom scenario sections emit through: fans text and
+/// records out to every attached sink.
+pub struct Emitter<'a, 'b> {
+    sinks: &'a mut [Box<dyn Sink + 'b>],
+}
+
+impl<'a, 'b> Emitter<'a, 'b> {
+    /// Wraps a sink set.
+    pub fn new(sinks: &'a mut [Box<dyn Sink + 'b>]) -> Self {
+        Self { sinks }
+    }
+
+    /// Emits one text chunk (printed with a trailing newline).
+    pub fn text(&mut self, chunk: impl AsRef<str>) {
+        for sink in self.sinks.iter_mut() {
+            sink.text(chunk.as_ref());
+        }
+    }
+
+    /// Emits one structured record.
+    pub fn record(&mut self, record: &Record) {
+        for sink in self.sinks.iter_mut() {
+            sink.record(record);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Record {
+        Record {
+            scenario: "E1".into(),
+            section: String::new(),
+            fields: vec![
+                ("algorithm".into(), Value::Str("tight-tau:c=4".into())),
+                ("n".into(), Value::U64(1024)),
+                ("ratio".into(), Value::F64(3.5)),
+                ("bad".into(), Value::F64(f64::NAN)),
+            ],
+        }
+    }
+
+    #[test]
+    fn record_serializes_flat_json() {
+        assert_eq!(
+            sample().to_json(),
+            "{\"scenario\":\"E1\",\"section\":\"\",\"algorithm\":\"tight-tau:c=4\",\
+             \"n\":1024,\"ratio\":3.5,\"bad\":null}"
+        );
+    }
+
+    #[test]
+    fn json_strings_escape() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("tab\there"), "\"tab\\there\"");
+    }
+
+    #[test]
+    fn table_sink_writes_lines_and_ignores_records() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = TableSink::new(&mut buf);
+            sink.text("hello");
+            sink.record(&sample());
+            sink.text("world");
+        }
+        assert_eq!(String::from_utf8(buf).unwrap(), "hello\nworld\n");
+    }
+
+    #[test]
+    fn json_sink_round_trips_through_file() {
+        let path = std::env::temp_dir().join(format!("rr_sink_test_{}.json", std::process::id()));
+        let mut sink = JsonSink::new(&path);
+        sink.text("ignored");
+        sink.record(&sample());
+        sink.record(&sample());
+        sink.finish().unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(body.starts_with("[\n{\"scenario\":\"E1\""));
+        assert!(body.ends_with("}\n]\n"));
+        assert_eq!(body.matches("\"n\":1024").count(), 2);
+    }
+
+    #[test]
+    fn empty_json_sink_writes_empty_array() {
+        let path = std::env::temp_dir().join(format!("rr_sink_empty_{}.json", std::process::id()));
+        let mut sink = JsonSink::new(&path);
+        assert_eq!(sink.path(), path.as_path());
+        sink.finish().unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(body, "[]\n");
+    }
+
+    #[test]
+    fn emitter_fans_out() {
+        let mut buf = Vec::new();
+        {
+            let mut sinks: Vec<Box<dyn Sink + '_>> = vec![Box::new(TableSink::new(&mut buf))];
+            let mut em = Emitter::new(&mut sinks);
+            em.text("line");
+            em.record(&sample());
+        }
+        assert_eq!(String::from_utf8(buf).unwrap(), "line\n");
+    }
+}

@@ -1,0 +1,153 @@
+//! Declarative scenario descriptions.
+//!
+//! A [`ScenarioSpec`] is what an `exp_*` binary *is*: an id, the claim
+//! under test, a list of sections, and the closing claim-check note.
+//! Sections are either [`BatchSection`]s — algorithm × adversary × n
+//! rows named by **registry keys** and measured by the shared batch
+//! runner — or [`CustomSection`]s for the handful of experiments that
+//! introspect protocol internals (device cycles, request recorders,
+//! progress curves). The engine in [`super`] executes specs against any
+//! sink set.
+
+use super::sink::Emitter;
+use crate::runner::BatchStats;
+use rr_renaming::traits::RenamingAlgorithm;
+
+/// A complete experiment: what one `exp_*` binary runs.
+///
+/// Rows name algorithms and adversaries by **registry key** — adding a
+/// protocol to the registries makes it available to every spec without
+/// touching a binary:
+///
+/// ```
+/// use rr_bench::scenario::{
+///     render_to_string, BatchSection, Column, RowSpec, ScenarioSpec, Section,
+/// };
+///
+/// let spec = ScenarioSpec {
+///     id: "DEMO",
+///     claim: "registry keys in, table out",
+///     sections: vec![Section::Batch(BatchSection {
+///         title: None,
+///         columns: vec![
+///             Column::new("algorithm", |ctx| ctx.algo.name()),
+///             Column::new("n", |ctx| ctx.row.n.to_string()),
+///             Column::new("steps max", |ctx| ctx.stats.max_steps().to_string()),
+///         ],
+///         rows: vec![
+///             RowSpec::new("tight-tau:c=4", "fair", 64, 2),
+///             RowSpec::new("aagw", "crash:p=100,cap=10", 64, 2),
+///         ],
+///     })],
+///     claim_check: "claim check: both rows pass the safety audit.".into(),
+/// };
+/// let out = render_to_string(spec);
+/// assert!(out.starts_with("=== DEMO: registry keys in, table out ==="));
+/// assert!(out.contains("tight-tau(c=4)"));
+/// assert!(out.trim_end().ends_with("both rows pass the safety audit."));
+/// ```
+pub struct ScenarioSpec {
+    /// Experiment id (`"E1"`, `"MATRIX"`, …).
+    pub id: &'static str,
+    /// The claim under test, printed in the `=== id: claim ===` header.
+    pub claim: &'static str,
+    /// Sections, executed and printed in order.
+    pub sections: Vec<Section>,
+    /// Closing note (printed as a blank line + the note); empty to omit.
+    pub claim_check: String,
+}
+
+/// One scenario section.
+pub enum Section {
+    /// Registry-keyed rows measured by the shared batch runner.
+    Batch(BatchSection),
+    /// Free-form section driving the [`Emitter`] directly.
+    Custom(CustomSection),
+}
+
+/// A table of algorithm × adversary × n rows.
+pub struct BatchSection {
+    /// Optional section title, printed as `-- title --` after a blank
+    /// line (multi-section scenarios like E8).
+    pub title: Option<String>,
+    /// Table columns; each cell is computed from the row's context.
+    pub columns: Vec<Column>,
+    /// Rows, executed in order.
+    pub rows: Vec<RowSpec>,
+}
+
+/// One batch row: which algorithm under which adversary at which size.
+#[derive(Debug, Clone)]
+pub struct RowSpec {
+    /// Algorithm registry key (`"tight-tau:c=4"`, `"bitonic"`, …).
+    pub algorithm: String,
+    /// Adversary registry key (`"fair"`, `"crash:p=20,cap=10"`, …).
+    pub adversary: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Seeds to sweep.
+    pub seeds: u64,
+    /// Free-form payload for column closures (e.g. the ℓ exponent a
+    /// sweep varies); 0 when unused.
+    pub tag: u64,
+}
+
+impl RowSpec {
+    /// A row with `tag = 0`.
+    pub fn new(
+        algorithm: impl Into<String>,
+        adversary: impl Into<String>,
+        n: usize,
+        seeds: u64,
+    ) -> Self {
+        Self { algorithm: algorithm.into(), adversary: adversary.into(), n, seeds, tag: 0 }
+    }
+
+    /// Attaches a tag.
+    #[must_use]
+    pub fn tagged(mut self, tag: u64) -> Self {
+        self.tag = tag;
+        self
+    }
+}
+
+/// Everything a column cell can see about its row.
+pub struct RowCtx<'a> {
+    /// The row being rendered.
+    pub row: &'a RowSpec,
+    /// The registry-built algorithm (for `name()`, `m(n)`, …).
+    pub algo: &'a dyn RenamingAlgorithm,
+    /// The measured batch.
+    pub stats: &'a BatchStats,
+}
+
+/// Computes one cell's display string.
+pub type CellFn = Box<dyn Fn(&RowCtx<'_>) -> String>;
+
+/// A named table column.
+pub struct Column {
+    /// Column header.
+    pub header: String,
+    /// Cell renderer.
+    pub cell: CellFn,
+}
+
+impl Column {
+    /// A column from a header and a cell closure.
+    pub fn new(header: impl Into<String>, cell: impl Fn(&RowCtx<'_>) -> String + 'static) -> Self {
+        Self { header: header.into(), cell: Box::new(cell) }
+    }
+}
+
+/// A free-form section: runs once with the emitter.
+pub struct CustomSection {
+    /// The section body.
+    pub run: Box<dyn FnOnce(&mut Emitter<'_, '_>)>,
+}
+
+impl Section {
+    /// Wraps a closure as a [`CustomSection`].
+    pub fn custom(run: impl FnOnce(&mut Emitter<'_, '_>) + 'static) -> Self {
+        Section::Custom(CustomSection { run: Box::new(run) })
+    }
+}

@@ -1,0 +1,321 @@
+//! Comparison scenarios: adversary robustness (E9), the baseline
+//! landscape (E8), the deterministic gap (E11) and the progress curves
+//! (E15).
+
+use crate::runner::{run_batch, RunConfig, Schedule};
+use crate::scenario::{BatchSection, Column, RowSpec, ScenarioSpec, Section};
+use rr_analysis::stats::{norm_log2, norm_loglog_sq, upper_median};
+use rr_analysis::table::{fnum, Table};
+use rr_baselines::aks_model;
+use rr_baselines::{LinearScan, ScanStart, SplitterGrid};
+use rr_renaming::traits::{Cor9, RenamingAlgorithm};
+use rr_renaming::TightRenaming;
+use rr_sched::adversary::{Adversary, Decision, FairAdversary, View};
+use rr_sched::process::Process;
+use rr_sched::virtual_exec::run;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Adversary display label: the typed [`Schedule`] label when the key
+/// parses (the tables have always shown `collision-max`,
+/// `crash(p=2.0%,cap=10%)`, …), else the raw key.
+fn adversary_label(key: &str) -> String {
+    Schedule::parse(key).map(|s| s.label()).unwrap_or_else(|_| key.to_string())
+}
+
+/// E9 — model validation (§II-A): the w.h.p. guarantees hold against an
+/// *adaptive* adversary that sees coin flips, and under crashes.
+///
+/// Each protocol runs under fair, random, collision-maximizing and two
+/// crash schedules; the table reports step inflation relative to fair.
+/// Renaming safety is audited on every run (the harness panics on any
+/// violation).
+pub fn adversary(cfg: &RunConfig) -> ScenarioSpec {
+    let (n, seeds) = cfg.pick((1 << 12, 20u64), (1 << 8, 5u64));
+    let schedules = ["fair", "random", "collisions", "crash:p=20,cap=10", "crash:p=200,cap=50"];
+    let mut rows = Vec::new();
+    for algo in ["tight-tau:c=4", "cor9:l=1"] {
+        for schedule in schedules {
+            rows.push(RowSpec::new(algo, schedule, n, seeds));
+        }
+    }
+    // Step inflation is relative to the *fair* row of the current
+    // algorithm group; the fair row (always first in its group) stores
+    // the denominator as it renders.
+    let fair_max = Rc::new(Cell::new(1u64));
+    let fm = Rc::clone(&fair_max);
+    ScenarioSpec {
+        id: "E9",
+        claim: "adaptive adversaries and crashes — safety and step inflation",
+        sections: vec![Section::Batch(BatchSection {
+            title: None,
+            columns: vec![
+                Column::new("algorithm", |ctx| ctx.algo.name()),
+                Column::new("schedule", |ctx| adversary_label(&ctx.row.adversary)),
+                Column::new("steps max", |ctx| ctx.stats.max_steps().to_string()),
+                Column::new("inflation", move |ctx| {
+                    if ctx.row.adversary == "fair" {
+                        fm.set(ctx.stats.max_steps().max(1));
+                    }
+                    fnum(ctx.stats.max_steps() as f64 / fm.get() as f64, 2)
+                }),
+                Column::new("crashed mean", |ctx| {
+                    fnum(
+                        ctx.stats.crashed.iter().sum::<usize>() as f64
+                            / ctx.stats.crashed.len() as f64,
+                        1,
+                    )
+                }),
+                Column::new("survivors unnamed", |ctx| ctx.stats.max_unnamed().to_string()),
+            ],
+            rows,
+        })],
+        claim_check: "claim check: no safety violations under any schedule (the \
+                      harness aborts otherwise); step inflation stays a small constant \
+                      — the protocols' bounds are adversary-robust, as proved; crashes \
+                      never strand a surviving process ('survivors unnamed' = 0)."
+            .into(),
+    }
+}
+
+/// E8 — the paper's comparison landscape (§I, §I.A, §V).
+///
+/// Tight renaming: τ-register protocol vs comparator-network renaming
+/// \[7\] vs ideal fetch-add; the analytic AKS depth model in between;
+/// loose renaming: Lemma 6 / Lemma 8 / Corollary 9 vs the \[8\]-style
+/// finisher standalone vs uniform probing.
+pub fn baselines(cfg: &RunConfig) -> ScenarioSpec {
+    let (sizes, seeds) = cfg
+        .pick((vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18], 20), (vec![1 << 8, 1 << 10], 5));
+
+    let mut tight_rows = Vec::new();
+    for &n in &sizes {
+        for algo in ["tight-tau:c=4", "bitonic", "fetch-add"] {
+            tight_rows.push(RowSpec::new(algo, "fair", n, cfg.seeds_for(n, seeds)));
+        }
+    }
+    let tight = BatchSection {
+        title: Some("tight renaming (m = n, or next power of two for the network)".into()),
+        columns: vec![
+            Column::new("algorithm", |ctx| ctx.algo.name()),
+            Column::new("n", |ctx| ctx.row.n.to_string()),
+            Column::new("m", |ctx| ctx.algo.m(ctx.row.n).to_string()),
+            Column::new("steps p50", |ctx| upper_median(&ctx.stats.step_complexity).to_string()),
+            Column::new("steps max", |ctx| ctx.stats.max_steps().to_string()),
+            Column::new("max/log2 n", |ctx| {
+                fnum(norm_log2(ctx.stats.max_steps() as f64, ctx.row.n), 2)
+            }),
+            Column::new("max/log2^2 n", |ctx| {
+                let log_n = (ctx.row.n as f64).log2();
+                fnum(ctx.stats.max_steps() as f64 / (log_n * log_n), 3)
+            }),
+        ],
+        rows: tight_rows,
+    };
+
+    let aks = Section::custom(|em| {
+        em.text("\n-- AKS depth model (why the paper avoids AKS) --");
+        let mut aks = Table::new(vec!["width", "bitonic depth", "AKS model depth", "bitonic wins"]);
+        for exp in [10u32, 16, 20, 30] {
+            let w = 1usize << exp;
+            let b = aks_model::bitonic_depth(w);
+            let a = aks_model::aks_depth(w);
+            aks.row(vec![
+                format!("2^{exp}"),
+                b.to_string(),
+                fnum(a, 0),
+                if (b as f64) < a { "yes".into() } else { "no".to_string() },
+            ]);
+        }
+        em.text(aks.to_string());
+        em.text(format!(
+            "(AKS only catches up at width ≈ 2^{}, far beyond any machine.)",
+            aks_model::aks_crossover_log2()
+        ));
+    });
+
+    let mut loose_rows = Vec::new();
+    for &n in &sizes {
+        for algo in ["loose-l6:l=2", "loose-l8:l=1", "cor9:l=1", "aagw", "uniform:eps=1"] {
+            loose_rows.push(RowSpec::new(algo, "fair", n, cfg.seeds_for(n, seeds)));
+        }
+    }
+    let loose = BatchSection {
+        title: Some("loose renaming".into()),
+        columns: vec![
+            Column::new("algorithm", |ctx| ctx.algo.name()),
+            Column::new("n", |ctx| ctx.row.n.to_string()),
+            Column::new("m/n", |ctx| fnum(ctx.algo.m(ctx.row.n) as f64 / ctx.row.n as f64, 3)),
+            Column::new("steps p50", |ctx| upper_median(&ctx.stats.step_complexity).to_string()),
+            Column::new("steps max", |ctx| ctx.stats.max_steps().to_string()),
+            Column::new("max/(lln)^2", |ctx| {
+                fnum(norm_loglog_sq(ctx.stats.max_steps() as f64, ctx.row.n), 2)
+            }),
+            Column::new("unnamed max", |ctx| ctx.stats.max_unnamed().to_string()),
+        ],
+        rows: loose_rows,
+    };
+
+    ScenarioSpec {
+        id: "E8",
+        claim: "comparison — tau-register vs sorting networks vs loose baselines",
+        sections: vec![Section::Batch(tight), aks, Section::Batch(loose)],
+        claim_check: "claim check: tau-register max/log2 n bounded while bitonic \
+                      max/log2^2 n is the bounded one (O(log n) vs O(log² n)); \
+                      fetch-add = 1 step (ideal hardware); loose protocols bounded in \
+                      (loglog n)^2 while uniform probing's max grows like log n."
+            .into(),
+    }
+}
+
+/// E11 — §I.A: deterministic renaming costs Θ(n) steps, "exponentially
+/// worse" than the randomized protocols.
+///
+/// Each table row spans four differently-seeded batches (deterministic
+/// scan, capped splitter grid, tight, loose), so this runs as a custom
+/// section over the typed [`Schedule`] API rather than a batch table.
+pub fn deterministic_gap(cfg: &RunConfig) -> ScenarioSpec {
+    let (sizes, seeds) =
+        cfg.pick((vec![1 << 10, 1 << 12, 1 << 14, 1 << 16], 10u64), (vec![1 << 8, 1 << 10], 3u64));
+    let body = Section::custom(move |em| {
+        let det = LinearScan { start: ScanStart::Zero };
+        let grid = SplitterGrid;
+        let tight = TightRenaming::calibrated(4);
+        let loose = Cor9 { ell: 1 };
+
+        let mut table = Table::new(vec![
+            "n",
+            "linear-scan max",
+            "grid max (r/w, n capped 2^12)",
+            "tight-tau max",
+            "cor9 max",
+            "det/tight",
+            "det/loose",
+        ]);
+        for &n in &sizes {
+            let d = run_batch(&det, n, 1, Schedule::Fair); // deterministic: 1 run
+                                                           // The grid is Θ(n) steps/process and Θ(n²) registers — cap its size
+                                                           // so the table regenerates in seconds (the linear trend is
+                                                           // unambiguous by 2^12).
+            let g = run_batch(&grid, n.min(1 << 12), 1, Schedule::Fair);
+            let t = run_batch(&tight, n, seeds, Schedule::Fair);
+            let l = run_batch(&loose, n, seeds, Schedule::Fair);
+            table.row(vec![
+                n.to_string(),
+                d.max_steps().to_string(),
+                g.max_steps().to_string(),
+                t.max_steps().to_string(),
+                l.max_steps().to_string(),
+                fnum(d.max_steps() as f64 / t.max_steps() as f64, 1),
+                fnum(d.max_steps() as f64 / l.max_steps() as f64, 1),
+            ]);
+        }
+        em.text(table.to_string());
+    });
+    ScenarioSpec {
+        id: "E11",
+        claim: "deterministic Θ(n) vs randomized O(log n) / O((loglog n)^2)",
+        sections: vec![body],
+        claim_check: "claim check: 'linear-scan max' = n exactly; both ratio columns \
+                      grow roughly linearly in n/log n — the exponential separation \
+                      between deterministic and randomized renaming."
+            .into(),
+    }
+}
+
+/// Wraps the fair adversary and snapshots `named / n` every `n` grants
+/// (≈ one global step per process under round-robin).
+struct ProgressProbe {
+    inner: FairAdversary,
+    grants: u64,
+    n: u64,
+    /// `series[t]` = named fraction after ~t steps per process.
+    series: Vec<f64>,
+}
+
+impl ProgressProbe {
+    fn new(n: usize) -> Self {
+        Self { inner: FairAdversary::default(), grants: 0, n: n as u64, series: vec![0.0] }
+    }
+}
+
+impl Adversary for ProgressProbe {
+    fn decide(&mut self, view: &View<'_>) -> Decision {
+        self.grants += 1;
+        if self.grants % self.n == 0 {
+            self.series.push(view.named as f64 / self.n as f64);
+        }
+        self.inner.decide(view)
+    }
+
+    fn name(&self) -> &'static str {
+        "progress-probe"
+    }
+}
+
+fn series_for(algo: &dyn RenamingAlgorithm, n: usize, seed: u64) -> Vec<f64> {
+    let inst = algo.instantiate(n, seed);
+    let m = inst.m;
+    let procs: Vec<Box<dyn Process>> =
+        inst.processes.into_iter().map(|p| p as Box<dyn Process>).collect();
+    let mut probe = ProgressProbe::new(n);
+    let out = run(procs, &mut probe, algo.step_budget(n)).unwrap();
+    out.verify_renaming(m).unwrap();
+    probe.series.push(1.0);
+    probe.series
+}
+
+/// E15 — progress curves ("the figure"): fraction of processes named as
+/// a function of elapsed per-process steps, for the paper's protocols
+/// and the baselines, at geometric checkpoints.
+pub fn progress(cfg: &RunConfig) -> ScenarioSpec {
+    let n = cfg.pick(1 << 14, 1 << 10);
+    let body = Section::custom(move |em| {
+        let reg = crate::scenario::registry();
+        let keys = ["tight-tau:c=4", "bitonic", "cor9:l=1", "uniform:eps=1"];
+        let series: Vec<(String, Vec<f64>)> = keys
+            .iter()
+            .map(|key| {
+                let algo = reg.build(key).expect("progress keys are registered");
+                (algo.name(), series_for(algo.as_ref(), n, 0xE15))
+            })
+            .collect();
+
+        let mut header_row: Vec<String> = vec!["steps/proc".into()];
+        header_row.extend(series.iter().map(|(name, _)| name.clone()));
+        let mut table = Table::new(header_row);
+        let max_len = series.iter().map(|(_, s)| s.len()).max().unwrap();
+        // Geometric checkpoints keep the table short while showing the tail.
+        let mut t = 1usize;
+        let mut checkpoints = vec![0usize];
+        while t < max_len {
+            checkpoints.push(t);
+            t = (t * 2).max(t + 1);
+        }
+        // Always include the final point so late synchronized finishes (the
+        // network completes at exactly its depth) are visible.
+        if *checkpoints.last().unwrap() != max_len - 1 {
+            checkpoints.push(max_len - 1);
+        }
+        for &cp in &checkpoints {
+            let mut row = vec![cp.to_string()];
+            for (_, s) in &series {
+                let v = s.get(cp).copied().unwrap_or(1.0);
+                row.push(fnum(v, 4));
+            }
+            table.row(row);
+        }
+        em.text(table.to_string());
+    });
+    ScenarioSpec {
+        id: "E15",
+        claim: "progress curves — named fraction vs per-process steps (fair schedule)",
+        sections: vec![body],
+        claim_check: format!(
+            "claim check (n = {n}): cor9 saturates within ~a dozen steps \
+             (poly-loglog); tight-tau and bitonic take a logarithmic tail; \
+             uniform probing starts fastest but its last stragglers linger — \
+             the distribution shapes behind the step-complexity tables."
+        ),
+    }
+}

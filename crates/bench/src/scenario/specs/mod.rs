@@ -1,0 +1,36 @@
+//! The experiment catalogue: every `exp_*` binary as a declarative
+//! [`ScenarioSpec`](super::ScenarioSpec) constructor.
+//!
+//! | spec | binary | claim |
+//! |---|---|---|
+//! | [`theorem5`] | `exp_theorem5` | E1 — Theorem 5 tight renaming |
+//! | [`lemma3`] | `exp_lemma3` | E2 — balls-into-bins tail |
+//! | [`lemma4`] | `exp_lemma4` | E3 — per-round register saturation |
+//! | [`lemma6`] | `exp_lemma6` | E4 — Lemma 6 almost-tight renaming |
+//! | [`cor7`] | `exp_cor7` | E5 — Corollary 7 loose renaming |
+//! | [`lemma8`] | `exp_lemma8` | E6 — Lemma 8 almost-tight renaming |
+//! | [`cor9`] | `exp_cor9` | E7 — Corollary 9 loose renaming |
+//! | [`baselines`] | `exp_baselines` | E8 — comparison landscape |
+//! | [`adversary`] | `exp_adversary` | E9 — adversaries and crashes |
+//! | [`tau`] | `exp_tau` | E10 — counting-device invariants |
+//! | [`deterministic_gap`] | `exp_deterministic_gap` | E11 — Θ(n) vs randomized |
+//! | [`adaptive`] | `exp_adaptive` | E12 — unknown-k extension |
+//! | [`longlived`] | `exp_longlived` | E13 — long-lived churn |
+//! | [`ablation`] | `exp_ablation` | E14 — design-constant ablations |
+//! | [`progress`] | `exp_progress` | E15 — named-fraction curves |
+//! | [`matrix`] | `exp_matrix` | algorithm × adversary × n cross-product |
+//!
+//! Each constructor takes the [`RunConfig`](crate::runner::RunConfig)
+//! and returns the spec with `--quick`-appropriate sweeps baked in; the
+//! engine's golden tests pin the rendered output of E1 and E7
+//! byte-for-byte against the pre-engine binaries.
+
+mod claims;
+mod compare;
+mod matrix;
+mod micro;
+
+pub use claims::{cor7, cor9, lemma6, lemma8, theorem5};
+pub use compare::{adversary, baselines, deterministic_gap, progress};
+pub use matrix::{matrix, MatrixOptions};
+pub use micro::{ablation, adaptive, lemma3, lemma4, longlived, tau};

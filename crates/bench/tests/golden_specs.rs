@@ -1,0 +1,30 @@
+//! Golden-output tests: the declarative specs must render **byte
+//! identical** to what the hand-written `exp_*` binaries printed before
+//! the scenario engine existed (quick mode; captured from the pre-engine
+//! binaries and checked into `tests/golden/`).
+//!
+//! Every quantity in these tables is deterministic — instantiation, coin
+//! flips and adversaries all derive from `(seed, pid)` streams, and the
+//! parallel runner is bit-identical to serial — so an exact string
+//! comparison is meaningful on any machine.
+
+use rr_bench::runner::RunConfig;
+use rr_bench::scenario::{render_to_string, specs};
+
+fn quick() -> RunConfig {
+    RunConfig { quick: true, ..RunConfig::default() }
+}
+
+#[test]
+fn exp_theorem5_quick_output_is_golden() {
+    let out = render_to_string(specs::theorem5(&quick()));
+    let golden = include_str!("golden/exp_theorem5.quick.txt");
+    assert_eq!(out, golden, "exp_theorem5 --quick output drifted from the pre-engine binary");
+}
+
+#[test]
+fn exp_cor9_quick_output_is_golden() {
+    let out = render_to_string(specs::cor9(&quick()));
+    let golden = include_str!("golden/exp_cor9.quick.txt");
+    assert_eq!(out, golden, "exp_cor9 --quick output drifted from the pre-engine binary");
+}

@@ -1,0 +1,67 @@
+//! Property test: for every registry adversary, recording a run's
+//! decision tape and replaying it through [`ReplayAdversary`] reproduces
+//! a bit-identical [`BatchStats`] — schedules are faithful, storable
+//! artifacts (the f64 fields are compared by bits, not tolerance).
+
+use proptest::prelude::*;
+use rr_bench::runner::{run_once_with, BatchStats};
+use rr_renaming::traits::{LooseL6, RenamingAlgorithm};
+use rr_renaming::TightRenaming;
+use rr_sched::registry::standard;
+use rr_sched::replay::{RecordingAdversary, ReplayAdversary};
+
+/// Adversary keys covering every registered strategy, the crash one in
+/// both a light and a heavy parameterization.
+const ADVERSARIES: &[&str] =
+    &["fair", "random", "collisions", "stall", "crash:p=100,cap=10", "crash:p=500,cap=50"];
+
+fn assert_bit_identical(a: &BatchStats, b: &BatchStats, what: &str) {
+    assert_eq!(a.step_complexity, b.step_complexity, "{what}: step_complexity");
+    assert_eq!(a.unnamed, b.unnamed, "{what}: unnamed");
+    assert_eq!(a.crashed, b.crashed, "{what}: crashed");
+    assert_eq!(a.runs, b.runs, "{what}: runs");
+    assert_eq!(a.violations, b.violations, "{what}: violations");
+    let ab: Vec<u64> = a.mean_steps.iter().map(|f| f.to_bits()).collect();
+    let bb: Vec<u64> = b.mean_steps.iter().map(|f| f.to_bits()).collect();
+    assert_eq!(ab, bb, "{what}: mean_steps bits");
+}
+
+fn record_then_replay(algo: &dyn RenamingAlgorithm, n: usize, seed: u64, key: &str) {
+    let mut recorder =
+        RecordingAdversary::new(standard().build(key, n, seed).expect("registry key"));
+    let recorded_out = run_once_with(algo, n, seed, &mut recorder);
+    let tape = recorder.into_tape();
+    assert_eq!(tape.len() as u64, recorded_out.decisions, "{key}: tape covers every decision");
+
+    let mut replayer = ReplayAdversary::new(tape);
+    let replayed_out = run_once_with(algo, n, seed, &mut replayer);
+
+    let recorded = BatchStats::from_outcomes([&recorded_out], n);
+    let replayed = BatchStats::from_outcomes([&replayed_out], n);
+    assert_bit_identical(&recorded, &replayed, &format!("{} under {key}", algo.name()));
+    // The raw outcomes must agree too, not just the aggregates.
+    assert_eq!(recorded_out.names, replayed_out.names, "{key}: names");
+    assert_eq!(recorded_out.steps, replayed_out.steps, "{key}: steps");
+    assert_eq!(recorded_out.crashed, replayed_out.crashed, "{key}: crashed");
+}
+
+proptest! {
+    /// Tight renaming (no legitimate give-ups) under every adversary.
+    #[test]
+    fn tape_replay_is_bit_identical_for_tight(n in 24usize..96, seed in 0u64..1000) {
+        let algo = TightRenaming::calibrated(4);
+        for key in ADVERSARIES {
+            record_then_replay(&algo, n, seed, key);
+        }
+    }
+
+    /// An almost-tight protocol (exercises the unnamed counts) under
+    /// every adversary.
+    #[test]
+    fn tape_replay_is_bit_identical_for_almost_tight(n in 24usize..96, seed in 0u64..1000) {
+        let algo = LooseL6 { ell: 1 };
+        for key in ADVERSARIES {
+            record_then_replay(&algo, n, seed, key);
+        }
+    }
+}

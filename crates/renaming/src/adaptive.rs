@@ -288,8 +288,9 @@ impl RenamingAlgorithm for AdaptiveRenaming {
     }
 
     fn step_budget(&self, n: usize) -> u64 {
-        // log k guesses, each a bounded loose protocol.
-        400 * (n as u64) * ((n.max(2) as f64).log2() as u64 + 16)
+        // log k guesses, each a bounded loose protocol; ⌈log₂⌉ like the
+        // default budget so n just past a power of two is not shaved.
+        400 * (n as u64) * ((n.max(2) as f64).log2().ceil() as u64 + 16)
     }
 }
 

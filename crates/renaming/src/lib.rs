@@ -14,6 +14,8 @@
 //!   compositions, plus the uniform [`RenamingAlgorithm`] interface.
 //! * [`params`] — every parameterization (Definition 2, schedules, spare
 //!   sizes) as pure, unit-tested arithmetic.
+//! * [`registry`] — string-keyed [`AlgorithmRegistry`] so experiment
+//!   drivers build any protocol from a key like `"tight-tau:c=4"`.
 //! * [`adaptive`] — the doubling-guess transform the paper sketches for
 //!   unknown participant counts (§IV remark).
 //! * [`longlived`] — long-lived acquire/release renaming (related work
@@ -29,6 +31,7 @@ pub mod loose_l6;
 pub mod loose_l8;
 pub mod params;
 pub mod phase;
+pub mod registry;
 pub mod tight;
 pub mod traits;
 
@@ -39,5 +42,6 @@ pub use loose_l6::{L6Process, LooseShared};
 pub use loose_l8::L8Process;
 pub use params::{spare, FinisherPlan, Lemma6Schedule, Lemma8Schedule, TightPlan, TightVariant};
 pub use phase::{AlmostTight, Chain, PhaseOutcome, PhaseProcess};
+pub use registry::{AlgorithmRegistry, BoxedAlgorithm};
 pub use tight::{TightProcess, TightRenaming, TightShared};
 pub use traits::{AagwLoose, Cor7, Cor9, Instance, LooseL6, LooseL8, RenamingAlgorithm};

@@ -46,9 +46,11 @@ pub trait RenamingAlgorithm {
     /// A generous per-run total-step budget for the virtual executor's
     /// livelock guard.
     fn step_budget(&self, n: usize) -> u64 {
-        // 200·n·(log₂ n + 16) dwarfs every protocol here w.h.p. while
-        // still catching real livelock quickly.
-        200 * (n as u64) * ((n.max(2) as f64).log2() as u64 + 16)
+        // 200·n·(⌈log₂ n⌉ + 16) dwarfs every protocol here w.h.p. while
+        // still catching real livelock quickly. The log is rounded *up*:
+        // truncation would hand n = 2^k + 1 the same budget as n = 2^k,
+        // shaving the guard exactly where the protocols grow a round.
+        200 * (n as u64) * ((n.max(2) as f64).log2().ceil() as u64 + 16)
     }
 }
 
@@ -323,5 +325,26 @@ mod tests {
     fn step_budget_scales() {
         let a = TightRenaming::calibrated(4);
         assert!(RenamingAlgorithm::step_budget(&a, 1 << 16) > 1 << 24);
+    }
+
+    /// Pins the budget at the `n = 2^k` boundaries: exact at powers of
+    /// two, and rounded *up* (not truncated) one past them.
+    #[test]
+    fn step_budget_rounds_log_up_at_power_boundaries() {
+        let a = TightRenaming::calibrated(4);
+        let budget = |n: usize| RenamingAlgorithm::step_budget(&a, n);
+        for k in [4u32, 10, 16, 20] {
+            let n = 1usize << k;
+            // At n = 2^k the log is exact: budget = 200·n·(k + 16).
+            assert_eq!(budget(n), 200 * n as u64 * (k as u64 + 16), "n = 2^{k}");
+            // One past the boundary the log must round up to k + 1 —
+            // the old truncation handed 2^k + 1 the 2^k budget.
+            assert_eq!(budget(n + 1), 200 * (n as u64 + 1) * (k as u64 + 17), "n = 2^{k}+1");
+            // One below it, ⌈log₂⌉ is already k.
+            assert_eq!(budget(n - 1), 200 * (n as u64 - 1) * (k as u64 + 16), "n = 2^{k}-1");
+        }
+        // Degenerate sizes clamp the log argument at 2.
+        assert_eq!(budget(1), 200 * (1 + 16));
+        assert_eq!(budget(2), 200 * 2 * (1 + 16));
     }
 }

@@ -49,6 +49,18 @@ pub trait Adversary {
     fn name(&self) -> &'static str;
 }
 
+/// Boxed adversaries delegate — so registry-built strategies can be
+/// wrapped by [`crate::replay::RecordingAdversary`] and friends.
+impl<A: Adversary + ?Sized> Adversary for Box<A> {
+    fn decide(&mut self, view: &View<'_>) -> Decision {
+        (**self).decide(view)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// Round-robin over active processes — the "benign" schedule.
 #[derive(Debug, Default)]
 pub struct FairAdversary {

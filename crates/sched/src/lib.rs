@@ -15,10 +15,13 @@
 //!
 //! Adversary strategies live in [`adversary`]: fair round-robin, seeded
 //! random, collision maximization (exploits coin-flip visibility), stall
-//! -winners, and a crash-injecting wrapper.
+//! -winners, and a crash-injecting wrapper. The [`registry`] names each
+//! strategy once so drivers can build any of them from a string key
+//! (`"fair"`, `"crash:p=20,cap=10"`, …) instead of re-matching enums.
 
 pub mod adversary;
 pub mod process;
+pub mod registry;
 pub mod replay;
 pub mod thread_exec;
 pub mod virtual_exec;
@@ -28,6 +31,7 @@ pub use adversary::{
     StallWinners, View,
 };
 pub use process::{run_to_completion, Process, StepOutcome};
+pub use registry::{AdversaryBuilder, AdversaryRegistry, ParsedKey};
 pub use replay::{RecordingAdversary, ReplayAdversary, Tape};
 pub use thread_exec::{run_threads, run_threads_bounded};
 pub use virtual_exec::{run, ExecError, RunOutcome};

@@ -1,0 +1,310 @@
+//! String-keyed adversary registry.
+//!
+//! Every experiment used to re-match an ad-hoc schedule enum by hand;
+//! the registry names each adversary strategy **once** and lets any
+//! driver build it from a string key alone — `"fair"`, `"random"`,
+//! `"collisions"`, `"stall"`, or `"crash:p=20,cap=10"` (crash
+//! probability in permille at winning announces, crash budget as a
+//! percentage of `n`). Keys follow the shared [`ParsedKey`] grammar
+//! `name[:k=v[,k=v…]]` also used by the algorithm registry.
+//!
+//! Adding a strategy is a one-registration change: implement
+//! [`Adversary`], then [`AdversaryRegistry::register`] a factory that
+//! validates the key's parameters and returns a per-run builder.
+
+use crate::adversary::{
+    Adversary, CollisionMaximizer, CrashAdversary, FairAdversary, RandomAdversary, StallWinners,
+};
+use rr_shmem::Access;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+/// A key of the form `name[:k=v[,k=v…]]`, e.g. `crash:p=200,cap=25`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedKey {
+    /// The entry name (everything before the first `:`).
+    pub name: String,
+    params: Vec<(String, String)>,
+}
+
+impl ParsedKey {
+    /// Parses `name[:k=v[,k=v…]]`.
+    ///
+    /// # Errors
+    /// Returns a human-readable message on an empty key or a parameter
+    /// that is not of the form `k=v`.
+    pub fn parse(key: &str) -> Result<Self, String> {
+        let key = key.trim();
+        if key.is_empty() {
+            return Err("empty key".into());
+        }
+        let (name, rest) = match key.split_once(':') {
+            Some((n, r)) => (n, Some(r)),
+            None => (key, None),
+        };
+        if name.is_empty() {
+            return Err(format!("key `{key}` has an empty name"));
+        }
+        let mut params = Vec::new();
+        if let Some(rest) = rest {
+            for part in rest.split(',') {
+                let (k, v) = part
+                    .split_once('=')
+                    .ok_or_else(|| format!("malformed parameter `{part}` in `{key}` (want k=v)"))?;
+                params.push((k.trim().to_string(), v.trim().to_string()));
+            }
+        }
+        Ok(Self { name: name.to_string(), params })
+    }
+
+    /// The value of parameter `name` parsed as `T`, or `default` when the
+    /// key does not mention it.
+    ///
+    /// # Errors
+    /// Returns a message when the value fails to parse.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.params.iter().find(|(k, _)| k == name) {
+            None => Ok(default),
+            Some((_, v)) => v
+                .parse()
+                .map_err(|_| format!("parameter `{name}={v}` of `{}` is invalid", self.name)),
+        }
+    }
+
+    /// Rejects parameters outside `allowed` — factories call this so a
+    /// typo (`crash:P=20`) fails loudly instead of silently defaulting.
+    ///
+    /// # Errors
+    /// Returns a message naming the unknown parameter.
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), String> {
+        for (k, _) in &self.params {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!(
+                    "unknown parameter `{k}` for `{}` (allowed: {})",
+                    self.name,
+                    if allowed.is_empty() { "none".to_string() } else { allowed.join(", ") }
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds one fresh adversary for a run at size `n` with `seed`.
+pub type AdversaryBuilder = Box<dyn Fn(usize, u64) -> Box<dyn Adversary> + Send + Sync>;
+
+type Factory = Arc<dyn Fn(&ParsedKey) -> Result<AdversaryBuilder, String> + Send + Sync>;
+
+struct Entry {
+    factory: Factory,
+    summary: &'static str,
+    example: &'static str,
+}
+
+/// Maps adversary names to factories; see the module docs for the key
+/// grammar and [`AdversaryRegistry::with_standard`] for the stock set.
+#[derive(Default)]
+pub struct AdversaryRegistry {
+    entries: BTreeMap<String, Entry>,
+}
+
+impl AdversaryRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The standard strategies: `fair`, `random`, `collisions`, `stall`,
+    /// and `crash` (params `p` = crash probability in permille at
+    /// winning-kind announces, default 20; `cap` = crash budget as a
+    /// percentage of `n`, default 10).
+    pub fn with_standard() -> Self {
+        let mut reg = Self::new();
+        reg.register("fair", "round-robin over active processes", "fair", |key| {
+            key.check_known(&[])?;
+            Ok(Box::new(|_, _| Box::new(FairAdversary::default())))
+        });
+        reg.register("random", "uniformly random seeded schedule", "random", |key| {
+            key.check_known(&[])?;
+            Ok(Box::new(|_, seed| Box::new(RandomAdversary::new(seed))))
+        });
+        reg.register(
+            "collisions",
+            "schedules the largest same-target group back to back",
+            "collisions",
+            |key| {
+                key.check_known(&[])?;
+                Ok(Box::new(|_, _| Box::new(CollisionMaximizer::default())))
+            },
+        );
+        reg.register(
+            "stall",
+            "defers winning-kind announces (TAS / tau-request) behind everyone else",
+            "stall",
+            |key| {
+                key.check_known(&[])?;
+                Ok(Box::new(|_, _| {
+                    Box::new(StallWinners::new(Box::new(|a: &Access| a.is_winning_kind())))
+                }))
+            },
+        );
+        reg.register(
+            "crash",
+            "fair schedule + crashes at winning announces (p permille, cap % of n)",
+            "crash:p=20,cap=10",
+            |key| {
+                key.check_known(&["p", "cap"])?;
+                let p: u32 = key.get("p", 20)?;
+                let cap: u32 = key.get("cap", 10)?;
+                if p > 1000 {
+                    return Err(format!("crash probability p={p} exceeds 1000 permille"));
+                }
+                Ok(Box::new(move |n, seed| {
+                    Box::new(CrashAdversary::new(
+                        FairAdversary::default(),
+                        p as f64 / 1000.0,
+                        n * cap as usize / 100,
+                        seed,
+                    ))
+                }))
+            },
+        );
+        reg
+    }
+
+    /// Registers `name` with a one-line `summary`, an `example` key, and
+    /// a factory that validates a parsed key and returns a per-run
+    /// builder. Re-registering a name replaces the entry.
+    pub fn register(
+        &mut self,
+        name: &str,
+        summary: &'static str,
+        example: &'static str,
+        factory: impl Fn(&ParsedKey) -> Result<AdversaryBuilder, String> + Send + Sync + 'static,
+    ) {
+        self.entries
+            .insert(name.to_string(), Entry { factory: Arc::new(factory), summary, example });
+    }
+
+    /// Validates `key` and returns its per-run builder.
+    ///
+    /// # Errors
+    /// Returns a message on an unknown name or bad parameters.
+    pub fn prepare(&self, key: &str) -> Result<AdversaryBuilder, String> {
+        let parsed = ParsedKey::parse(key)?;
+        let entry = self.entries.get(&parsed.name).ok_or_else(|| {
+            format!("unknown adversary `{}` (registered: {})", parsed.name, self.keys().join(", "))
+        })?;
+        (entry.factory)(&parsed)
+    }
+
+    /// Builds one adversary for a run at size `n` with `seed`.
+    ///
+    /// # Errors
+    /// Same conditions as [`AdversaryRegistry::prepare`].
+    pub fn build(&self, key: &str, n: usize, seed: u64) -> Result<Box<dyn Adversary>, String> {
+        Ok(self.prepare(key)?(n, seed))
+    }
+
+    /// Registered names, sorted.
+    pub fn keys(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// `(name, summary, example)` rows for `--list`-style output.
+    pub fn entries(&self) -> Vec<(&str, &'static str, &'static str)> {
+        self.entries.iter().map(|(k, e)| (k.as_str(), e.summary, e.example)).collect()
+    }
+}
+
+/// The process-wide standard registry (built once, immutable).
+pub fn standard() -> &'static AdversaryRegistry {
+    static STANDARD: OnceLock<AdversaryRegistry> = OnceLock::new();
+    STANDARD.get_or_init(AdversaryRegistry::with_standard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{Decision, View};
+
+    fn probe_view<'a>(
+        active: &'a [usize],
+        announced: &'a [Option<Access>],
+        steps: &'a [u64],
+    ) -> View<'a> {
+        View { active, announced, steps, named: 0 }
+    }
+
+    #[test]
+    fn parse_key_grammar() {
+        let k = ParsedKey::parse("crash:p=200,cap=25").unwrap();
+        assert_eq!(k.name, "crash");
+        assert_eq!(k.get::<u32>("p", 0).unwrap(), 200);
+        assert_eq!(k.get::<u32>("cap", 0).unwrap(), 25);
+        assert_eq!(k.get::<u32>("missing", 7).unwrap(), 7);
+        assert_eq!(ParsedKey::parse("fair").unwrap().name, "fair");
+        assert!(ParsedKey::parse("").is_err());
+        assert!(ParsedKey::parse(":p=1").is_err());
+        assert!(ParsedKey::parse("crash:p").is_err());
+        assert!(ParsedKey::parse("crash:p=x").unwrap().get::<u32>("p", 0).is_err());
+    }
+
+    #[test]
+    fn check_known_rejects_typos() {
+        let k = ParsedKey::parse("crash:P=20").unwrap();
+        assert!(k.check_known(&["p", "cap"]).is_err());
+        assert!(k.check_known(&["P"]).is_ok());
+    }
+
+    #[test]
+    fn standard_names_build() {
+        for key in ["fair", "random", "collisions", "stall", "crash", "crash:p=200,cap=25"] {
+            let adv = standard().build(key, 16, 3).unwrap();
+            assert!(!adv.name().is_empty(), "{key}");
+        }
+    }
+
+    #[test]
+    fn unknown_name_and_params_error() {
+        assert!(standard().build("livelock", 8, 0).is_err());
+        assert!(standard().build("fair:x=1", 8, 0).is_err());
+        assert!(standard().build("crash:q=1", 8, 0).is_err());
+        assert!(standard().build("crash:p=2000", 8, 0).is_err());
+    }
+
+    #[test]
+    fn registered_entries_listed() {
+        let keys = standard().keys();
+        assert_eq!(keys, vec!["collisions", "crash", "fair", "random", "stall"]);
+        assert_eq!(standard().entries().len(), 5);
+    }
+
+    #[test]
+    fn crash_key_matches_manual_construction() {
+        // The registry and a hand-built CrashAdversary must make the same
+        // decisions given the same seed — single source of truth.
+        let active: Vec<usize> = (0..8).collect();
+        let ann = vec![Some(Access::Tas { array: 0, index: 0 }); 8];
+        let steps = vec![0u64; 8];
+        let mut from_key = standard().build("crash:p=500,cap=50", 8, 9).unwrap();
+        let mut manual = CrashAdversary::new(FairAdversary::default(), 0.5, 4, 9);
+        for _ in 0..32 {
+            let a = from_key.decide(&probe_view(&active, &ann, &steps));
+            let b = manual.decide(&probe_view(&active, &ann, &steps));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn stall_prefers_non_winning_kinds() {
+        let active = [0, 1];
+        let ann = vec![
+            Some(Access::Tas { array: 0, index: 0 }),
+            Some(Access::Read { array: 0, index: 0 }),
+        ];
+        let steps = [0u64; 2];
+        let mut adv = standard().build("stall", 2, 0).unwrap();
+        assert_eq!(adv.decide(&probe_view(&active, &ann, &steps)), Decision::Grant(1));
+    }
+}

@@ -3,7 +3,7 @@
 //! The build environment has no network access to crates.io, so the
 //! workspace vendors the property-testing surface its tests use: the
 //! [`proptest!`] macro (with `#![proptest_config(...)]`), integer-range
-//! and tuple strategies, [`Strategy::prop_map`], [`collection::vec`],
+//! and tuple strategies, [`strategy::Strategy::prop_map`], [`collection::vec`],
 //! [`bool::ANY`], plain typed parameters via [`arbitrary::Arbitrary`],
 //! and the `prop_assert*` macros.
 //!
