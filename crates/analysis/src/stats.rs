@@ -3,13 +3,23 @@
 
 /// Online mean and variance accumulator (Welford's algorithm — numerically
 /// stable for long experiment sweeps).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Welford {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+/// Delegates to [`Welford::new`]. A derived `Default` would zero
+/// `min`/`max` instead of seeding them at `±∞`, so the first pushed
+/// observation of an all-positive sample could never replace `min` —
+/// `Welford::default()` must be indistinguishable from `Welford::new()`.
+impl Default for Welford {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Welford {
@@ -172,6 +182,29 @@ mod tests {
         assert_eq!(w.mean(), 3.0);
         assert_eq!(w.variance(), 0.0);
         assert_eq!(w.ci95_half_width(), 0.0);
+    }
+
+    /// Regression: the old derived `Default` zeroed `min`/`max`, so an
+    /// all-positive sample pushed into `Welford::default()` reported
+    /// `min() == 0.0`. `default()` must behave identically to `new()`.
+    #[test]
+    fn welford_default_is_new() {
+        let data = [3.5, 7.0, 4.25];
+        let mut via_default = Welford::default();
+        let mut via_new = Welford::new();
+        for &x in &data {
+            via_default.push(x);
+            via_new.push(x);
+        }
+        assert_eq!(via_default.min().to_bits(), via_new.min().to_bits());
+        assert_eq!(via_default.max().to_bits(), via_new.max().to_bits());
+        assert_eq!(via_default.mean().to_bits(), via_new.mean().to_bits());
+        assert_eq!(via_default.variance().to_bits(), via_new.variance().to_bits());
+        assert_eq!(via_default.count(), via_new.count());
+        assert_eq!(via_default.min(), 3.5, "all-positive min must not be 0.0");
+        // Empty accumulators agree too (both NaN min/max, zero count).
+        assert_eq!(Welford::default().count(), Welford::new().count());
+        assert!(Welford::default().min().is_nan());
     }
 
     #[test]

@@ -41,6 +41,13 @@ impl Process for CounterProcess {
 #[derive(Debug, Clone, Copy)]
 pub struct FetchAddRenaming;
 
+impl FetchAddRenaming {
+    fn build(&self, n: usize) -> Vec<CounterProcess> {
+        let counter = Arc::new(AtomicUsize::new(0));
+        (0..n).map(|pid| CounterProcess { pid, counter: Arc::clone(&counter), limit: n }).collect()
+    }
+}
+
 impl RenamingAlgorithm for FetchAddRenaming {
     fn name(&self) -> String {
         "fetch-add".into()
@@ -51,14 +58,17 @@ impl RenamingAlgorithm for FetchAddRenaming {
     }
 
     fn instantiate(&self, n: usize, _seed: u64) -> Instance {
-        let counter = Arc::new(AtomicUsize::new(0));
-        let processes = (0..n)
-            .map(|pid| {
-                Box::new(CounterProcess { pid, counter: Arc::clone(&counter), limit: n })
-                    as Box<dyn Process + Send>
-            })
-            .collect();
-        Instance { processes, m: n, n }
+        Instance { processes: rr_renaming::traits::boxed(self.build(n)), m: n, n }
+    }
+
+    fn run_dense(
+        &self,
+        n: usize,
+        _seed: u64,
+        adversary: &mut dyn rr_sched::adversary::Adversary,
+        arena: &mut rr_sched::dense::Arena,
+    ) -> Result<rr_sched::virtual_exec::RunOutcome, rr_sched::virtual_exec::ExecError> {
+        arena.run(&mut self.build(n), adversary, self.step_budget(n))
     }
 }
 

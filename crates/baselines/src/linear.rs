@@ -89,19 +89,29 @@ impl RenamingAlgorithm for LinearScan {
     }
 
     fn instantiate(&self, n: usize, _seed: u64) -> Instance {
-        let mem = Arc::new(AtomicTasArray::new(n));
-        let processes = (0..n)
-            .map(|pid| {
-                Box::new(ScanProcess::new(pid, Arc::clone(&mem), self.start))
-                    as Box<dyn Process + Send>
-            })
-            .collect();
-        Instance { processes, m: n, n }
+        Instance { processes: rr_renaming::traits::boxed(self.build(n)), m: n, n }
     }
 
     fn step_budget(&self, n: usize) -> u64 {
         // Θ(n) per process by design.
         4 * (n as u64) * (n as u64) + 1024
+    }
+
+    fn run_dense(
+        &self,
+        n: usize,
+        _seed: u64,
+        adversary: &mut dyn rr_sched::adversary::Adversary,
+        arena: &mut rr_sched::dense::Arena,
+    ) -> Result<rr_sched::virtual_exec::RunOutcome, rr_sched::virtual_exec::ExecError> {
+        arena.run(&mut self.build(n), adversary, self.step_budget(n))
+    }
+}
+
+impl LinearScan {
+    fn build(&self, n: usize) -> Vec<ScanProcess> {
+        let mem = Arc::new(AtomicTasArray::new(n));
+        (0..n).map(|pid| ScanProcess::new(pid, Arc::clone(&mem), self.start)).collect()
     }
 }
 

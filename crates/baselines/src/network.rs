@@ -214,14 +214,24 @@ impl RenamingAlgorithm for BitonicRenaming {
     }
 
     fn instantiate(&self, n: usize, _seed: u64) -> Instance {
-        let width = self.m(n);
-        let shared = Arc::new(NetworkShared::new(ComparatorNetwork::bitonic(width)));
-        let processes = (0..n)
-            .map(|pid| {
-                Box::new(NetworkProcess::new(pid, Arc::clone(&shared))) as Box<dyn Process + Send>
-            })
-            .collect();
-        Instance { processes, m: width, n }
+        Instance { processes: rr_renaming::traits::boxed(self.build(n)), m: self.m(n), n }
+    }
+
+    fn run_dense(
+        &self,
+        n: usize,
+        _seed: u64,
+        adversary: &mut dyn rr_sched::adversary::Adversary,
+        arena: &mut rr_sched::dense::Arena,
+    ) -> Result<rr_sched::virtual_exec::RunOutcome, rr_sched::virtual_exec::ExecError> {
+        arena.run(&mut self.build(n), adversary, self.step_budget(n))
+    }
+}
+
+impl BitonicRenaming {
+    fn build(&self, n: usize) -> Vec<NetworkProcess> {
+        let shared = Arc::new(NetworkShared::new(ComparatorNetwork::bitonic(self.m(n))));
+        (0..n).map(|pid| NetworkProcess::new(pid, Arc::clone(&shared))).collect()
     }
 }
 

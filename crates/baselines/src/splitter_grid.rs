@@ -223,18 +223,29 @@ impl RenamingAlgorithm for SplitterGrid {
     }
 
     fn instantiate(&self, n: usize, _seed: u64) -> Instance {
-        let shared = Arc::new(GridShared::new(n));
-        let processes = (0..n)
-            .map(|pid| {
-                Box::new(GridProcess::new(pid, Arc::clone(&shared))) as Box<dyn Process + Send>
-            })
-            .collect();
-        Instance { processes, m: self.m(n), n }
+        Instance { processes: rr_renaming::traits::boxed(self.build(n)), m: self.m(n), n }
     }
 
     fn step_budget(&self, n: usize) -> u64 {
         // ≤ n splitters on a path, 4 accesses each, for each process.
         16 * (n as u64) * (n as u64) + 1024
+    }
+
+    fn run_dense(
+        &self,
+        n: usize,
+        _seed: u64,
+        adversary: &mut dyn rr_sched::adversary::Adversary,
+        arena: &mut rr_sched::dense::Arena,
+    ) -> Result<rr_sched::virtual_exec::RunOutcome, rr_sched::virtual_exec::ExecError> {
+        arena.run(&mut self.build(n), adversary, self.step_budget(n))
+    }
+}
+
+impl SplitterGrid {
+    fn build(&self, n: usize) -> Vec<GridProcess> {
+        let shared = Arc::new(GridShared::new(n));
+        (0..n).map(|pid| GridProcess::new(pid, Arc::clone(&shared))).collect()
     }
 }
 

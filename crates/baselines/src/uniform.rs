@@ -81,18 +81,27 @@ impl RenamingAlgorithm for UniformProbing {
     }
 
     fn instantiate(&self, n: usize, seed: u64) -> Instance {
+        Instance { processes: rr_renaming::traits::boxed(self.build(n, seed)), m: self.m(n), n }
+    }
+
+    fn run_dense(
+        &self,
+        n: usize,
+        seed: u64,
+        adversary: &mut dyn rr_sched::adversary::Adversary,
+        arena: &mut rr_sched::dense::Arena,
+    ) -> Result<rr_sched::virtual_exec::RunOutcome, rr_sched::virtual_exec::ExecError> {
+        arena.run(&mut self.build(n, seed), adversary, self.step_budget(n))
+    }
+}
+
+impl UniformProbing {
+    fn build(&self, n: usize, seed: u64) -> Vec<UniformProcess> {
         assert!(self.epsilon > 0.0, "uniform probing needs m > n");
-        let m = self.m(n);
-        let mem = Arc::new(AtomicTasArray::new(m));
+        let mem = Arc::new(AtomicTasArray::new(self.m(n)));
         // W.h.p. bound is O(log n / log(1+ε)); budget 100× that.
         let budget = (100.0 * (n.max(2) as f64).log2() / (1.0 + self.epsilon).log2()).ceil() as u64;
-        let processes = (0..n)
-            .map(|pid| {
-                Box::new(UniformProcess::new(pid, seed, Arc::clone(&mem), budget))
-                    as Box<dyn Process + Send>
-            })
-            .collect();
-        Instance { processes, m, n }
+        (0..n).map(|pid| UniformProcess::new(pid, seed, Arc::clone(&mem), budget)).collect()
     }
 }
 

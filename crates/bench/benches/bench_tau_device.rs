@@ -1,6 +1,6 @@
 //! Microbenchmarks of the counting device and the concurrent τ-register:
 //! cost of one clock cycle (the "constant slowdown" the paper claims)
-//! and of an acquire through the flat-combining front end.
+//! and of an acquire through the lock-free front end.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rr_tau::{ConcurrentTauRegister, CountingDevice};

@@ -1,8 +1,10 @@
 //! The umbrella experiment: run **any** registered algorithm under
-//! **any** registered adversary at any size — from string keys alone.
+//! **any** registered adversary at any size, on any execution backend —
+//! from string keys alone.
 //!
 //! ```text
-//! exp_matrix [--quick] [--json PATH] [--list]
+//! exp_matrix [--quick] [--json PATH] [--list] [--help]
+//!            [--backend virtual|dense|threads:t=N]
 //!            [--algos k1,k2,…] [--adversaries k1,k2,…]
 //!            [--sizes n1,n2,…] [--seeds N]
 //! ```
@@ -10,10 +12,39 @@
 //! Defaults: every registered algorithm; `--quick` runs each once under
 //! the fair schedule (the CI smoke configuration), the full mode crosses
 //! every adversary too. `--list` prints both registries and exits.
+//!
+//! `--backend` selects the execution core: `virtual` (the boxed
+//! reference executor), `dense` (flat arena, bit-identical tables ~an
+//! order of magnitude sooner at large n), or `threads:t=N` (free-running
+//! OS threads — wall-clock data; ignores the adversary key and is not
+//! seed-reproducible). JSON records carry the backend key plus one
+//! `kind:"throughput"` record per row (runs/sec, steps/sec).
 
 use rr_bench::runner::RunConfig;
 use rr_bench::scenario::specs::{matrix, MatrixOptions};
 use rr_bench::scenario::{drive, registry};
+
+const USAGE: &str = "\
+exp_matrix — any registered algorithm × adversary × n, on any backend
+
+usage: exp_matrix [--quick] [--json PATH] [--list] [--help]
+                  [--backend virtual|dense|threads:t=N]
+                  [--algos k1,k2,…] [--adversaries k1,k2,…]
+                  [--sizes n1,n2,…] [--seeds N]
+
+  --quick        CI-sized sweep (each algorithm once, fair schedule)
+  --json PATH    also write structured records (deterministic rows plus
+                 kind:\"throughput\" speed rows) to PATH
+  --backend KEY  execution core: `virtual` (boxed reference executor),
+                 `dense` (flat arena core; bit-identical results, fastest
+                 at large n), `threads:t=N` (free-running OS threads,
+                 wall-clock truth — ignores the adversary key, not
+                 seed-reproducible)
+  --algos        comma-separated algorithm registry keys
+  --adversaries  comma-separated adversary registry keys
+  --sizes        comma-separated process counts
+  --seeds N      seeds per cell
+  --list         print both registries and exit";
 
 /// Splits a comma-separated key list, re-joining bare `k=v` fragments
 /// with the preceding key — the key grammar itself uses commas between
@@ -50,6 +81,10 @@ fn print_registries() {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
     if args.iter().any(|a| a == "--list") {
         print_registries();
         return;

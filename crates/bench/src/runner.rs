@@ -4,16 +4,21 @@
 
 use rr_renaming::traits::RenamingAlgorithm;
 use rr_sched::adversary::Adversary;
+use rr_sched::dense::Arena;
 use rr_sched::process::Process;
 use rr_sched::registry::{standard, ParsedKey};
+use rr_sched::thread_exec::run_threads_bounded;
 use rr_sched::virtual_exec::{run, RunOutcome};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Aggregated statistics over a batch of seeded runs.
 #[derive(Debug, Clone)]
 pub struct BatchStats {
     /// Per-run step complexity (max steps over processes).
     pub step_complexity: Vec<u64>,
+    /// Per-run total steps (work) across all processes.
+    pub total_steps: Vec<u64>,
     /// Per-run mean steps per process.
     pub mean_steps: Vec<f64>,
     /// Per-run unnamed (gave-up) counts.
@@ -64,6 +69,12 @@ impl BatchStats {
     /// Total crashes over all runs.
     pub fn total_crashed(&self) -> usize {
         self.crashed.iter().sum()
+    }
+
+    /// Total work (shared-memory accesses) over all runs — the numerator
+    /// of a backend's steps/sec throughput.
+    pub fn total_work(&self) -> u64 {
+        self.total_steps.iter().sum()
     }
 
     /// Assembles stats from already-executed outcomes, in order — the
@@ -170,6 +181,140 @@ impl Schedule {
     }
 }
 
+/// Which execution core a batch drives — the `--backend` axis of the
+/// experiment layer.
+///
+/// | key | core | determinism |
+/// |---|---|---|
+/// | `virtual` | boxed shim over the arena loop | exact, adversary-scheduled |
+/// | `dense` | flat arena, typed processes, scratch reuse | bit-identical to `virtual` |
+/// | `threads:t=N` | free-running OS threads (≤ N concurrent) | wall-clock only; safety audited, steps not reproducible; ignores the adversary key |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// The historical boxed executor ([`rr_sched::virtual_exec::run`]).
+    #[default]
+    Virtual,
+    /// The flat arena core with monomorphized process storage and
+    /// cross-seed scratch reuse ([`rr_sched::dense::Arena`]).
+    Dense,
+    /// Free-running OS threads, at most `t` concurrent
+    /// ([`rr_sched::thread_exec::run_threads_bounded`]). No adversary:
+    /// scheduling is the machine's. Step counts are real but not
+    /// seed-reproducible; renaming safety is still audited.
+    Threads {
+        /// Max concurrent OS threads.
+        t: usize,
+    },
+}
+
+impl ExecBackend {
+    /// Parses a backend key: `virtual`, `dense`, `threads` or
+    /// `threads:t=N` (default `t = 8`), following the registry key
+    /// grammar.
+    ///
+    /// # Errors
+    /// Returns a message on unknown names, unknown parameters, or
+    /// `t = 0`.
+    pub fn parse(key: &str) -> Result<Self, String> {
+        let parsed = ParsedKey::parse(key)?;
+        match parsed.name.as_str() {
+            "virtual" => {
+                parsed.check_known(&[])?;
+                Ok(ExecBackend::Virtual)
+            }
+            "dense" => {
+                parsed.check_known(&[])?;
+                Ok(ExecBackend::Dense)
+            }
+            "threads" => {
+                parsed.check_known(&["t"])?;
+                let t: usize = parsed.get("t", 8)?;
+                if t == 0 {
+                    return Err("threads backend needs t ≥ 1".into());
+                }
+                Ok(ExecBackend::Threads { t })
+            }
+            other => Err(format!("unknown backend `{other}` (known: virtual, dense, threads:t=N)")),
+        }
+    }
+
+    /// The canonical key this backend parses back from.
+    pub fn key(&self) -> String {
+        match self {
+            ExecBackend::Virtual => "virtual".into(),
+            ExecBackend::Dense => "dense".into(),
+            ExecBackend::Threads { t } => format!("threads:t={t}"),
+        }
+    }
+}
+
+/// Wall-clock measurements of one batch — what the throughput records in
+/// `BENCH_scenarios.json` track per backend.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchTiming {
+    /// Wall-clock seconds for the whole batch (instantiation included —
+    /// that cost is part of running a seed).
+    pub wall_secs: f64,
+    /// Seeds executed.
+    pub runs: u64,
+    /// Total shared-memory accesses across all runs.
+    pub steps: u64,
+}
+
+impl BatchTiming {
+    /// Completed runs per wall-clock second.
+    pub fn runs_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.runs as f64 / self.wall_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Executed steps per wall-clock second.
+    pub fn steps_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.steps as f64 / self.wall_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Runs `algo` at size `n` once with `seed` on `backend`.
+///
+/// `adversary` schedules the `virtual` and `dense` backends; the
+/// `threads` backend is free-running (the machine schedules) and ignores
+/// it. `arena` is the dense backend's reusable scratch — pass the same
+/// one across seeds to amortize its buffers.
+///
+/// # Panics
+/// Panics on executor errors or renaming-safety violations (these are
+/// bugs, not data).
+pub fn run_once_backend(
+    algo: &dyn RenamingAlgorithm,
+    n: usize,
+    seed: u64,
+    adversary: &mut dyn Adversary,
+    backend: ExecBackend,
+    arena: &mut Arena,
+) -> RunOutcome {
+    let out = match backend {
+        ExecBackend::Virtual => return run_once_with(algo, n, seed, adversary),
+        ExecBackend::Dense => algo
+            .run_dense(n, seed, adversary, arena)
+            .unwrap_or_else(|e| panic!("{} at n={n}, seed {seed}: {e}", algo.name())),
+        ExecBackend::Threads { t } => {
+            let inst = algo.instantiate(n, seed);
+            run_threads_bounded(inst.processes, t, algo.step_budget(n))
+        }
+    };
+    if let Err(v) = out.verify_renaming(algo.m(n)) {
+        panic!("{} violated renaming safety at n={n}, seed {seed}: {v}", algo.name());
+    }
+    out
+}
+
 /// Runs `algo` at size `n` once under `schedule` with `seed`.
 ///
 /// # Panics
@@ -208,11 +353,12 @@ pub fn run_once_with(
 }
 
 /// Per-seed measurements in the order [`BatchStats`] stores them.
-type SeedRow = (u64, f64, usize, usize);
+type SeedRow = (u64, u64, f64, usize, usize);
 
 fn measure(out: &RunOutcome, n: usize) -> SeedRow {
     (
         out.step_complexity(),
+        out.total_steps(),
         out.total_steps() as f64 / n as f64,
         out.gave_up_count(),
         out.crashed.iter().filter(|&&c| c).count(),
@@ -222,14 +368,16 @@ fn measure(out: &RunOutcome, n: usize) -> SeedRow {
 fn assemble(rows: Vec<SeedRow>) -> BatchStats {
     let mut stats = BatchStats {
         step_complexity: Vec::with_capacity(rows.len()),
+        total_steps: Vec::with_capacity(rows.len()),
         mean_steps: Vec::with_capacity(rows.len()),
         unnamed: Vec::with_capacity(rows.len()),
         crashed: Vec::with_capacity(rows.len()),
         violations: 0,
         runs: rows.len(),
     };
-    for (steps, mean, unnamed, crashed) in rows {
+    for (steps, total, mean, unnamed, crashed) in rows {
         stats.step_complexity.push(steps);
+        stats.total_steps.push(total);
         stats.mean_steps.push(mean);
         stats.unnamed.push(unnamed);
         stats.crashed.push(crashed);
@@ -279,7 +427,14 @@ pub fn run_batch_with_threads(
     schedule: Schedule,
     workers: usize,
 ) -> BatchStats {
-    run_batch_core(algo, n, seeds, &move |n, seed| schedule.build(n, seed), workers)
+    run_batch_core(
+        algo,
+        n,
+        seeds,
+        &move |n, seed| schedule.build(n, seed),
+        workers,
+        ExecBackend::Virtual,
+    )
 }
 
 /// Runs `algo` across seeds under the adversary named by a registry
@@ -309,25 +464,58 @@ pub fn run_batch_keyed_with_threads(
     key: &str,
     workers: usize,
 ) -> Result<BatchStats, String> {
+    Ok(run_batch_backend(algo, n, seeds, key, ExecBackend::Virtual, workers)?.0)
+}
+
+/// The backend-selectable batch entry point: runs `algo` across seeds
+/// under adversary `key` on `backend` with `workers` threads, returning
+/// the aggregated stats plus the batch's wall-clock [`BatchTiming`].
+///
+/// The `dense` backend gives each worker one [`Arena`] reused across all
+/// of its seeds; `virtual` and `dense` produce bit-identical
+/// [`BatchStats`]; `threads` ignores the adversary (free-running) and
+/// its step counts are wall-clock truths, not seed-reproducible data.
+///
+/// # Errors
+/// Same conditions as [`run_batch_keyed`].
+pub fn run_batch_backend(
+    algo: &(dyn RenamingAlgorithm + Sync),
+    n: usize,
+    seeds: u64,
+    key: &str,
+    backend: ExecBackend,
+    workers: usize,
+) -> Result<(BatchStats, BatchTiming), String> {
     let builder = standard().prepare(key)?;
-    Ok(run_batch_core(algo, n, seeds, &move |n, seed| builder(n, seed), workers))
+    let start = Instant::now();
+    let stats = run_batch_core(algo, n, seeds, &move |n, seed| builder(n, seed), workers, backend);
+    let timing = BatchTiming {
+        wall_secs: start.elapsed().as_secs_f64(),
+        runs: seeds,
+        steps: stats.total_work(),
+    };
+    Ok((stats, timing))
 }
 
 /// The shared batch executor: farms seeds to scoped workers, building a
 /// fresh adversary per seed via `build_adv`, and re-assembles rows in
-/// seed order.
+/// seed order. Each worker owns one dense-backend [`Arena`] for its
+/// whole seed range.
 fn run_batch_core(
     algo: &(dyn RenamingAlgorithm + Sync),
     n: usize,
     seeds: u64,
     build_adv: &(dyn Fn(usize, u64) -> Box<dyn Adversary> + Sync),
     workers: usize,
+    backend: ExecBackend,
 ) -> BatchStats {
-    let run_seed =
-        |seed: u64| measure(&run_once_with(algo, n, seed, build_adv(n, seed).as_mut()), n);
+    let run_seed = |seed: u64, arena: &mut Arena| {
+        measure(&run_once_backend(algo, n, seed, build_adv(n, seed).as_mut(), backend, arena), n)
+    };
     let workers = workers.min(seeds as usize);
     if workers <= 1 {
-        return assemble((0..seeds).map(run_seed).collect());
+        let mut arena = Arena::new();
+        return assemble((0..seeds).map(|seed| run_seed(seed, &mut arena)).collect());
     }
     let next_seed = AtomicU64::new(0);
     let mut rows: Vec<Option<SeedRow>> = vec![None; seeds as usize];
@@ -337,13 +525,14 @@ fn run_batch_core(
                 let next_seed = &next_seed;
                 let run_seed = &run_seed;
                 scope.spawn(move || {
+                    let mut arena = Arena::new();
                     let mut local: Vec<(u64, SeedRow)> = Vec::new();
                     loop {
                         let seed = next_seed.fetch_add(1, Ordering::Relaxed);
                         if seed >= seeds {
                             break;
                         }
-                        local.push((seed, run_seed(seed)));
+                        local.push((seed, run_seed(seed, &mut arena)));
                     }
                     local
                 })
@@ -379,6 +568,7 @@ fn parse_threads(raw: Option<&str>) -> usize {
 /// | `quick` | `--quick` CLI flag | shrink sweeps so CI finishes in seconds |
 /// | `threads` | `RR_RUNNER_THREADS` env (else available parallelism) | [`run_batch`] worker count |
 /// | `json_path` | `--json <path>` CLI flag | also write structured records (see `scenario::sink`) |
+/// | `backend` | `--backend <key>` CLI flag | execution core (`virtual` \| `dense` \| `threads:t=N`) |
 #[derive(Debug, Clone)]
 pub struct RunConfig {
     /// CI-sized sweeps when set (the `--quick` flag).
@@ -387,11 +577,18 @@ pub struct RunConfig {
     pub threads: usize,
     /// Where to write the JSON-lines record stream, if anywhere.
     pub json_path: Option<std::path::PathBuf>,
+    /// Which execution core batch sections run on.
+    pub backend: ExecBackend,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        Self { quick: false, threads: parse_threads(None), json_path: None }
+        Self {
+            quick: false,
+            threads: parse_threads(None),
+            json_path: None,
+            backend: ExecBackend::Virtual,
+        }
     }
 }
 
@@ -401,12 +598,18 @@ impl RunConfig {
         Self::from_args(std::env::args().skip(1), std::env::var("RR_RUNNER_THREADS").ok())
     }
 
-    /// Testable core of [`RunConfig::from_env`]: `--quick` and
-    /// `--json <path>` are recognized, anything else is ignored (the
-    /// experiment binaries have always tolerated stray arguments).
+    /// Testable core of [`RunConfig::from_env`]: `--quick`,
+    /// `--json <path>` and `--backend <key>` are recognized, anything
+    /// else is ignored (the experiment binaries have always tolerated
+    /// stray arguments). An invalid backend key exits with a friendly
+    /// message (code 2) — the flag is user input, not programmer error.
     pub fn from_args(args: impl IntoIterator<Item = String>, threads_env: Option<String>) -> Self {
-        let mut cfg =
-            Self { quick: false, threads: parse_threads(threads_env.as_deref()), json_path: None };
+        let mut cfg = Self {
+            quick: false,
+            threads: parse_threads(threads_env.as_deref()),
+            json_path: None,
+            backend: ExecBackend::Virtual,
+        };
         let mut args = args.into_iter().peekable();
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -415,6 +618,13 @@ impl RunConfig {
                 // stream instead of swallowing it.
                 "--json" if args.peek().is_some_and(|v| !v.starts_with("--")) => {
                     cfg.json_path = args.next().map(Into::into);
+                }
+                "--backend" if args.peek().is_some_and(|v| !v.starts_with("--")) => {
+                    let key = args.next().expect("peeked");
+                    cfg.backend = ExecBackend::parse(&key).unwrap_or_else(|e| {
+                        eprintln!("--backend {key}: {e}");
+                        std::process::exit(2);
+                    });
                 }
                 _ => {}
             }
@@ -581,6 +791,65 @@ mod tests {
     }
 
     #[test]
+    fn backend_keys_round_trip_and_validate() {
+        for (key, backend) in [
+            ("virtual", ExecBackend::Virtual),
+            ("dense", ExecBackend::Dense),
+            ("threads", ExecBackend::Threads { t: 8 }),
+            ("threads:t=4", ExecBackend::Threads { t: 4 }),
+        ] {
+            assert_eq!(ExecBackend::parse(key).unwrap(), backend, "{key}");
+            assert_eq!(ExecBackend::parse(&backend.key()).unwrap(), backend);
+        }
+        assert_eq!(ExecBackend::default(), ExecBackend::Virtual);
+        assert!(ExecBackend::parse("gpu").is_err());
+        assert!(ExecBackend::parse("dense:t=2").is_err());
+        assert!(ExecBackend::parse("threads:t=0").is_err());
+        assert!(ExecBackend::parse("threads:x=1").is_err());
+    }
+
+    /// The dense backend reuses one arena across every seed of a worker
+    /// and must still be bit-identical to the virtual backend, per field.
+    #[test]
+    fn dense_backend_bit_identical_to_virtual() {
+        let algo = TightRenaming::calibrated(4);
+        for key in ["fair", "random", "collisions", "stall", "crash:p=200,cap=25"] {
+            let (virt, _) = run_batch_backend(&algo, 96, 6, key, ExecBackend::Virtual, 2).unwrap();
+            let (dense, _) = run_batch_backend(&algo, 96, 6, key, ExecBackend::Dense, 2).unwrap();
+            assert_eq!(virt.step_complexity, dense.step_complexity, "{key}");
+            assert_eq!(virt.total_steps, dense.total_steps, "{key}");
+            assert_eq!(virt.unnamed, dense.unnamed, "{key}");
+            assert_eq!(virt.crashed, dense.crashed, "{key}");
+            let vb: Vec<u64> = virt.mean_steps.iter().map(|f| f.to_bits()).collect();
+            let db: Vec<u64> = dense.mean_steps.iter().map(|f| f.to_bits()).collect();
+            assert_eq!(vb, db, "{key}");
+        }
+    }
+
+    #[test]
+    fn threads_backend_renames_and_reports_timing() {
+        let algo = TightRenaming::calibrated(4);
+        let (stats, timing) =
+            run_batch_backend(&algo, 48, 2, "fair", ExecBackend::Threads { t: 4 }, 1).unwrap();
+        assert_eq!(stats.runs, 2);
+        assert_eq!(stats.violations, 0);
+        assert_eq!(timing.runs, 2);
+        assert_eq!(timing.steps, stats.total_work());
+        assert!(timing.wall_secs >= 0.0);
+        assert!(timing.runs_per_sec() > 0.0);
+        assert!(timing.steps_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn total_steps_consistent_with_mean() {
+        let stats = run_batch(&TightRenaming::calibrated(4), 64, 3, Schedule::Fair);
+        for (total, mean) in stats.total_steps.iter().zip(&stats.mean_steps) {
+            assert_eq!((*total as f64 / 64.0).to_bits(), mean.to_bits());
+        }
+        assert_eq!(stats.total_work(), stats.total_steps.iter().sum::<u64>());
+    }
+
+    #[test]
     fn run_config_parses_args_and_env() {
         let cfg = RunConfig::from_args(
             ["--quick", "--json", "out.json", "extra"].map(String::from),
@@ -604,6 +873,17 @@ mod tests {
         // `--json` must not swallow a following flag as its path.
         let cfg = RunConfig::from_args(["--json", "--quick"].map(String::from), None);
         assert!(cfg.json_path.is_none());
+        assert!(cfg.quick);
+
+        // `--backend` selects the execution core; default is virtual.
+        assert_eq!(cfg.backend, ExecBackend::Virtual);
+        let cfg = RunConfig::from_args(["--backend", "dense"].map(String::from), None);
+        assert_eq!(cfg.backend, ExecBackend::Dense);
+        let cfg = RunConfig::from_args(["--backend", "threads:t=3"].map(String::from), None);
+        assert_eq!(cfg.backend, ExecBackend::Threads { t: 3 });
+        // `--backend` with no value (next is a flag) leaves the default.
+        let cfg = RunConfig::from_args(["--backend", "--quick"].map(String::from), None);
+        assert_eq!(cfg.backend, ExecBackend::Virtual);
         assert!(cfg.quick);
     }
 

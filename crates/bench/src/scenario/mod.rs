@@ -28,7 +28,7 @@ pub use spec::{
     BatchSection, CellFn, Column, CustomSection, RowCtx, RowSpec, ScenarioSpec, Section,
 };
 
-use crate::runner::{run_batch_keyed_with_threads, RunConfig};
+use crate::runner::{run_batch_backend, BatchTiming, RunConfig};
 use rr_analysis::stats::upper_median;
 use rr_renaming::registry::{AlgorithmRegistry, BoxedAlgorithm};
 use std::collections::BTreeMap;
@@ -76,9 +76,7 @@ pub fn run_spec(spec: ScenarioSpec, cfg: &RunConfig, sinks: &mut [Box<dyn Sink +
     emitter.text(format!("=== {}: {} ===", spec.id, spec.claim));
     for section in spec.sections {
         match section {
-            Section::Batch(batch) => {
-                run_batch_section(spec.id, batch, cfg.threads, &reg, &mut emitter)
-            }
+            Section::Batch(batch) => run_batch_section(spec.id, batch, cfg, &reg, &mut emitter),
             Section::Custom(custom) => (custom.run)(&mut emitter),
         }
     }
@@ -90,7 +88,7 @@ pub fn run_spec(spec: ScenarioSpec, cfg: &RunConfig, sinks: &mut [Box<dyn Sink +
 fn run_batch_section(
     scenario: &str,
     section: BatchSection,
-    threads: usize,
+    cfg: &RunConfig,
     reg: &AlgorithmRegistry,
     emitter: &mut Emitter<'_, '_>,
 ) {
@@ -104,12 +102,19 @@ fn run_batch_section(
         let algo = algos.entry(row.algorithm.clone()).or_insert_with(|| {
             reg.build(&row.algorithm).unwrap_or_else(|e| panic!("scenario {scenario}: {e}"))
         });
-        let stats =
-            run_batch_keyed_with_threads(algo.as_ref(), row.n, row.seeds, &row.adversary, threads)
-                .unwrap_or_else(|e| panic!("scenario {scenario}: {e}"));
+        let (stats, timing) = run_batch_backend(
+            algo.as_ref(),
+            row.n,
+            row.seeds,
+            &row.adversary,
+            cfg.backend,
+            cfg.threads,
+        )
+        .unwrap_or_else(|e| panic!("scenario {scenario}: {e}"));
         let ctx = RowCtx { row, algo: algo.as_ref(), stats: &stats };
         table.row(section.columns.iter().map(|c| (c.cell)(&ctx)).collect());
-        emitter.record(&batch_record(scenario, &section, row, algo.as_ref().name(), &stats));
+        emitter.record(&batch_record(scenario, &section, row, cfg, algo.as_ref().name(), &stats));
+        emitter.record(&throughput_record(scenario, &section, row, cfg, &timing));
     }
     emitter.text(table.to_string());
 }
@@ -120,6 +125,7 @@ fn batch_record(
     scenario: &str,
     section: &BatchSection,
     row: &RowSpec,
+    cfg: &RunConfig,
     algo_name: String,
     stats: &crate::runner::BatchStats,
 ) -> Record {
@@ -130,6 +136,7 @@ fn batch_record(
             ("algorithm".into(), Value::Str(row.algorithm.clone())),
             ("algorithm_name".into(), Value::Str(algo_name)),
             ("adversary".into(), Value::Str(row.adversary.clone())),
+            ("backend".into(), Value::Str(cfg.backend.key())),
             ("n".into(), Value::U64(row.n as u64)),
             ("seeds".into(), Value::U64(row.seeds)),
             ("steps_p50".into(), Value::U64(upper_median(&stats.step_complexity))),
@@ -139,6 +146,35 @@ fn batch_record(
             ("unnamed_mean".into(), Value::F64(stats.mean_unnamed())),
             ("crashed_total".into(), Value::U64(stats.total_crashed() as u64)),
             ("violations".into(), Value::U64(stats.violations as u64)),
+        ],
+    }
+}
+
+/// One batch row's wall-clock speed, tagged `kind = "throughput"` so the
+/// perf trajectory can track runs/sec and steps/sec per backend while
+/// snapshot-diff tooling filters these (inherently non-deterministic)
+/// records out of byte-exact comparisons.
+fn throughput_record(
+    scenario: &str,
+    section: &BatchSection,
+    row: &RowSpec,
+    cfg: &RunConfig,
+    timing: &BatchTiming,
+) -> Record {
+    Record {
+        scenario: scenario.to_string(),
+        section: section.title.clone().unwrap_or_default(),
+        fields: vec![
+            ("kind".into(), Value::Str("throughput".into())),
+            ("algorithm".into(), Value::Str(row.algorithm.clone())),
+            ("adversary".into(), Value::Str(row.adversary.clone())),
+            ("backend".into(), Value::Str(cfg.backend.key())),
+            ("n".into(), Value::U64(row.n as u64)),
+            ("runs".into(), Value::U64(timing.runs)),
+            ("steps_total".into(), Value::U64(timing.steps)),
+            ("wall_ms".into(), Value::F64(timing.wall_secs * 1e3)),
+            ("runs_per_sec".into(), Value::F64(timing.runs_per_sec())),
+            ("steps_per_sec".into(), Value::F64(timing.steps_per_sec())),
         ],
     }
 }
@@ -193,12 +229,33 @@ mod tests {
         }
         let body = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_file(&path).ok();
-        assert_eq!(body.matches("\"scenario\":\"EX\"").count(), 2);
+        // Two rows → two deterministic records + two throughput records.
+        assert_eq!(body.matches("\"scenario\":\"EX\"").count(), 4);
+        assert_eq!(body.matches("\"kind\":\"throughput\"").count(), 2);
         assert!(body.contains("\"section\":\"demo\""));
         assert!(body.contains("\"algorithm\":\"tight-tau:c=4\""));
         assert!(body.contains("\"adversary\":\"random\""));
+        assert!(body.contains("\"backend\":\"virtual\""));
         assert!(body.contains("\"steps_p50\":"));
         assert!(body.contains("\"violations\":0"));
+        assert!(body.contains("\"runs_per_sec\":"));
+        assert!(body.contains("\"steps_per_sec\":"));
+    }
+
+    /// The same spec run on the dense backend renders the identical
+    /// table and identical deterministic records — only the backend tag
+    /// and the timing records differ.
+    #[test]
+    fn dense_backend_renders_identically() {
+        let virt = render_to_string(tiny_spec());
+        let mut buf = Vec::new();
+        {
+            let cfg =
+                RunConfig { backend: crate::runner::ExecBackend::Dense, ..Default::default() };
+            let mut sinks: Vec<Box<dyn Sink + '_>> = vec![Box::new(TableSink::new(&mut buf))];
+            run_spec(tiny_spec(), &cfg, &mut sinks);
+        }
+        assert_eq!(virt, String::from_utf8(buf).unwrap());
     }
 
     #[test]

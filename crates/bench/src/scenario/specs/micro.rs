@@ -161,7 +161,7 @@ pub fn lemma4(cfg: &RunConfig) -> ScenarioSpec {
 
 /// E10 — §II-B/§II-C: the counting device admits exactly τ winners under
 /// every request pattern, and a cycle is a constant amount of hardware
-/// work: quota stress, batching profile, and the flat-combining front
+/// work: quota stress, batching profile, and the lock-free front
 /// end under real threads.
 pub fn tau(_cfg: &RunConfig) -> ScenarioSpec {
     let body = Section::custom(|em| {
@@ -225,7 +225,7 @@ pub fn tau(_cfg: &RunConfig) -> ScenarioSpec {
         }
         em.text(table.to_string());
 
-        // Part 3: flat-combining wrapper under threads.
+        // Part 3: lock-free wrapper under threads.
         em.text("\n-- concurrent tau-register: 256 threads, width 40, tau 20 --");
         let reg = ConcurrentTauRegister::new(40, 20, 0);
         let names: Vec<usize> = std::thread::scope(|s| {

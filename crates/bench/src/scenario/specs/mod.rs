@@ -19,17 +19,20 @@
 //! | [`ablation`] | `exp_ablation` | E14 — design-constant ablations |
 //! | [`progress`] | `exp_progress` | E15 — named-fraction curves |
 //! | [`matrix`] | `exp_matrix` | algorithm × adversary × n cross-product |
+//! | [`backends`] | `exp_backends` | execution-backend shoot-out (virtual vs dense, timed) |
 //!
 //! Each constructor takes the [`RunConfig`](crate::runner::RunConfig)
 //! and returns the spec with `--quick`-appropriate sweeps baked in; the
 //! engine's golden tests pin the rendered output of E1 and E7
 //! byte-for-byte against the pre-engine binaries.
 
+mod backends;
 mod claims;
 mod compare;
 mod matrix;
 mod micro;
 
+pub use backends::{backends, BackendsOptions};
 pub use claims::{cor7, cor9, lemma6, lemma8, theorem5};
 pub use compare::{adversary, baselines, deterministic_gap, progress};
 pub use matrix::{matrix, MatrixOptions};

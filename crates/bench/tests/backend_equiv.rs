@@ -1,0 +1,99 @@
+//! Cross-backend equivalence: the contract that makes `--backend` a
+//! free choice rather than a different experiment.
+//!
+//! * `dense` must reproduce the `virtual` backend's [`BatchStats`]
+//!   **bit for bit** for every registry algorithm under every adversary
+//!   family the engine schedules deterministically — same announce
+//!   cadence, same tombstone compaction, same RNG consumption.
+//! * `threads` is free-running (the machine schedules), so its step
+//!   counts are not reproducible — but it must still satisfy
+//!   `verify_renaming` and account for every process.
+
+use rr_bench::runner::{run_batch_backend, ExecBackend};
+use rr_bench::scenario::registry;
+
+/// Sizes small enough that the full registry × adversary sweep stays in
+/// CI territory while still exercising multi-round protocol behaviour.
+const N: usize = 64;
+const SEEDS: u64 = 3;
+
+#[test]
+fn dense_matches_virtual_bit_for_bit_for_every_algorithm() {
+    let reg = registry();
+    for algo_key in reg.keys() {
+        let algo = reg.build(algo_key).unwrap();
+        for adv_key in ["fair", "random"] {
+            let (virt, _) =
+                run_batch_backend(algo.as_ref(), N, SEEDS, adv_key, ExecBackend::Virtual, 2)
+                    .unwrap();
+            let (dense, _) =
+                run_batch_backend(algo.as_ref(), N, SEEDS, adv_key, ExecBackend::Dense, 2).unwrap();
+            let ctx = format!("{algo_key} under {adv_key}");
+            assert_eq!(virt.step_complexity, dense.step_complexity, "{ctx}");
+            assert_eq!(virt.total_steps, dense.total_steps, "{ctx}");
+            assert_eq!(virt.unnamed, dense.unnamed, "{ctx}");
+            assert_eq!(virt.crashed, dense.crashed, "{ctx}");
+            assert_eq!(virt.runs, dense.runs, "{ctx}");
+            assert_eq!(virt.violations, dense.violations, "{ctx}");
+            // f64 equality is bit equality — no tolerance.
+            let vb: Vec<u64> = virt.mean_steps.iter().map(|f| f.to_bits()).collect();
+            let db: Vec<u64> = dense.mean_steps.iter().map(|f| f.to_bits()).collect();
+            assert_eq!(vb, db, "{ctx}");
+        }
+    }
+}
+
+/// The adversary families with internal randomness or crash injection
+/// must also replay identically through the dense backend (crash
+/// decisions consume adversary RNG in view order, so any divergence in
+/// the view the backends present would surface here).
+#[test]
+fn dense_matches_virtual_under_adaptive_and_crash_adversaries() {
+    let reg = registry();
+    for algo_key in ["tight-tau:c=4", "cor9", "uniform"] {
+        let algo = reg.build(algo_key).unwrap();
+        for adv_key in ["collisions", "stall", "crash:p=300,cap=25"] {
+            let (virt, _) =
+                run_batch_backend(algo.as_ref(), N, SEEDS, adv_key, ExecBackend::Virtual, 1)
+                    .unwrap();
+            let (dense, _) =
+                run_batch_backend(algo.as_ref(), N, SEEDS, adv_key, ExecBackend::Dense, 1).unwrap();
+            let ctx = format!("{algo_key} under {adv_key}");
+            assert_eq!(virt.step_complexity, dense.step_complexity, "{ctx}");
+            assert_eq!(virt.total_steps, dense.total_steps, "{ctx}");
+            assert_eq!(virt.crashed, dense.crashed, "{ctx}");
+            assert_eq!(virt.unnamed, dense.unnamed, "{ctx}");
+        }
+    }
+}
+
+/// Every registry algorithm must pass the renaming audit on the threads
+/// backend, with every process accounted for: named, gave up, or (for
+/// pids absent from the sparse slot range — none here) crash-equivalent.
+/// For the full protocols the name count must equal the virtual
+/// backend's (= n); the almost-tight protocols may split differently
+/// between named and gave-up under free-running schedules, but the
+/// partition must still be total.
+#[test]
+fn threads_backend_verifies_every_algorithm() {
+    let reg = registry();
+    for algo_key in reg.keys() {
+        let algo = reg.build(algo_key).unwrap();
+        let n = 32;
+        // run_batch_backend already panics on verify_renaming failure;
+        // it returning is the audit passing.
+        let (stats, _) =
+            run_batch_backend(algo.as_ref(), n, 2, "fair", ExecBackend::Threads { t: 4 }, 1)
+                .unwrap();
+        assert_eq!(stats.runs, 2, "{algo_key}");
+        assert_eq!(stats.violations, 0, "{algo_key}");
+        for (unnamed, crashed) in stats.unnamed.iter().zip(&stats.crashed) {
+            assert_eq!(*crashed, 0, "{algo_key}: threads backend never crashes present pids");
+            if !algo.almost_tight() {
+                assert_eq!(*unnamed, 0, "{algo_key}: full protocol must name all n");
+            } else {
+                assert!(*unnamed <= n, "{algo_key}");
+            }
+        }
+    }
+}

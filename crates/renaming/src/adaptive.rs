@@ -280,17 +280,24 @@ impl RenamingAlgorithm for AdaptiveRenaming {
     fn instantiate(&self, n: usize, seed: u64) -> Instance {
         let m = self.m(n);
         let (_shared, procs) = self.instantiate_participants(n, n, seed);
-        Instance {
-            processes: procs.into_iter().map(|p| Box::new(p) as Box<dyn Process + Send>).collect(),
-            m,
-            n,
-        }
+        Instance { processes: crate::traits::boxed(procs), m, n }
     }
 
     fn step_budget(&self, n: usize) -> u64 {
         // log k guesses, each a bounded loose protocol; ⌈log₂⌉ like the
         // default budget so n just past a power of two is not shaved.
         400 * (n as u64) * ((n.max(2) as f64).log2().ceil() as u64 + 16)
+    }
+
+    fn run_dense(
+        &self,
+        n: usize,
+        seed: u64,
+        adversary: &mut dyn rr_sched::adversary::Adversary,
+        arena: &mut rr_sched::dense::Arena,
+    ) -> Result<rr_sched::virtual_exec::RunOutcome, rr_sched::virtual_exec::ExecError> {
+        let (_shared, mut procs) = self.instantiate_participants(n, n, seed);
+        arena.run(&mut procs, adversary, self.step_budget(n))
     }
 }
 

@@ -258,9 +258,8 @@ impl Process for TightProcess {
                     State::Sweep { attempts, .. } => (attempts + 1, reg),
                     _ => unreachable!("inspections are planned only in Sweep state"),
                 };
-                let free_quota = register.remaining_quota();
-                let unset =
-                    !register.confirmed_bits() & (((1u128 << (2 * self.shared.plan.l)) - 1) as u64);
+                let (free_quota, confirmed) = register.quota_and_bits();
+                let unset = !confirmed & (((1u128 << (2 * self.shared.plan.l)) - 1) as u64);
                 if free_quota > 0 && unset != 0 {
                     self.state = State::SweepBits { reg: cur, free: unset, attempts };
                 } else {

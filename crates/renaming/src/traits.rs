@@ -12,8 +12,18 @@ use crate::loose_l8::L8Process;
 use crate::params::{spare, FinisherPlan, Lemma6Schedule, Lemma8Schedule};
 use crate::phase::{AlmostTight, Chain};
 use crate::tight::TightRenaming;
+use rr_sched::adversary::Adversary;
+use rr_sched::dense::Arena;
 use rr_sched::process::Process;
+use rr_sched::virtual_exec::{ExecError, RunOutcome};
 use std::sync::Arc;
+
+/// Boxes a homogeneous process vector — the compatibility shim between
+/// the typed builders the dense backend runs and the boxed
+/// [`Instance`] the historical executors consume.
+pub fn boxed<P: Process + 'static>(procs: Vec<P>) -> Vec<Box<dyn Process + Send>> {
+    procs.into_iter().map(|p| Box::new(p) as Box<dyn Process + Send>).collect()
+}
 
 /// A ready-to-run renaming workload.
 pub struct Instance {
@@ -52,6 +62,34 @@ pub trait RenamingAlgorithm {
         // shaving the guard exactly where the protocols grow a round.
         200 * (n as u64) * ((n.max(2) as f64).log2().ceil() as u64 + 16)
     }
+
+    /// Runs one seed of this algorithm inside `arena` under `adversary`
+    /// — the **dense backend**'s entry point.
+    ///
+    /// The default implementation is the boxed compatibility shim: it
+    /// calls [`RenamingAlgorithm::instantiate`] and drives the boxed
+    /// processes through the arena loop, so every algorithm works under
+    /// the dense backend unchanged. Concrete algorithms override it to
+    /// build their state machines as a plain `Vec<ConcreteProcess>`
+    /// instead — one contiguous allocation, announce/step monomorphized
+    /// and inlined, no per-pid `Box` — which is where the backend's
+    /// speedup comes from. Either way the arena presents the identical
+    /// scheduling semantics, so outcomes are bit-identical to the
+    /// virtual executor's for the same `(n, seed, adversary)`.
+    ///
+    /// # Errors
+    /// Propagates the executor's [`ExecError`]s (step-budget livelock
+    /// guard, illegal adversary decisions).
+    fn run_dense(
+        &self,
+        n: usize,
+        seed: u64,
+        adversary: &mut dyn Adversary,
+        arena: &mut Arena,
+    ) -> Result<RunOutcome, ExecError> {
+        let mut processes = self.instantiate(n, seed).processes;
+        arena.run(&mut processes, adversary, self.step_budget(n))
+    }
 }
 
 /// §III tight renaming (Theorem 5). `m = n`.
@@ -69,11 +107,18 @@ impl RenamingAlgorithm for TightRenaming {
 
     fn instantiate(&self, n: usize, seed: u64) -> Instance {
         let (_shared, procs) = self.instantiate_shared(n, seed);
-        Instance {
-            processes: procs.into_iter().map(|p| Box::new(p) as Box<dyn Process + Send>).collect(),
-            m: n,
-            n,
-        }
+        Instance { processes: boxed(procs), m: n, n }
+    }
+
+    fn run_dense(
+        &self,
+        n: usize,
+        seed: u64,
+        adversary: &mut dyn Adversary,
+        arena: &mut Arena,
+    ) -> Result<RunOutcome, ExecError> {
+        let (_shared, mut procs) = self.instantiate_shared(n, seed);
+        arena.run(&mut procs, adversary, self.step_budget(n))
     }
 }
 
@@ -82,6 +127,18 @@ impl RenamingAlgorithm for TightRenaming {
 pub struct LooseL6 {
     /// The exponent ℓ.
     pub ell: u32,
+}
+
+impl LooseL6 {
+    fn build(&self, n: usize, seed: u64) -> Vec<AlmostTight<L6Process>> {
+        let shared = Arc::new(LooseShared::new(n));
+        let schedule = Lemma6Schedule::new(n, self.ell);
+        (0..n)
+            .map(|pid| {
+                AlmostTight(L6Process::new(pid, seed, Arc::clone(&shared), schedule.clone()))
+            })
+            .collect()
+    }
 }
 
 impl RenamingAlgorithm for LooseL6 {
@@ -98,19 +155,17 @@ impl RenamingAlgorithm for LooseL6 {
     }
 
     fn instantiate(&self, n: usize, seed: u64) -> Instance {
-        let shared = Arc::new(LooseShared::new(n));
-        let schedule = Lemma6Schedule::new(n, self.ell);
-        let processes = (0..n)
-            .map(|pid| {
-                Box::new(AlmostTight(L6Process::new(
-                    pid,
-                    seed,
-                    Arc::clone(&shared),
-                    schedule.clone(),
-                ))) as Box<dyn Process + Send>
-            })
-            .collect();
-        Instance { processes, m: n, n }
+        Instance { processes: boxed(self.build(n, seed)), m: n, n }
+    }
+
+    fn run_dense(
+        &self,
+        n: usize,
+        seed: u64,
+        adversary: &mut dyn Adversary,
+        arena: &mut Arena,
+    ) -> Result<RunOutcome, ExecError> {
+        arena.run(&mut self.build(n, seed), adversary, self.step_budget(n))
     }
 }
 
@@ -119,6 +174,18 @@ impl RenamingAlgorithm for LooseL6 {
 pub struct LooseL8 {
     /// The exponent ℓ.
     pub ell: u32,
+}
+
+impl LooseL8 {
+    fn build(&self, n: usize, seed: u64) -> Vec<AlmostTight<L8Process>> {
+        let shared = Arc::new(LooseShared::new(n));
+        let schedule = Lemma8Schedule::new(n, self.ell);
+        (0..n)
+            .map(|pid| {
+                AlmostTight(L8Process::new(pid, seed, Arc::clone(&shared), schedule.clone()))
+            })
+            .collect()
+    }
 }
 
 impl RenamingAlgorithm for LooseL8 {
@@ -135,19 +202,17 @@ impl RenamingAlgorithm for LooseL8 {
     }
 
     fn instantiate(&self, n: usize, seed: u64) -> Instance {
-        let shared = Arc::new(LooseShared::new(n));
-        let schedule = Lemma8Schedule::new(n, self.ell);
-        let processes = (0..n)
-            .map(|pid| {
-                Box::new(AlmostTight(L8Process::new(
-                    pid,
-                    seed,
-                    Arc::clone(&shared),
-                    schedule.clone(),
-                ))) as Box<dyn Process + Send>
-            })
-            .collect();
-        Instance { processes, m: n, n }
+        Instance { processes: boxed(self.build(n, seed)), m: n, n }
+    }
+
+    fn run_dense(
+        &self,
+        n: usize,
+        seed: u64,
+        adversary: &mut dyn Adversary,
+        arena: &mut Arena,
+    ) -> Result<RunOutcome, ExecError> {
+        arena.run(&mut self.build(n, seed), adversary, self.step_budget(n))
     }
 }
 
@@ -156,6 +221,23 @@ impl RenamingAlgorithm for LooseL8 {
 pub struct Cor7 {
     /// The exponent ℓ.
     pub ell: u32,
+}
+
+impl Cor7 {
+    fn build(&self, n: usize, seed: u64) -> Vec<Chain<L6Process, AagwProcess>> {
+        let primary = Arc::new(LooseShared::new(n));
+        let spare_size = spare::cor7(n, self.ell);
+        let spare_mem = Arc::new(SpareShared::new(n, spare_size));
+        let schedule = Lemma6Schedule::new(n, self.ell);
+        let plan = FinisherPlan::new(spare_size);
+        (0..n)
+            .map(|pid| {
+                let a = L6Process::new(pid, seed, Arc::clone(&primary), schedule.clone());
+                let b = AagwProcess::new(pid, seed ^ 0x5eed, Arc::clone(&spare_mem), plan.clone());
+                Chain::new(a, b)
+            })
+            .collect()
+    }
 }
 
 impl RenamingAlgorithm for Cor7 {
@@ -168,19 +250,17 @@ impl RenamingAlgorithm for Cor7 {
     }
 
     fn instantiate(&self, n: usize, seed: u64) -> Instance {
-        let primary = Arc::new(LooseShared::new(n));
-        let spare_size = spare::cor7(n, self.ell);
-        let spare_mem = Arc::new(SpareShared::new(n, spare_size));
-        let schedule = Lemma6Schedule::new(n, self.ell);
-        let plan = FinisherPlan::new(spare_size);
-        let processes = (0..n)
-            .map(|pid| {
-                let a = L6Process::new(pid, seed, Arc::clone(&primary), schedule.clone());
-                let b = AagwProcess::new(pid, seed ^ 0x5eed, Arc::clone(&spare_mem), plan.clone());
-                Box::new(Chain::new(a, b)) as Box<dyn Process + Send>
-            })
-            .collect();
-        Instance { processes, m: n + spare_size, n }
+        Instance { processes: boxed(self.build(n, seed)), m: self.m(n), n }
+    }
+
+    fn run_dense(
+        &self,
+        n: usize,
+        seed: u64,
+        adversary: &mut dyn Adversary,
+        arena: &mut Arena,
+    ) -> Result<RunOutcome, ExecError> {
+        arena.run(&mut self.build(n, seed), adversary, self.step_budget(n))
     }
 }
 
@@ -189,6 +269,23 @@ impl RenamingAlgorithm for Cor7 {
 pub struct Cor9 {
     /// The exponent ℓ.
     pub ell: u32,
+}
+
+impl Cor9 {
+    fn build(&self, n: usize, seed: u64) -> Vec<Chain<L8Process, AagwProcess>> {
+        let primary = Arc::new(LooseShared::new(n));
+        let spare_size = spare::cor9(n, self.ell);
+        let spare_mem = Arc::new(SpareShared::new(n, spare_size));
+        let schedule = Lemma8Schedule::new(n, self.ell);
+        let plan = FinisherPlan::new(spare_size);
+        (0..n)
+            .map(|pid| {
+                let a = L8Process::new(pid, seed, Arc::clone(&primary), schedule.clone());
+                let b = AagwProcess::new(pid, seed ^ 0x5eed, Arc::clone(&spare_mem), plan.clone());
+                Chain::new(a, b)
+            })
+            .collect()
+    }
 }
 
 impl RenamingAlgorithm for Cor9 {
@@ -201,19 +298,17 @@ impl RenamingAlgorithm for Cor9 {
     }
 
     fn instantiate(&self, n: usize, seed: u64) -> Instance {
-        let primary = Arc::new(LooseShared::new(n));
-        let spare_size = spare::cor9(n, self.ell);
-        let spare_mem = Arc::new(SpareShared::new(n, spare_size));
-        let schedule = Lemma8Schedule::new(n, self.ell);
-        let plan = FinisherPlan::new(spare_size);
-        let processes = (0..n)
-            .map(|pid| {
-                let a = L8Process::new(pid, seed, Arc::clone(&primary), schedule.clone());
-                let b = AagwProcess::new(pid, seed ^ 0x5eed, Arc::clone(&spare_mem), plan.clone());
-                Box::new(Chain::new(a, b)) as Box<dyn Process + Send>
-            })
-            .collect();
-        Instance { processes, m: n + spare_size, n }
+        Instance { processes: boxed(self.build(n, seed)), m: self.m(n), n }
+    }
+
+    fn run_dense(
+        &self,
+        n: usize,
+        seed: u64,
+        adversary: &mut dyn Adversary,
+        arena: &mut Arena,
+    ) -> Result<RunOutcome, ExecError> {
+        arena.run(&mut self.build(n, seed), adversary, self.step_budget(n))
     }
 }
 
@@ -221,6 +316,16 @@ impl RenamingAlgorithm for Cor9 {
 /// `m = 2n` (ε = 1): the \[8\]-style comparator for E8.
 #[derive(Debug, Clone, Copy)]
 pub struct AagwLoose;
+
+impl AagwLoose {
+    fn build(&self, n: usize, seed: u64) -> Vec<AlmostTight<AagwProcess>> {
+        let shared = Arc::new(SpareShared::new(0, 2 * n));
+        let plan = FinisherPlan::new(2 * n);
+        (0..n)
+            .map(|pid| AlmostTight(AagwProcess::new(pid, seed, Arc::clone(&shared), plan.clone())))
+            .collect()
+    }
+}
 
 impl RenamingAlgorithm for AagwLoose {
     fn name(&self) -> String {
@@ -232,19 +337,17 @@ impl RenamingAlgorithm for AagwLoose {
     }
 
     fn instantiate(&self, n: usize, seed: u64) -> Instance {
-        let shared = Arc::new(SpareShared::new(0, 2 * n));
-        let plan = FinisherPlan::new(2 * n);
-        let processes = (0..n)
-            .map(|pid| {
-                Box::new(AlmostTight(AagwProcess::new(
-                    pid,
-                    seed,
-                    Arc::clone(&shared),
-                    plan.clone(),
-                ))) as Box<dyn Process + Send>
-            })
-            .collect();
-        Instance { processes, m: 2 * n, n }
+        Instance { processes: boxed(self.build(n, seed)), m: 2 * n, n }
+    }
+
+    fn run_dense(
+        &self,
+        n: usize,
+        seed: u64,
+        adversary: &mut dyn Adversary,
+        arena: &mut Arena,
+    ) -> Result<RunOutcome, ExecError> {
+        arena.run(&mut self.build(n, seed), adversary, self.step_budget(n))
     }
 }
 

@@ -5,11 +5,16 @@
 //! that sees every process's state including coin flips.
 //!
 //! Algorithms are [`Process`] state machines (announce an access, then
-//! execute it). Two executors drive them:
+//! execute it). One execution core, three faces:
 //!
-//! * [`virtual_exec`] — single-threaded, adversary-in-the-loop, exact
-//!   step counts, deterministic, scales to millions of processes. This is
-//!   the executor that realizes the paper's model.
+//! * [`dense`] — the flat arena core: struct-of-arrays process state,
+//!   scratch buffers reused across seeds, monomorphized announce/step
+//!   dispatch for typed process slices. Every adversary-scheduled run in
+//!   the workspace executes this loop.
+//! * [`virtual_exec`] — the boxed compatibility shim over the arena:
+//!   single-threaded, adversary-in-the-loop, exact step counts,
+//!   deterministic. This is the executor API that realizes the paper's
+//!   model; `Box<dyn Process>` workloads run the identical loop.
 //! * [`thread_exec`] — one OS thread per process on real atomics, for
 //!   wall-clock benchmarks.
 //!
@@ -20,6 +25,7 @@
 //! (`"fair"`, `"crash:p=20,cap=10"`, …) instead of re-matching enums.
 
 pub mod adversary;
+pub mod dense;
 pub mod process;
 pub mod registry;
 pub mod replay;
@@ -30,6 +36,7 @@ pub use adversary::{
     Adversary, CollisionMaximizer, CrashAdversary, Decision, FairAdversary, RandomAdversary,
     StallWinners, View,
 };
+pub use dense::Arena;
 pub use process::{run_to_completion, Process, StepOutcome};
 pub use registry::{AdversaryBuilder, AdversaryRegistry, ParsedKey};
 pub use replay::{RecordingAdversary, ReplayAdversary, Tape};

@@ -50,6 +50,23 @@ pub trait Process: Send {
     fn pid(&self) -> usize;
 }
 
+/// Boxed processes delegate — the compatibility shim that lets the flat
+/// arena core ([`crate::dense::Arena`]) drive `Vec<Box<dyn Process>>`
+/// workloads with the same loop that runs monomorphized slices.
+impl<P: Process + ?Sized> Process for Box<P> {
+    fn announce(&mut self) -> Access {
+        (**self).announce()
+    }
+
+    fn step(&mut self) -> StepOutcome {
+        (**self).step()
+    }
+
+    fn pid(&self) -> usize {
+        (**self).pid()
+    }
+}
+
 /// Drives one process to completion without any scheduling, returning
 /// `(name_or_gave_up, steps_taken)`. Test helper and building block for
 /// the free-running executor.

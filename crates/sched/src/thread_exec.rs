@@ -11,19 +11,25 @@ use crate::virtual_exec::RunOutcome;
 /// `max_steps_per_process` is a livelock guard (the thread panics past
 /// it, failing the run loudly rather than hanging a benchmark).
 ///
-/// Returns the same [`RunOutcome`] shape as the virtual executor
-/// (`crashed` is all-false: crash injection is a scheduler power, and
-/// free-running mode has no scheduler).
+/// Returns the same [`RunOutcome`] shape as the virtual executor. The
+/// outcome vectors are indexed by pid, which need not be contiguous
+/// (bounded waves pass sub-batches): slots whose pid was **not** in
+/// `processes` are marked `crashed` — the crash-equivalent convention
+/// that keeps [`RunOutcome::verify_renaming`] honest on sparse pid sets
+/// (absent pids are excused from completeness, exactly like a process
+/// the scheduler removed; a present pid is never marked crashed, since
+/// free-running mode has no crash-injecting scheduler).
 pub fn run_threads(
     processes: Vec<Box<dyn Process + Send + '_>>,
     max_steps_per_process: u64,
 ) -> RunOutcome {
-    // Outcome vectors are indexed by pid, which need not equal the
-    // position in `processes` (bounded waves pass sub-batches).
     let n = processes.iter().map(|p| p.pid() + 1).max().unwrap_or(0);
     let mut names: Vec<Option<usize>> = vec![None; n];
     let mut steps: Vec<u64> = vec![0; n];
     let mut gave_up = vec![false; n];
+    // Every slot starts crash-equivalent (absent); joining a process's
+    // thread marks its pid present.
+    let mut crashed = vec![true; n];
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = processes
@@ -41,10 +47,11 @@ pub fn run_threads(
             names[pid] = name;
             gave_up[pid] = name.is_none();
             steps[pid] = taken;
+            crashed[pid] = false;
         }
     });
 
-    RunOutcome { names, steps, crashed: vec![false; n], gave_up, decisions: 0 }
+    RunOutcome { names, steps, crashed, gave_up, decisions: 0 }
 }
 
 /// Like [`run_threads`] but caps the number of concurrent OS threads at
@@ -61,22 +68,31 @@ pub fn run_threads_bounded(
     let mut names: Vec<Option<usize>> = vec![None; n];
     let mut steps: Vec<u64> = vec![0; n];
     let mut gave_up = vec![false; n];
+    // Same crash-equivalent convention as [`run_threads`]: a slot stays
+    // marked absent until some wave actually ran its pid.
+    let mut crashed = vec![true; n];
 
     let mut queue = processes;
     while !queue.is_empty() {
         let take = queue.len().min(threads);
         let wave: Vec<_> = queue.drain(..take).collect();
+        // The merge is total over the wave's actual members: every pid
+        // handed to the wave is copied back wholesale (names, gave_up,
+        // *and* steps — the old name-or-gave-up filter silently dropped
+        // the step counts of any process it skipped). The wave outcome's
+        // own presence mask double-checks the accounting.
+        let wave_pids: Vec<usize> = wave.iter().map(|p| p.pid()).collect();
         let out = run_threads(wave, max_steps_per_process);
-        for (pid, name) in out.names.iter().enumerate() {
-            if name.is_some() || out.gave_up[pid] {
-                names[pid] = *name;
-                gave_up[pid] = out.gave_up[pid];
-                steps[pid] = out.steps[pid];
-            }
+        for &pid in &wave_pids {
+            assert!(!out.crashed[pid], "wave member {pid} missing from its own wave outcome");
+            names[pid] = out.names[pid];
+            gave_up[pid] = out.gave_up[pid];
+            steps[pid] = out.steps[pid];
+            crashed[pid] = false;
         }
     }
 
-    RunOutcome { names, steps, crashed: vec![false; n], gave_up, decisions: 0 }
+    RunOutcome { names, steps, crashed, gave_up, decisions: 0 }
 }
 
 #[cfg(test)]
@@ -123,5 +139,82 @@ mod tests {
     fn empty_input() {
         let out = run_threads(Vec::new(), 10);
         assert!(out.names.is_empty());
+    }
+
+    /// Builds scan processes for an arbitrary (possibly sparse) pid set
+    /// over one shared memory.
+    fn sparse_scans(
+        pids: std::ops::Range<usize>,
+        m: usize,
+    ) -> Vec<Box<dyn Process + Send + 'static>> {
+        let mem = Arc::new(AtomicTasArray::new(m));
+        pids.map(|pid| {
+            Box::new(ScanProcess { pid, mem: Arc::clone(&mem), cursor: 0 })
+                as Box<dyn Process + Send>
+        })
+        .collect()
+    }
+
+    /// Regression: a sparse pid set (a bounded-wave sub-batch) used to
+    /// produce phantom slots with `names = None`, `crashed = false`,
+    /// `gave_up = false`, which `verify_renaming` misread as "surviving
+    /// process got no name". Absent pids are crash-equivalent.
+    #[test]
+    fn sparse_pid_set_passes_verification() {
+        let out = run_threads(sparse_scans(4..8, 4), 1_000);
+        assert_eq!(out.names.len(), 8);
+        out.verify_renaming(4).unwrap();
+        assert!(out.crashed[..4].iter().all(|&c| c), "absent slots are crash-equivalent");
+        assert!(out.crashed[4..].iter().all(|&c| !c), "present pids never read crashed");
+        assert_eq!(out.survivors(), vec![4, 5, 6, 7]);
+        assert_eq!(out.names.iter().filter(|n| n.is_some()).count(), 4);
+    }
+
+    #[test]
+    fn sparse_bounded_waves_pass_verification() {
+        let out = run_threads_bounded(sparse_scans(3..9, 6), 2, 1_000);
+        assert_eq!(out.names.len(), 9);
+        out.verify_renaming(6).unwrap();
+        assert!(out.crashed[..3].iter().all(|&c| c));
+        assert!(out.crashed[3..].iter().all(|&c| !c));
+        assert_eq!(out.names.iter().filter(|n| n.is_some()).count(), 6);
+    }
+
+    /// Regression: the wave merge used to copy a process's results only
+    /// if it was named or gave up — making the merge total means steps
+    /// survive for every member, and the accounting assert confirms each
+    /// input pid landed in its wave's outcome.
+    #[test]
+    fn bounded_merge_is_total_over_wave_members() {
+        /// Burns `fuel` steps, then gives up — named never.
+        struct Spinner {
+            pid: usize,
+            fuel: u64,
+        }
+        impl Process for Spinner {
+            fn announce(&mut self) -> rr_shmem::Access {
+                rr_shmem::Access::Local
+            }
+            fn step(&mut self) -> crate::process::StepOutcome {
+                if self.fuel == 0 {
+                    return crate::process::StepOutcome::GaveUp;
+                }
+                self.fuel -= 1;
+                crate::process::StepOutcome::Continue
+            }
+            fn pid(&self) -> usize {
+                self.pid
+            }
+        }
+        let procs: Vec<Box<dyn Process + Send>> = (0..6)
+            .map(|pid| Box::new(Spinner { pid, fuel: pid as u64 }) as Box<dyn Process + Send>)
+            .collect();
+        let out = run_threads_bounded(procs, 2, 1_000);
+        // Every spinner's steps are accounted: fuel Continues + the final
+        // GaveUp step.
+        let expect: Vec<u64> = (0..6).map(|pid| pid + 1).collect();
+        assert_eq!(out.steps, expect);
+        assert!(out.gave_up.iter().all(|&g| g));
+        assert!(out.crashed.iter().all(|&c| !c));
     }
 }

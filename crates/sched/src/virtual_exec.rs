@@ -8,9 +8,8 @@
 //! OS threads are involved it scales to n = 2²⁰ processes and produces
 //! exact, deterministic step counts.
 
-use crate::adversary::{Adversary, Decision, View};
-use crate::process::{Process, StepOutcome};
-use rr_shmem::Access;
+use crate::adversary::Adversary;
+use crate::process::Process;
 
 /// Why a run ended badly.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -137,77 +136,11 @@ pub fn run<A: Adversary + ?Sized>(
     adversary: &mut A,
     step_budget: u64,
 ) -> Result<RunOutcome, ExecError> {
-    let n = processes.len();
-    let mut names: Vec<Option<usize>> = vec![None; n];
-    let mut steps: Vec<u64> = vec![0; n];
-    let mut crashed = vec![false; n];
-    let mut gave_up = vec![false; n];
-    let mut announced: Vec<Option<Access>> = vec![None; n];
-    let mut active: Vec<usize> = (0..n).collect();
-    let mut named = 0usize;
-    let mut decisions = 0u64;
-    let mut total_steps = 0u64;
-
-    // Initial announcements.
-    for &pid in &active {
-        announced[pid] = Some(processes[pid].announce());
-    }
-
-    // `active` uses tombstones: halted pids stay in the vector (their
-    // `announced` slot is `None`) until more than half are dead, then one
-    // O(len) compaction reclaims them — amortized O(1) per halt instead
-    // of the O(n) of `Vec::remove`, which matters at n = 2²⁰. The `View`
-    // contract reflects this: `active` is a sorted superset of the
-    // runnable pids; `announced[pid].is_some()` is the ground truth.
-    let mut live = n;
-    while live > 0 {
-        if active.len() > 2 * live {
-            active.retain(|&pid| announced[pid].is_some());
-        }
-        let decision = {
-            let view = View { active: &active, announced: &announced, steps: &steps, named };
-            adversary.decide(&view)
-        };
-        decisions += 1;
-        match decision {
-            Decision::Grant(pid) => {
-                if pid >= n || announced[pid].is_none() {
-                    return Err(ExecError::BadDecision { decision: format!("{decision:?}") });
-                }
-                steps[pid] += 1;
-                total_steps += 1;
-                if total_steps > step_budget {
-                    return Err(ExecError::StepBudgetExceeded { budget: step_budget });
-                }
-                match processes[pid].step() {
-                    StepOutcome::Continue => {
-                        announced[pid] = Some(processes[pid].announce());
-                    }
-                    StepOutcome::Done(name) => {
-                        names[pid] = Some(name);
-                        named += 1;
-                        announced[pid] = None;
-                        live -= 1;
-                    }
-                    StepOutcome::GaveUp => {
-                        gave_up[pid] = true;
-                        announced[pid] = None;
-                        live -= 1;
-                    }
-                }
-            }
-            Decision::Crash(pid) => {
-                if pid >= n || announced[pid].is_none() {
-                    return Err(ExecError::BadDecision { decision: format!("{decision:?}") });
-                }
-                crashed[pid] = true;
-                announced[pid] = None;
-                live -= 1;
-            }
-        }
-    }
-
-    Ok(RunOutcome { names, steps, crashed, gave_up, decisions })
+    // The boxed compatibility shim: `Box<dyn Process>` is itself a
+    // `Process`, so the flat arena core drives the boxed slice with the
+    // exact historical semantics (see `crate::dense` for the fast,
+    // monomorphized path algorithms opt into).
+    crate::dense::Arena::new().run(&mut processes, adversary, step_budget)
 }
 
 #[cfg(test)]
@@ -351,6 +284,7 @@ mod tests {
 mod proptests {
     use super::*;
     use crate::adversary::{CrashAdversary, FairAdversary, RandomAdversary};
+    use crate::process::StepOutcome;
     use proptest::prelude::*;
     use rr_shmem::Access;
 

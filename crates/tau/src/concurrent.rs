@@ -1,33 +1,37 @@
-//! Free-running multi-thread front end for the τ-register.
+//! Lock-free multi-thread front end for the τ-register.
 //!
-//! Real hardware would clock the counting device independently of the
-//! processes; requests arrive asynchronously and are answered at the next
-//! cycle boundary (§II-C: "since requests are only answered in a certain
-//! phase, the processing may start with a (constant) delay"). We
-//! reproduce that with **flat combining**: requests are published to an
-//! injector queue, and whichever thread acquires the device lock drains
-//! the queue and executes one clock cycle for the whole batch. Every
-//! thread therefore pays O(1) publication plus a bounded
-//! wait for its answer — the paper's "constant slowdown compared to a
-//! standard TAS register" — and batching behaviour matches the hardware:
-//! concurrent requests land in the same cycle.
+//! Real hardware clocks the counting device independently of the
+//! processes; requests arrive asynchronously and are answered at the
+//! next cycle boundary (§II-C). The batched form of that model — many
+//! requests absorbed by one cycle — lives in
+//! [`CountingDevice::clock_cycle`](crate::device::CountingDevice::clock_cycle) and is
+//! exercised directly by the device experiments. This front end realizes
+//! the degenerate (but equally legal) schedule in which every request is
+//! its own cycle, which lets the whole device state live in **one atomic
+//! word**: the confirmed bit map *is* the `in_reg`/`out_reg` of a device
+//! between cycles, so a request is a single compare-and-swap that
+//! validates "bit free **and** quota remaining" against one consistent
+//! snapshot. No locks, no queues, no allocation:
+//!
+//! * single-threaded executors (`rr-sched`'s virtual and dense backends)
+//!   pay a handful of nanoseconds per request — this is the hot path of
+//!   every tight-renaming step at n = 2²⁰, where the earlier
+//!   flat-combining design (ticket allocation plus queue and device
+//!   locks per request) dominated whole-run wall clock;
+//! * free-running threads get a linearizable register: the CAS either
+//!   observes the bit free with quota remaining and wins, or loses —
+//!   exactly one winner per bit, never more than τ winners total, no
+//!   matter the interleaving.
+//!
+//! The outcome of an uncontended request is bit-for-bit the outcome of
+//! [`CountingDevice::request_one`](crate::device::CountingDevice::request_one),
+//! so the deterministic executors'
+//! step counts are unchanged by the front-end representation.
 
-use crate::device::{BitOutcome, CountingDevice};
+use crate::device::MAX_WIDTH;
 use rr_shmem::tas::{AtomicTasArray, TasMemory};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::{Arc, Mutex};
-
-const PENDING: u8 = 0;
-const WON: u8 = 1;
-const LOST: u8 = 2;
-
-/// One published request awaiting its cycle.
-#[derive(Debug)]
-struct Ticket {
-    bit: usize,
-    outcome: AtomicU8,
-}
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A τ-register shared by free-running threads.
 ///
@@ -40,47 +44,55 @@ pub struct ConcurrentTauRegister {
 
 #[derive(Debug)]
 struct Inner {
-    device: Mutex<CountingDevice>,
-    queue: Mutex<VecDeque<Arc<Ticket>>>,
+    /// The confirmed bit map — the device's `out_reg` (== `in_reg`
+    /// between cycles). Single source of truth, updated by CAS.
+    state: AtomicU64,
+    /// Clock cycles executed (one per answered request).
+    cycles: AtomicU64,
+    width: u32,
+    tau: u32,
     slots: AtomicTasArray,
     base_name: usize,
 }
 
 impl ConcurrentTauRegister {
     /// A register handing out names `base_name .. base_name + tau`.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`, `width > 64` or `tau > width`.
     pub fn new(width: u32, tau: u32, base_name: usize) -> Self {
+        assert!(width > 0, "device needs at least one bit");
+        assert!(width <= MAX_WIDTH, "device width {width} exceeds one machine word");
+        assert!(tau <= width, "threshold τ={tau} exceeds width {width}");
         Self {
             inner: Arc::new(Inner {
-                device: Mutex::new(CountingDevice::new(width, tau)),
-                queue: Mutex::new(VecDeque::new()),
+                state: AtomicU64::new(0),
+                cycles: AtomicU64::new(0),
+                width,
+                tau,
                 slots: AtomicTasArray::new(tau as usize),
                 base_name,
             }),
         }
     }
 
-    /// The paper's `(log n)`-register for population `n`.
+    /// The paper's `(log n)`-register for population `n`: `2·⌈log₂ n⌉`
+    /// bits with τ = `⌈log₂ n⌉` — sized by
+    /// [`CountingDevice::log_register`](crate::device::CountingDevice::log_register)
+    /// so the front end can never diverge from the device's policy.
     pub fn log_register(n: usize, base_name: usize) -> Self {
-        let device = CountingDevice::log_register(n);
-        let tau = device.tau();
-        Self {
-            inner: Arc::new(Inner {
-                device: Mutex::new(device),
-                queue: Mutex::new(VecDeque::new()),
-                slots: AtomicTasArray::new(tau as usize),
-                base_name,
-            }),
-        }
+        let device = crate::device::CountingDevice::log_register(n);
+        Self::new(device.width(), device.tau(), base_name)
     }
 
     /// Number of device TAS bits.
     pub fn width(&self) -> u32 {
-        self.inner.device.lock().unwrap().width()
+        self.inner.width
     }
 
     /// Number of names (τ).
     pub fn tau(&self) -> u32 {
-        self.inner.device.lock().unwrap().tau()
+        self.inner.tau
     }
 
     /// First name handed out by this register.
@@ -88,76 +100,69 @@ impl ConcurrentTauRegister {
         self.inner.base_name
     }
 
-    /// Device clock cycles executed so far.
+    /// Device clock cycles executed so far (one per answered request).
     pub fn cycles(&self) -> u64 {
-        self.inner.device.lock().unwrap().cycles()
+        self.inner.cycles.load(Ordering::Relaxed)
     }
 
     /// Confirmed winner count (≤ τ always).
     pub fn confirmed_count(&self) -> u32 {
-        self.inner.device.lock().unwrap().confirmed_count()
+        self.confirmed_bits().count_ones()
     }
 
     /// Snapshot of the confirmed bit map (`out_reg`). The paper assumes
     /// all `2·log n` bits of a register can be read in one operation, so
     /// callers may charge this as a single step.
     pub fn confirmed_bits(&self) -> u64 {
-        self.inner.device.lock().unwrap().confirmed()
+        self.inner.state.load(Ordering::Acquire)
     }
 
     /// Remaining winner quota (τ − confirmed).
     pub fn remaining_quota(&self) -> u32 {
-        self.inner.device.lock().unwrap().remaining_quota()
+        self.inner.tau - self.confirmed_count()
     }
 
-    /// Requests device bit `bit` and waits for the cycle that answers it.
+    /// `(remaining_quota, confirmed_bits)` from one atomic snapshot —
+    /// the one-step register inspection the tight protocol's final-round
+    /// sweep charges (the paper reads a whole register in one
+    /// operation).
+    pub fn quota_and_bits(&self) -> (u32, u64) {
+        let bits = self.confirmed_bits();
+        (self.inner.tau - bits.count_ones(), bits)
+    }
+
+    /// Requests device bit `bit`: one clock cycle, answered immediately.
     ///
-    /// Returns `true` iff the bit was won. Publication only touches the
-    /// queue; the combining thread runs the cycle for everyone queued
-    /// behind it.
+    /// Returns `true` iff the bit was won. The compare-and-swap commits
+    /// the bit only against a snapshot in which it was free **and** the
+    /// τ quota had room — the device invariant (≤ τ confirmed winners,
+    /// one winner per bit) holds under any interleaving.
+    ///
+    /// # Panics
+    /// Panics if `bit` is out of range.
     pub fn request_bit(&self, bit: usize) -> bool {
-        let ticket = Arc::new(Ticket { bit, outcome: AtomicU8::new(PENDING) });
-        self.inner.queue.lock().unwrap().push_back(Arc::clone(&ticket));
-        loop {
-            match ticket.outcome.load(Ordering::Acquire) {
-                WON => return true,
-                LOST => return false,
-                _ => {}
+        assert!(
+            (bit as u32) < self.inner.width,
+            "bit {bit} out of range (width {})",
+            self.inner.width
+        );
+        let b = 1u64 << bit;
+        let won = loop {
+            let cur = self.inner.state.load(Ordering::Acquire);
+            if cur & b != 0 || cur.count_ones() >= self.inner.tau {
+                break false;
             }
-            match self.inner.device.try_lock() {
-                Ok(mut device) => {
-                    self.combine(&mut device);
-                    // Our ticket may or may not have been in the drained
-                    // batch; loop re-checks before combining again.
-                    continue;
-                }
-                // A combiner panicked mid-cycle: propagate instead of
-                // spinning forever on a ticket nobody will answer.
-                Err(std::sync::TryLockError::Poisoned(e)) => {
-                    panic!("counting device poisoned by a panicked combiner: {e}")
-                }
-                Err(std::sync::TryLockError::WouldBlock) => {}
+            if self
+                .inner
+                .state
+                .compare_exchange_weak(cur, cur | b, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break true;
             }
-            std::hint::spin_loop();
-        }
-    }
-
-    /// Drains the queue and executes one clock cycle for the batch.
-    fn combine(&self, device: &mut CountingDevice) {
-        let batch: Vec<Arc<Ticket>> = self.inner.queue.lock().unwrap().drain(..).collect();
-        if batch.is_empty() {
-            return;
-        }
-        let requests: Vec<(usize, usize)> =
-            batch.iter().enumerate().map(|(i, t)| (i, t.bit)).collect();
-        let report = device.clock_cycle(&requests);
-        for (i, outcome) in report.outcomes {
-            let value = match outcome {
-                BitOutcome::Won => WON,
-                BitOutcome::Lost => LOST,
-            };
-            batch[i].outcome.store(value, Ordering::Release);
-        }
+        };
+        self.inner.cycles.fetch_add(1, Ordering::Relaxed);
+        won
     }
 
     /// Number of name slots (τ).
@@ -203,6 +208,7 @@ impl ConcurrentTauRegister {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::device::CountingDevice;
     use std::collections::HashSet;
     use std::thread;
 
@@ -275,5 +281,27 @@ mod tests {
         assert_eq!(reg.cycles(), 0);
         reg.acquire(0).unwrap();
         assert!(reg.cycles() >= 1);
+    }
+
+    /// The lock-free front end and the batched device agree request for
+    /// request when driven sequentially — the equivalence that keeps the
+    /// deterministic executors' step counts independent of the front-end
+    /// representation.
+    #[test]
+    fn sequential_requests_match_counting_device() {
+        let reg = ConcurrentTauRegister::new(16, 6, 0);
+        let mut device = CountingDevice::new(16, 6);
+        // A fixed probe pattern with repeats and overflow attempts.
+        let probes = [3usize, 7, 3, 0, 1, 2, 9, 4, 5, 8, 10, 0, 15];
+        for &bit in &probes {
+            let fast = reg.request_bit(bit);
+            let slow = device.request_one(bit) == crate::device::BitOutcome::Won;
+            assert_eq!(fast, slow, "bit {bit}");
+            assert_eq!(reg.confirmed_bits(), device.confirmed(), "bit {bit}");
+        }
+        assert_eq!(reg.cycles(), probes.len() as u64);
+        assert_eq!(reg.confirmed_count(), 6);
+        assert_eq!(reg.remaining_quota(), 0);
+        assert_eq!(reg.quota_and_bits(), (0, device.confirmed()));
     }
 }

@@ -213,6 +213,28 @@ impl CountingDevice {
         self.cycles += 1;
         report
     }
+
+    /// One-request clock cycle without the [`CycleReport`] allocation —
+    /// the single-threaded executors' hot path. State transitions and
+    /// outcome are exactly those of `clock_cycle(&[(tag, bit)])`:
+    /// a set bit loses; an unset bit wins iff quota remains (with one
+    /// request, phase 2 discards the preliminary TAS precisely when the
+    /// device was already full).
+    ///
+    /// # Panics
+    /// Panics if `bit` is out of range.
+    pub fn request_one(&mut self, bit: usize) -> BitOutcome {
+        assert!((bit as u32) < self.width, "bit {bit} out of range (width {})", self.width);
+        debug_assert_eq!(self.in_reg, self.out_reg, "registers must agree between cycles");
+        self.cycles += 1;
+        let b = 1u64 << bit;
+        if self.in_reg & b != 0 || self.in_reg.count_ones() >= self.tau {
+            return BitOutcome::Lost;
+        }
+        self.in_reg |= b;
+        self.out_reg = self.in_reg;
+        BitOutcome::Won
+    }
 }
 
 /// Keeps the `allowed` set bits of `bits` with the lowest indices; clears

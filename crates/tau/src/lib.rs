@@ -12,7 +12,7 @@
 //!   of the shift/`popcnt`/bit-test selection ([`device::rtl`]).
 //! * [`register`] — [`TauRegister`]: the device plus τ name slots and the
 //!   systematic slot search a winner performs.
-//! * [`concurrent`] — [`ConcurrentTauRegister`]: flat-combining front end
+//! * [`concurrent`] — [`ConcurrentTauRegister`]: lock-free front end
 //!   so free-running OS threads share a register; concurrent requests are
 //!   answered at cycle boundaries exactly like the asynchronous hardware.
 //! * [`trace`] — cycle-by-cycle rendering for demos and experiments.

@@ -87,7 +87,7 @@ fn bounded_executor_matches_unbounded_name_sets() {
 #[test]
 fn heavy_contention_stress() {
     // Small name space, many waves — maximal contention on the
-    // τ-registers' flat-combining path.
+    // τ-registers' lock-free request path.
     for round in 0..8 {
         let algo = TightRenaming::calibrated(2);
         let inst = algo.instantiate(64, round);
