@@ -23,6 +23,7 @@
 //! | `exp_ablation` | E14 — design-constant ablations |
 //! | `exp_progress` | E15 — named-fraction progress curves |
 //! | `exp_matrix` | any algorithm × adversary × n, by registry key |
+//! | `exp_explore` | schedule-space search: exhaustive DFS + fuzz, tape shrinking |
 //!
 //! Every binary is a thin `main` over the [`scenario`] engine: the
 //! experiment itself is a declarative [`scenario::ScenarioSpec`] in

@@ -160,11 +160,23 @@ impl Schedule {
                 p_permille: parsed.get("p", 20)?,
                 budget_pct: parsed.get("cap", 10)?,
             },
-            other => {
+            // The schedule-space searchers are stateful across runs and
+            // have no typed mirror — name them explicitly so the error
+            // doesn't suggest a key this parse can never accept.
+            searcher @ ("explore" | "fuzz") => {
                 return Err(format!(
-                    "unknown schedule `{other}` (known: {})",
-                    standard().keys().join(", ")
+                    "`{searcher}` is a registry-only adversary (stateful across seeds); \
+                     use the keyed batch API (run_batch_keyed / --adversaries) instead of \
+                     the typed Schedule"
                 ))
+            }
+            other => {
+                let typed: Vec<&str> = standard()
+                    .keys()
+                    .into_iter()
+                    .filter(|k| !matches!(*k, "explore" | "fuzz"))
+                    .collect();
+                return Err(format!("unknown schedule `{other}` (known: {})", typed.join(", ")));
             }
         };
         // Full validation (unknown params, value ranges) lives in the
@@ -782,6 +794,19 @@ mod tests {
             Schedule::Crashes { p_permille: 20, budget_pct: 10 }
         );
         assert!(Schedule::parse("livelock").is_err());
+        // Unknown names suggest only the typed schedules — not the
+        // registry-only searchers this parse can never accept.
+        let msg = Schedule::parse("livelock").unwrap_err();
+        assert_eq!(
+            msg,
+            "unknown schedule `livelock` (known: collisions, crash, fair, random, stall)"
+        );
+        // The searchers themselves get a pointed redirection.
+        for key in ["explore", "explore:depth=4", "fuzz:rounds=8"] {
+            let msg = Schedule::parse(key).unwrap_err();
+            assert!(msg.contains("registry-only"), "{key}: {msg}");
+            assert!(msg.contains("run_batch_keyed"), "{key}: {msg}");
+        }
         // parse runs the registry's full validation: anything it accepts,
         // build can construct — and vice versa.
         assert!(Schedule::parse("crash:p=2000").is_err(), "p > 1000 permille");

@@ -25,13 +25,24 @@ pub struct MatrixOptions {
 impl MatrixOptions {
     /// Quick mode: every registered algorithm once, under the fair
     /// schedule at one small size — the CI smoke configuration. Full
-    /// mode: every algorithm under every registered adversary over a
-    /// small sweep.
+    /// mode: every algorithm under every *stateless* registered
+    /// adversary over a small sweep. The stateful schedule-space
+    /// searchers (`explore`, `fuzz`) are excluded from the defaults:
+    /// their shared DFS/corpus hands schedules to parallel seed-workers
+    /// in lock order, so their non-throughput records would not be
+    /// run-to-run deterministic — pass them explicitly (ideally with
+    /// `RR_RUNNER_THREADS=1`) or use `exp_explore`, whose drivers are
+    /// serial by construction.
     pub fn defaults(cfg: &RunConfig) -> Self {
         let reg = registry();
         let algorithms = reg.keys().iter().map(|k| k.to_string()).collect();
         let adversaries = cfg.pick(
-            rr_sched::registry::standard().keys().iter().map(|k| k.to_string()).collect(),
+            rr_sched::registry::standard()
+                .keys()
+                .iter()
+                .filter(|k| !matches!(**k, "explore" | "fuzz"))
+                .map(|k| k.to_string())
+                .collect(),
             vec!["fair".to_string()],
         );
         Self {
@@ -87,5 +98,25 @@ pub fn matrix(cfg: &RunConfig, opts: &MatrixOptions) -> ScenarioSpec {
                       almost-tight protocols and the crash schedules; 'crashed' > 0 \
                       only under crash."
             .into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Full-mode defaults must stay run-to-run deterministic: the
+    /// stateful searchers are opt-in, never swept implicitly.
+    #[test]
+    fn defaults_exclude_the_stateful_searchers() {
+        let full = MatrixOptions::defaults(&RunConfig::default());
+        assert!(full.adversaries.iter().all(|k| k != "explore" && k != "fuzz"), "{full:?}");
+        assert_eq!(
+            full.adversaries,
+            vec!["collisions", "crash", "fair", "random", "stall"],
+            "every stateless registry adversary, in key order"
+        );
+        let quick = MatrixOptions::defaults(&RunConfig { quick: true, ..RunConfig::default() });
+        assert_eq!(quick.adversaries, vec!["fair"]);
     }
 }

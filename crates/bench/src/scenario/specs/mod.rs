@@ -20,6 +20,7 @@
 //! | [`progress`] | `exp_progress` | E15 — named-fraction curves |
 //! | [`matrix`] | `exp_matrix` | algorithm × adversary × n cross-product |
 //! | [`backends`] | `exp_backends` | execution-backend shoot-out (virtual vs dense, timed) |
+//! | [`explore`] | `exp_explore` | schedule-space search: exhaustive DFS + fuzz, tape shrinking |
 //!
 //! Each constructor takes the [`RunConfig`](crate::runner::RunConfig)
 //! and returns the spec with `--quick`-appropriate sweeps baked in; the
@@ -29,11 +30,13 @@
 mod backends;
 mod claims;
 mod compare;
+mod explore;
 mod matrix;
 mod micro;
 
 pub use backends::{backends, BackendsOptions};
 pub use claims::{cor7, cor9, lemma6, lemma8, theorem5};
 pub use compare::{adversary, baselines, deterministic_gap, progress};
+pub use explore::{explore, ExploreOptions};
 pub use matrix::{matrix, MatrixOptions};
 pub use micro::{ablation, adaptive, lemma3, lemma4, longlived, tau};

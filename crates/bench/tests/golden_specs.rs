@@ -9,7 +9,7 @@
 //! comparison is meaningful on any machine.
 
 use rr_bench::runner::RunConfig;
-use rr_bench::scenario::{render_to_string, specs};
+use rr_bench::scenario::{render_to_string, run_spec, specs, JsonSink, Sink};
 
 fn quick() -> RunConfig {
     RunConfig { quick: true, ..RunConfig::default() }
@@ -27,4 +27,55 @@ fn exp_cor9_quick_output_is_golden() {
     let out = render_to_string(specs::cor9(&quick()));
     let golden = include_str!("golden/exp_cor9.quick.txt");
     assert_eq!(out, golden, "exp_cor9 --quick output drifted from the pre-engine binary");
+}
+
+/// Replaces the value after every `"key":` in `keys` with `<t>` —
+/// wall-clock fields vary per machine, but the record *shape* (field
+/// names, order, and every seed-deterministic value) must not.
+fn mask_volatile(body: &str, keys: &[&str]) -> String {
+    let mut out = body.to_string();
+    for key in keys {
+        let needle = format!("\"{key}\":");
+        let mut masked = String::with_capacity(out.len());
+        let mut rest = out.as_str();
+        while let Some(pos) = rest.find(&needle) {
+            let after = pos + needle.len();
+            masked.push_str(&rest[..after]);
+            masked.push_str("<t>");
+            let tail = &rest[after..];
+            let end = tail.find([',', '}', '\n']).unwrap_or(tail.len());
+            rest = &tail[end..];
+        }
+        masked.push_str(rest);
+        out = masked;
+    }
+    out
+}
+
+/// `exp_backends --quick --json` JSON shape: the throughput records'
+/// field names, ordering, backends and every deterministic value
+/// (n, runs, steps_total) are pinned; only wall-clock values are masked.
+#[test]
+fn exp_backends_quick_json_shape_is_golden() {
+    let path = std::env::temp_dir().join(format!("rr_backends_golden_{}.json", std::process::id()));
+    let cfg = quick();
+    {
+        let mut sinks: Vec<Box<dyn Sink + '_>> = vec![Box::new(JsonSink::new(path.clone()))];
+        run_spec(specs::backends(&cfg, &specs::BackendsOptions::defaults(&cfg)), &cfg, &mut sinks);
+        for sink in &mut sinks {
+            sink.finish().unwrap();
+        }
+    }
+    let body = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let masked = mask_volatile(&body, &["wall_ms", "runs_per_sec", "steps_per_sec"]);
+    let golden = include_str!("golden/exp_backends.quick.json.txt");
+    assert_eq!(masked, golden, "exp_backends --quick JSON shape drifted");
+}
+
+#[test]
+fn mask_volatile_rewrites_only_the_named_fields() {
+    let masked =
+        mask_volatile("{\"a\":1,\"wall_ms\":3.25,\"b\":\"x\"}\n{\"wall_ms\":9}", &["wall_ms"]);
+    assert_eq!(masked, "{\"a\":1,\"wall_ms\":<t>,\"b\":\"x\"}\n{\"wall_ms\":<t>}");
 }

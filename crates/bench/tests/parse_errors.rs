@@ -1,0 +1,119 @@
+//! Error-path coverage for the key grammar: `ExecBackend::parse`,
+//! `ParsedKey::parse` and both registries must turn malformed user input
+//! (`threads:t=0`, unknown keys, trailing commas, …) into a
+//! **descriptive `Err`** — never a panic. The exact messages are pinned:
+//! they are user-facing CLI output (`--backend`, `--algos`,
+//! `--adversaries`) and experiment scripts grep them.
+
+use rr_bench::runner::ExecBackend;
+use rr_bench::scenario::registry;
+use rr_sched::registry::{standard, ParsedKey};
+
+#[test]
+fn backend_rejects_zero_threads_with_a_named_bound() {
+    assert_eq!(ExecBackend::parse("threads:t=0").unwrap_err(), "threads backend needs t ≥ 1");
+}
+
+#[test]
+fn backend_rejects_unknown_names_listing_the_alternatives() {
+    assert_eq!(
+        ExecBackend::parse("gpu").unwrap_err(),
+        "unknown backend `gpu` (known: virtual, dense, threads:t=N)"
+    );
+}
+
+#[test]
+fn backend_rejects_unknown_and_malformed_parameters() {
+    assert_eq!(
+        ExecBackend::parse("dense:t=2").unwrap_err(),
+        "unknown parameter `t` for `dense` (allowed: none)"
+    );
+    assert_eq!(
+        ExecBackend::parse("virtual:x=1").unwrap_err(),
+        "unknown parameter `x` for `virtual` (allowed: none)"
+    );
+    assert_eq!(
+        ExecBackend::parse("threads:x=1").unwrap_err(),
+        "unknown parameter `x` for `threads` (allowed: t)"
+    );
+    assert_eq!(
+        ExecBackend::parse("threads:t=many").unwrap_err(),
+        "parameter `t=many` of `threads` is invalid"
+    );
+}
+
+#[test]
+fn trailing_commas_are_malformed_parameters_not_panics() {
+    assert_eq!(
+        ParsedKey::parse("crash:p=20,").unwrap_err(),
+        "malformed parameter `` in `crash:p=20,` (want k=v)"
+    );
+    assert_eq!(
+        ExecBackend::parse("threads:t=4,").unwrap_err(),
+        "malformed parameter `` in `threads:t=4,` (want k=v)"
+    );
+    assert_eq!(
+        standard().prepare("fuzz:rounds=8,").err().unwrap(),
+        "malformed parameter `` in `fuzz:rounds=8,` (want k=v)"
+    );
+}
+
+#[test]
+fn parsed_key_rejects_empty_and_nameless_keys() {
+    assert_eq!(ParsedKey::parse("").unwrap_err(), "empty key");
+    assert_eq!(ParsedKey::parse("   ").unwrap_err(), "empty key");
+    assert_eq!(ParsedKey::parse(":p=1").unwrap_err(), "key `:p=1` has an empty name");
+    assert_eq!(
+        ParsedKey::parse("crash:p").unwrap_err(),
+        "malformed parameter `p` in `crash:p` (want k=v)"
+    );
+}
+
+#[test]
+fn adversary_registry_lists_every_strategy_on_unknown_names() {
+    assert_eq!(
+        standard().prepare("livelock").err().unwrap(),
+        "unknown adversary `livelock` (registered: collisions, crash, explore, fair, fuzz, \
+         random, stall)"
+    );
+}
+
+#[test]
+fn adversary_registry_validates_searcher_parameters() {
+    assert_eq!(standard().prepare("explore:depth=0").err().unwrap(), "explore needs depth ≥ 1");
+    assert_eq!(
+        standard().prepare("explore:d=3").err().unwrap(),
+        "unknown parameter `d` for `explore` (allowed: depth, crashes)"
+    );
+    assert_eq!(
+        standard().prepare("fuzz:strength=1500").err().unwrap(),
+        "fuzz strength 1500 exceeds 1000 permille"
+    );
+    assert_eq!(standard().prepare("fuzz:rounds=0").err().unwrap(), "fuzz needs rounds ≥ 1");
+    assert_eq!(
+        standard().prepare("crash:p=2000").err().unwrap(),
+        "crash probability p=2000 exceeds 1000 permille"
+    );
+    assert_eq!(
+        standard().prepare("explore:depth=x").err().unwrap(),
+        "parameter `depth=x` of `explore` is invalid"
+    );
+}
+
+#[test]
+fn algorithm_registry_lists_every_algorithm_on_unknown_names() {
+    assert_eq!(
+        registry().build("warp-speed").err().unwrap(),
+        "unknown algorithm `warp-speed` (registered: aagw, adaptive, bitonic, cor7, cor9, \
+         fetch-add, linear-scan, loose-l6, loose-l8, splitter-grid, tight-tau, \
+         tight-tau-paper, uniform)"
+    );
+}
+
+#[test]
+fn backend_round_trip_still_accepts_the_valid_grammar() {
+    // Guard against over-tightening: the messages above must coexist
+    // with the documented happy paths.
+    assert_eq!(ExecBackend::parse("threads:t=1").unwrap(), ExecBackend::Threads { t: 1 });
+    assert_eq!(ExecBackend::parse(" dense ").unwrap(), ExecBackend::Dense);
+}

@@ -1,19 +1,37 @@
-//! Property test: for every registry adversary, recording a run's
-//! decision tape and replaying it through [`ReplayAdversary`] reproduces
-//! a bit-identical [`BatchStats`] — schedules are faithful, storable
-//! artifacts (the f64 fields are compared by bits, not tolerance).
+//! Property tests over the tape machinery: for every registry adversary,
+//! (1) recording a run's decision tape and replaying it through
+//! [`ReplayAdversary`] reproduces a bit-identical [`BatchStats`] —
+//! schedules are faithful, storable artifacts (the f64 fields are
+//! compared by bits, not tolerance) — and (2) ddmin-shrunk tapes keep
+//! failing and replay to identical [`RunOutcome`]s, so a shrunk
+//! counterexample is as trustworthy an artifact as the original.
 
 use proptest::prelude::*;
 use rr_bench::runner::{run_once_with, BatchStats};
 use rr_renaming::traits::{LooseL6, RenamingAlgorithm};
 use rr_renaming::TightRenaming;
+use rr_sched::explore::{shrink_tape, TolerantReplay};
+use rr_sched::process::Process;
 use rr_sched::registry::standard;
-use rr_sched::replay::{RecordingAdversary, ReplayAdversary};
+use rr_sched::replay::{RecordingAdversary, ReplayAdversary, Tape};
+use rr_sched::virtual_exec::{run, RunOutcome};
+use rr_sched::Adversary;
 
 /// Adversary keys covering every registered strategy, the crash one in
-/// both a light and a heavy parameterization.
-const ADVERSARIES: &[&str] =
-    &["fair", "random", "collisions", "stall", "crash:p=100,cap=10", "crash:p=500,cap=50"];
+/// both a light and a heavy parameterization, and the schedule-space
+/// searchers (a fresh `build` starts each searcher at its first
+/// schedule, so the recorded tape is deterministic).
+const ADVERSARIES: &[&str] = &[
+    "fair",
+    "random",
+    "collisions",
+    "stall",
+    "crash:p=100,cap=10",
+    "crash:p=500,cap=50",
+    "explore:depth=6",
+    "explore:depth=4,crashes=2",
+    "fuzz:rounds=8,strength=400",
+];
 
 fn assert_bit_identical(a: &BatchStats, b: &BatchStats, what: &str) {
     assert_eq!(a.step_complexity, b.step_complexity, "{what}: step_complexity");
@@ -62,6 +80,92 @@ proptest! {
         let algo = LooseL6 { ell: 1 };
         for key in ADVERSARIES {
             record_then_replay(&algo, n, seed, key);
+        }
+    }
+}
+
+/// Replays `tape` tolerantly against a fresh instance of `algo`.
+fn tolerant_replay(algo: &dyn RenamingAlgorithm, n: usize, seed: u64, tape: &Tape) -> RunOutcome {
+    let inst = algo.instantiate(n, seed);
+    let procs: Vec<Box<dyn Process>> =
+        inst.processes.into_iter().map(|p| p as Box<dyn Process>).collect();
+    run(procs, &mut TolerantReplay::new(tape.clone()), algo.step_budget(n))
+        .expect("tolerant replay within the default budget")
+}
+
+fn assert_outcomes_identical(a: &RunOutcome, b: &RunOutcome, what: &str) {
+    assert_eq!(a.names, b.names, "{what}: names");
+    assert_eq!(a.steps, b.steps, "{what}: steps");
+    assert_eq!(a.crashed, b.crashed, "{what}: crashed");
+    assert_eq!(a.gave_up, b.gave_up, "{what}: gave_up");
+    assert_eq!(a.decisions, b.decisions, "{what}: decisions");
+}
+
+proptest! {
+    /// Shrinking soundness, outcome flavor: take a recorded failing tape
+    /// (failure = "the schedule forces the recorded worst-case step
+    /// complexity"), ddmin it, and check the shrunk tape (1) still fails,
+    /// (2) is no longer than the original, and (3) replays to the
+    /// **identical** `RunOutcome` every time — a shrunk counterexample is
+    /// as deterministic an artifact as the original failing tape.
+    #[test]
+    fn shrunk_tapes_keep_failing_and_replay_identically(n in 12usize..40, seed in 0u64..200) {
+        let algo = TightRenaming::calibrated(4);
+        for key in ADVERSARIES {
+            let mut recorder =
+                RecordingAdversary::new(standard().build(key, n, seed).expect("registry key"));
+            let original_out = run_once_with(&algo, n, seed, &mut recorder);
+            let tape = recorder.into_tape();
+            let worst = original_out.step_complexity();
+            let fails = |t: &Tape| tolerant_replay(&algo, n, seed, t).step_complexity() >= worst;
+            prop_assert!(fails(&tape), "{key}: the original failing tape must fail");
+
+            let shrunk = shrink_tape(&tape, fails);
+            prop_assert!(shrunk.len() <= tape.len(), "{key}: shrinking never grows a tape");
+            let replay_a = tolerant_replay(&algo, n, seed, &shrunk);
+            let replay_b = tolerant_replay(&algo, n, seed, &shrunk);
+            prop_assert!(
+                replay_a.step_complexity() >= worst,
+                "{key}: shrunk tape no longer exhibits the failure"
+            );
+            assert_outcomes_identical(&replay_a, &replay_b, &format!("{key} shrunk replay"));
+        }
+    }
+
+    /// Shrinking soundness, executor-error flavor: replaying under a
+    /// step budget below the recorded run's total work fails with the
+    /// budget error; the ddmin-shrunk tape reproduces the **identical**
+    /// failure, deterministically, for every registry adversary.
+    #[test]
+    fn shrunk_tapes_reproduce_identical_budget_failures(n in 12usize..40, seed in 0u64..200) {
+        let algo = TightRenaming::calibrated(4);
+        for key in ADVERSARIES {
+            let mut recorder =
+                RecordingAdversary::new(standard().build(key, n, seed).expect("registry key"));
+            let out = run_once_with(&algo, n, seed, &mut recorder);
+            let tape = recorder.into_tape();
+            let budget = out.total_steps() / 2;
+            let failing_run = |adv: &mut dyn Adversary| -> Result<RunOutcome, String> {
+                let inst = algo.instantiate(n, seed);
+                let procs: Vec<Box<dyn Process>> =
+                    inst.processes.into_iter().map(|p| p as Box<dyn Process>).collect();
+                run(procs, adv, budget).map_err(|e| e.to_string())
+            };
+            let original_err = failing_run(&mut ReplayAdversary::new(tape.clone()))
+                .expect_err("half the work cannot fit the budget");
+
+            let shrunk = shrink_tape(&tape, |t| {
+                failing_run(&mut TolerantReplay::new(t.clone())).is_err()
+            });
+            let shrunk_err = failing_run(&mut TolerantReplay::new(shrunk.clone()))
+                .expect_err("shrunk tape must keep failing");
+            prop_assert_eq!(
+                &shrunk_err, &original_err,
+                "{} at n={}, seed {}: shrunk failure diverged", key, n, seed
+            );
+            let again = failing_run(&mut TolerantReplay::new(shrunk.clone()))
+                .expect_err("replaying a shrunk tape is deterministic");
+            prop_assert_eq!(&again, &shrunk_err, "{}: shrunk replay not deterministic", key);
         }
     }
 }

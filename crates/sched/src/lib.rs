@@ -20,12 +20,17 @@
 //!
 //! Adversary strategies live in [`adversary`]: fair round-robin, seeded
 //! random, collision maximization (exploits coin-flip visibility), stall
-//! -winners, and a crash-injecting wrapper. The [`registry`] names each
-//! strategy once so drivers can build any of them from a string key
-//! (`"fair"`, `"crash:p=20,cap=10"`, …) instead of re-matching enums.
+//! -winners, and a crash-injecting wrapper. [`explore`] searches the
+//! schedule space systematically — bounded exhaustive DFS, a
+//! coverage-guided schedule fuzzer, and ddmin tape shrinking for minimal
+//! counterexamples. The [`registry`] names each strategy once so drivers
+//! can build any of them from a string key (`"fair"`,
+//! `"crash:p=20,cap=10"`, `"explore:depth=6"`, …) instead of re-matching
+//! enums.
 
 pub mod adversary;
 pub mod dense;
+pub mod explore;
 pub mod process;
 pub mod registry;
 pub mod replay;
@@ -37,6 +42,11 @@ pub use adversary::{
     StallWinners, View,
 };
 pub use dense::Arena;
+pub use explore::{
+    interleaving_signature, shrink_tape, Counterexample, ExhaustiveExplorer, ExploreReport,
+    FuzzExplorer, FuzzReport, GuidedAdversary, MutatingReplay, SharedExplorer, SharedFuzzer,
+    TolerantReplay,
+};
 pub use process::{run_to_completion, Process, StepOutcome};
 pub use registry::{AdversaryBuilder, AdversaryRegistry, ParsedKey};
 pub use replay::{RecordingAdversary, ReplayAdversary, Tape};

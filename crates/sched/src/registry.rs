@@ -15,6 +15,7 @@
 use crate::adversary::{
     Adversary, CollisionMaximizer, CrashAdversary, FairAdversary, RandomAdversary, StallWinners,
 };
+use crate::explore::{SharedExplorer, SharedFuzzer};
 use rr_shmem::Access;
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
@@ -115,9 +116,15 @@ impl AdversaryRegistry {
     }
 
     /// The standard strategies: `fair`, `random`, `collisions`, `stall`,
-    /// and `crash` (params `p` = crash probability in permille at
+    /// `crash` (params `p` = crash probability in permille at
     /// winning-kind announces, default 20; `cap` = crash budget as a
-    /// percentage of `n`, default 10).
+    /// percentage of `n`, default 10), and the schedule-space searchers
+    /// `explore` (bounded exhaustive DFS, params `depth` = branching
+    /// horizon, default 6; `crashes` = crash-decision budget, default 0)
+    /// and `fuzz` (params `strength` = perturbation permille, default
+    /// 250; `rounds` = corpus capacity, default 64). The searchers keep
+    /// state across the seeds of one prepared builder — see
+    /// [`crate::explore`] for their serial exactly-once guarantee.
     pub fn with_standard() -> Self {
         let mut reg = Self::new();
         reg.register("fair", "round-robin over active processes", "fair", |key| {
@@ -167,6 +174,24 @@ impl AdversaryRegistry {
                         seed,
                     ))
                 }))
+            },
+        );
+        reg.register(
+            "explore",
+            "bounded exhaustive DFS over the schedule tree (serial seeds visit it in order)",
+            "explore:depth=6,crashes=0",
+            |key| {
+                let shared = SharedExplorer::from_parsed(key)?;
+                Ok(Box::new(move |_, _| Box::new(shared.adversary())))
+            },
+        );
+        reg.register(
+            "fuzz",
+            "coverage-guided schedule fuzzer (mutates corpus tapes, keeps novel interleavings)",
+            "fuzz:rounds=64,strength=250",
+            |key| {
+                let shared = SharedFuzzer::from_parsed(key)?;
+                Ok(Box::new(move |n, seed| Box::new(shared.adversary(n, seed))))
             },
         );
         reg
@@ -259,7 +284,17 @@ mod tests {
 
     #[test]
     fn standard_names_build() {
-        for key in ["fair", "random", "collisions", "stall", "crash", "crash:p=200,cap=25"] {
+        for key in [
+            "fair",
+            "random",
+            "collisions",
+            "stall",
+            "crash",
+            "crash:p=200,cap=25",
+            "explore:depth=4",
+            "explore:depth=3,crashes=1",
+            "fuzz:rounds=8,strength=500",
+        ] {
             let adv = standard().build(key, 16, 3).unwrap();
             assert!(!adv.name().is_empty(), "{key}");
         }
@@ -271,13 +306,41 @@ mod tests {
         assert!(standard().build("fair:x=1", 8, 0).is_err());
         assert!(standard().build("crash:q=1", 8, 0).is_err());
         assert!(standard().build("crash:p=2000", 8, 0).is_err());
+        assert!(standard().build("explore:depth=0", 8, 0).is_err());
+        assert!(standard().build("explore:d=3", 8, 0).is_err());
+        assert!(standard().build("fuzz:strength=1500", 8, 0).is_err());
+        assert!(standard().build("fuzz:rounds=0", 8, 0).is_err());
     }
 
     #[test]
     fn registered_entries_listed() {
         let keys = standard().keys();
-        assert_eq!(keys, vec!["collisions", "crash", "fair", "random", "stall"]);
-        assert_eq!(standard().entries().len(), 5);
+        assert_eq!(keys, vec!["collisions", "crash", "explore", "fair", "fuzz", "random", "stall"]);
+        assert_eq!(standard().entries().len(), 7);
+    }
+
+    /// A prepared `explore` builder shares one DFS across its builds —
+    /// serial seeds enumerate distinct schedules, and a fresh `prepare`
+    /// starts the walk over from the first schedule.
+    #[test]
+    fn prepared_explore_builder_walks_the_schedule_tree() {
+        let active = [0usize, 1];
+        let ann = vec![Some(Access::Local); 2];
+        let steps = [0u64; 2];
+        let first_grant =
+            |adv: &mut Box<dyn Adversary>| match adv.decide(&probe_view(&active, &ann, &steps)) {
+                Decision::Grant(p) => p,
+                d => panic!("unexpected {d:?}"),
+            };
+        let builder = standard().prepare("explore:depth=2").unwrap();
+        let mut first = builder(2, 0);
+        assert_eq!(first_grant(&mut first), 0, "first schedule starts at the root choice");
+        drop(first); // merges the trace, advancing the DFS
+        let mut second = builder(2, 1);
+        assert_eq!(first_grant(&mut second), 1, "second schedule takes the sibling branch");
+        // A fresh prepare is a fresh search.
+        let builder2 = standard().prepare("explore:depth=2").unwrap();
+        assert_eq!(first_grant(&mut builder2(2, 0)), 0);
     }
 
     #[test]

@@ -17,6 +17,13 @@ pub struct Tape {
 }
 
 impl Tape {
+    /// A tape from an explicit decision sequence — how the schedule
+    /// explorer ([`crate::explore`]) and the shrinker materialize the
+    /// branches they synthesize.
+    pub fn from_decisions(decisions: Vec<Decision>) -> Self {
+        Self { decisions }
+    }
+
     /// Number of decisions.
     pub fn len(&self) -> usize {
         self.decisions.len()
