@@ -1,0 +1,216 @@
+//! Scaling-curve fitting for the reproduction report: least-squares fits
+//! of measured quantities against the paper's predicted asymptotic forms
+//! (`log n`, `(log log n)²`, …) plus a log–log power fit that recovers
+//! the empirical exponent.
+//!
+//! The report subsystem (`rr-report`) fits each claim's measured points
+//! `(n, y)` to the form its theorem predicts and prints the fitted
+//! constant and the coefficient of determination `R²` next to the
+//! PASS/FAIL verdict, so "steps grow like `log n`" becomes a number, not
+//! a sentence.
+//!
+//! ```
+//! use rr_analysis::fit::{fit_form, ScalingForm};
+//!
+//! // y = 3·log2(n) exactly, so the fit recovers scale 3 with R² = 1.
+//! let pts: Vec<(f64, f64)> =
+//!     [256.0f64, 1024.0, 4096.0].iter().map(|&n| (n, 3.0 * n.log2())).collect();
+//! let fit = fit_form(&pts, ScalingForm::LogN);
+//! assert!((fit.scale - 3.0).abs() < 1e-9);
+//! assert!(fit.r2 > 0.999999);
+//! ```
+
+/// A predicted asymptotic form `g(n)` a claim's step or space bound
+/// grows like; the regressor of [`fit_form`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingForm {
+    /// `g(n) = 1` — bounded by a constant.
+    Const,
+    /// `g(n) = log₂ n` — Theorem 5's step complexity.
+    LogN,
+    /// `g(n) = log₂ log₂ n` — one almost-tight phase.
+    LogLogN,
+    /// `g(n) = (log₂ log₂ n)²` — the loose corollaries' step bound.
+    LogLogSq,
+    /// `g(n) = n` — linear work (the deterministic baselines).
+    Linear,
+}
+
+impl ScalingForm {
+    /// Display label used in report tables (`"log2 n"`, …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScalingForm::Const => "1",
+            ScalingForm::LogN => "log2 n",
+            ScalingForm::LogLogN => "loglog n",
+            ScalingForm::LogLogSq => "(loglog n)^2",
+            ScalingForm::Linear => "n",
+        }
+    }
+
+    /// Evaluates `g(n)`. Sizes below 4 clamp the inner logarithms to
+    /// keep the double-log forms finite and positive.
+    pub fn eval(&self, n: f64) -> f64 {
+        let lg = n.max(2.0).log2();
+        let llg = lg.max(2.0).log2();
+        match self {
+            ScalingForm::Const => 1.0,
+            ScalingForm::LogN => lg,
+            ScalingForm::LogLogN => llg,
+            ScalingForm::LogLogSq => llg * llg,
+            ScalingForm::Linear => n,
+        }
+    }
+}
+
+/// Result of [`fit_form`]: the least-squares `y ≈ scale·g(n) + offset`.
+#[derive(Debug, Clone, Copy)]
+pub struct Fit {
+    /// The fitted form.
+    pub form: ScalingForm,
+    /// Multiplier of `g(n)` — the empirical leading constant.
+    pub scale: f64,
+    /// Additive constant.
+    pub offset: f64,
+    /// Coefficient of determination in `[0, 1]`; 1 when every point
+    /// has the same `y` (a constant is fit perfectly by any form).
+    pub r2: f64,
+}
+
+/// Result of [`fit_power`]: the log–log regression
+/// `y ≈ scale·n^exponent`.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerFit {
+    /// The empirical exponent (slope in log–log space).
+    pub exponent: f64,
+    /// The leading constant.
+    pub scale: f64,
+    /// Coefficient of determination of the log–log regression.
+    pub r2: f64,
+}
+
+/// Least-squares fit of `y = scale·g(n) + offset` over `points`
+/// (`(n, y)` pairs).
+///
+/// Degenerate inputs stay defined: with fewer than two distinct `g(n)`
+/// values the fit collapses to `scale = 0, offset = mean(y)` and `r2`
+/// reports how much variance that explains (1.0 when the `y` values are
+/// themselves constant).
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn fit_form(points: &[(f64, f64)], form: ScalingForm) -> Fit {
+    assert!(!points.is_empty(), "fit_form of empty sample");
+    let xs: Vec<f64> = points.iter().map(|&(n, _)| form.eval(n)).collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, y)| y).collect();
+    let (scale, offset, r2) = linreg(&xs, &ys);
+    Fit { form, scale, offset, r2 }
+}
+
+/// Log–log regression `ln y = exponent·ln n + ln scale` over `points`,
+/// recovering the empirical power-law exponent. Points with `n ≤ 0` or
+/// `y ≤ 0` are skipped (logs undefined); if none survive, the fit is
+/// `exponent = 0, scale = 0, r2 = 0`.
+pub fn fit_power(points: &[(f64, f64)]) -> PowerFit {
+    let (xs, ys): (Vec<f64>, Vec<f64>) =
+        points.iter().filter(|&&(n, y)| n > 0.0 && y > 0.0).map(|&(n, y)| (n.ln(), y.ln())).unzip();
+    if xs.is_empty() {
+        return PowerFit { exponent: 0.0, scale: 0.0, r2: 0.0 };
+    }
+    let (slope, intercept, r2) = linreg(&xs, &ys);
+    PowerFit { exponent: slope, scale: intercept.exp(), r2 }
+}
+
+/// Ordinary least squares of `y = a·x + b`; returns `(a, b, r2)`.
+/// A zero-variance predictor yields `a = 0, b = mean(y)`; zero-variance
+/// responses yield `r2 = 1` (the fit is exact).
+fn linreg(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let a = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+    let b = my - a * mx;
+    let r2 = if syy > 0.0 { (a * a * sxx / syy).min(1.0) } else { 1.0 };
+    (a, b, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_log_fit() {
+        let pts: Vec<(f64, f64)> = [1024.0f64, 4096.0, 16384.0, 65536.0]
+            .iter()
+            .map(|&n| (n, 2.5 * n.log2() + 1.0))
+            .collect();
+        let fit = fit_form(&pts, ScalingForm::LogN);
+        assert!((fit.scale - 2.5).abs() < 1e-9, "{fit:?}");
+        assert!((fit.offset - 1.0).abs() < 1e-6, "{fit:?}");
+        assert!(fit.r2 > 0.999_999);
+    }
+
+    #[test]
+    fn loglog_sq_form_matches_norm() {
+        let n = 65536.0f64;
+        let lln = n.log2().log2();
+        assert!((ScalingForm::LogLogSq.eval(n) - lln * lln).abs() < 1e-12);
+        assert_eq!(ScalingForm::Const.eval(n), 1.0);
+        assert_eq!(ScalingForm::Linear.eval(n), n);
+        assert_eq!(ScalingForm::LogLogSq.label(), "(loglog n)^2");
+    }
+
+    #[test]
+    fn small_n_stays_finite() {
+        for form in
+            [ScalingForm::Const, ScalingForm::LogN, ScalingForm::LogLogN, ScalingForm::LogLogSq]
+        {
+            let v = form.eval(1.0);
+            assert!(v.is_finite() && v >= 0.0, "{form:?} at n=1 gave {v}");
+        }
+    }
+
+    #[test]
+    fn constant_response_is_perfectly_fit() {
+        let pts = [(256.0, 7.0), (1024.0, 7.0), (4096.0, 7.0)];
+        let fit = fit_form(&pts, ScalingForm::LogN);
+        assert!((fit.scale).abs() < 1e-12);
+        assert!((fit.offset - 7.0).abs() < 1e-12);
+        assert_eq!(fit.r2, 1.0);
+    }
+
+    #[test]
+    fn single_point_degenerates_to_mean() {
+        let fit = fit_form(&[(1024.0, 11.0)], ScalingForm::LogN);
+        assert_eq!(fit.scale, 0.0);
+        assert_eq!(fit.offset, 11.0);
+        assert_eq!(fit.r2, 1.0);
+    }
+
+    #[test]
+    fn power_fit_recovers_exponent() {
+        let pts: Vec<(f64, f64)> =
+            [64.0f64, 256.0, 1024.0, 4096.0].iter().map(|&n| (n, 0.5 * n.powf(1.5))).collect();
+        let p = fit_power(&pts);
+        assert!((p.exponent - 1.5).abs() < 1e-9, "{p:?}");
+        assert!((p.scale - 0.5).abs() < 1e-9);
+        assert!(p.r2 > 0.999_999);
+    }
+
+    #[test]
+    fn power_fit_skips_nonpositive_points() {
+        let p = fit_power(&[(0.0, 1.0), (-2.0, 4.0), (1.0, 0.0)]);
+        assert_eq!(p.exponent, 0.0);
+        assert_eq!(p.scale, 0.0);
+        assert_eq!(p.r2, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn fit_form_empty_panics() {
+        fit_form(&[], ScalingForm::LogN);
+    }
+}

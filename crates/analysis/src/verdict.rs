@@ -1,0 +1,139 @@
+//! Verdict vocabulary for the reproduction report: every paper claim is
+//! judged PASS / FAIL / INCONCLUSIVE from a list of named [`Check`]s, so
+//! "the data matches the bound" is a computed value with an audit trail,
+//! not prose.
+//!
+//! ```
+//! use rr_analysis::verdict::{overall, Check, Verdict};
+//!
+//! let checks = vec![
+//!     Check::pass("unnamed", "0 in every run"),
+//!     Check::new("ratio bounded", "max/log2 n = 1.71 <= 8", 1.71 <= 8.0),
+//! ];
+//! assert_eq!(overall(&checks), Verdict::Pass);
+//! ```
+
+use std::fmt;
+
+/// The outcome of one claim (or one check within a claim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// Every check held on sufficient data.
+    Pass,
+    /// The data was insufficient to decide (too few sizes, missing
+    /// records) — not evidence against the claim.
+    Inconclusive,
+    /// A measured quantity violated the predicted bound.
+    Fail,
+}
+
+impl Verdict {
+    /// Upper-case report label (`"PASS"`, `"FAIL"`, `"INCONCLUSIVE"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Pass => "PASS",
+            Verdict::Inconclusive => "INCONCLUSIVE",
+            Verdict::Fail => "FAIL",
+        }
+    }
+
+    /// `Pass` when `ok`, else `Fail`.
+    pub fn from_bool(ok: bool) -> Self {
+        if ok {
+            Verdict::Pass
+        } else {
+            Verdict::Fail
+        }
+    }
+
+    /// The worse of two verdicts (`Fail` > `Inconclusive` > `Pass`).
+    pub fn worst(self, other: Self) -> Self {
+        self.max(other)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One named, human-auditable check inside a claim: what was compared,
+/// the measured numbers, and whether it held.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Check {
+    /// Short name (`"unnamed = 0"`, `"steps within budget"`).
+    pub name: String,
+    /// The measured comparison, spelled out (`"max 19 <= bound 24"`).
+    pub detail: String,
+    /// Outcome of this check alone.
+    pub verdict: Verdict,
+}
+
+impl Check {
+    /// A check whose verdict is `Pass` iff `ok`.
+    pub fn new(name: impl Into<String>, detail: impl Into<String>, ok: bool) -> Self {
+        Self { name: name.into(), detail: detail.into(), verdict: Verdict::from_bool(ok) }
+    }
+
+    /// An unconditionally passing check (recorded evidence).
+    pub fn pass(name: impl Into<String>, detail: impl Into<String>) -> Self {
+        Self { name: name.into(), detail: detail.into(), verdict: Verdict::Pass }
+    }
+
+    /// An inconclusive check (insufficient data; names what was missing).
+    pub fn inconclusive(name: impl Into<String>, detail: impl Into<String>) -> Self {
+        Self { name: name.into(), detail: detail.into(), verdict: Verdict::Inconclusive }
+    }
+}
+
+/// Folds a claim's checks into its verdict: `Fail` if any check failed,
+/// else `Inconclusive` if any was inconclusive (or there were no checks
+/// at all — no data is not a pass), else `Pass`.
+pub fn overall(checks: &[Check]) -> Verdict {
+    if checks.is_empty() {
+        return Verdict::Inconclusive;
+    }
+    checks.iter().fold(Verdict::Pass, |acc, c| acc.worst(c.verdict))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_pass_inconclusive_fail() {
+        assert!(Verdict::Pass < Verdict::Inconclusive);
+        assert!(Verdict::Inconclusive < Verdict::Fail);
+        assert_eq!(Verdict::Pass.worst(Verdict::Fail), Verdict::Fail);
+        assert_eq!(Verdict::Pass.worst(Verdict::Inconclusive), Verdict::Inconclusive);
+        assert_eq!(Verdict::Pass.worst(Verdict::Pass), Verdict::Pass);
+    }
+
+    #[test]
+    fn labels_and_display() {
+        assert_eq!(Verdict::Pass.label(), "PASS");
+        assert_eq!(Verdict::Fail.to_string(), "FAIL");
+        assert_eq!(Verdict::Inconclusive.label(), "INCONCLUSIVE");
+        assert_eq!(Verdict::from_bool(true), Verdict::Pass);
+        assert_eq!(Verdict::from_bool(false), Verdict::Fail);
+    }
+
+    #[test]
+    fn overall_folds_worst() {
+        assert_eq!(overall(&[]), Verdict::Inconclusive, "no checks is not a pass");
+        assert_eq!(overall(&[Check::pass("a", "ok")]), Verdict::Pass);
+        assert_eq!(
+            overall(&[Check::pass("a", "ok"), Check::inconclusive("b", "2 sizes")]),
+            Verdict::Inconclusive
+        );
+        assert_eq!(
+            overall(&[
+                Check::pass("a", "ok"),
+                Check::new("b", "7 > 5", false),
+                Check::inconclusive("c", "n/a"),
+            ]),
+            Verdict::Fail
+        );
+    }
+}

@@ -15,6 +15,17 @@
 //! comparison harness treats the paper's protocols and these baselines
 //! uniformly; [`registry::register_baselines`] adds them all to an
 //! [`rr_renaming::AlgorithmRegistry`] under string keys.
+//!
+//! ```
+//! use rr_renaming::traits::RenamingAlgorithm;
+//! use rr_renaming::AlgorithmRegistry;
+//!
+//! let mut reg = AlgorithmRegistry::with_paper_algorithms();
+//! rr_baselines::register_baselines(&mut reg);
+//! let bitonic = reg.build("bitonic").unwrap();
+//! assert_eq!(bitonic.name(), "bitonic-network");
+//! assert!(reg.keys().len() >= 13, "paper protocols + every baseline");
+//! ```
 
 pub mod aks_model;
 pub mod counter;

@@ -44,7 +44,9 @@ usage: exp_matrix [--quick] [--json PATH] [--list] [--help]
   --adversaries  comma-separated adversary registry keys
   --sizes        comma-separated process counts
   --seeds N      seeds per cell
-  --list         print both registries and exit";
+  --list         print both registries and exit
+  --list-md      print the README's generated registry key tables
+                 (markdown) and exit";
 
 /// Splits a comma-separated key list, re-joining bare `k=v` fragments
 /// with the preceding key — the key grammar itself uses commas between
@@ -68,15 +70,9 @@ fn split_keys(raw: &str) -> Vec<String> {
 }
 
 fn print_registries() {
-    println!("registered algorithms (key: summary):");
-    for (name, summary, example, n_cap) in registry().entries() {
-        let cap = n_cap.map(|c| format!(" [n ≤ {c}]")).unwrap_or_default();
-        println!("  {name:16} {summary}{cap}  e.g. `{example}`");
-    }
-    println!("registered adversaries (key: summary):");
-    for (name, summary, example) in rr_sched::registry::standard().entries() {
-        println!("  {name:16} {summary}  e.g. `{example}`");
-    }
+    // One source of truth: the same listing module the README's
+    // generated key tables come from (drift-checked in readme_sync.rs).
+    print!("{}", rr_bench::listing::registry_listing());
 }
 
 fn main() {
@@ -87,6 +83,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "--list") {
         print_registries();
+        return;
+    }
+    if args.iter().any(|a| a == "--list-md") {
+        print!("{}", rr_bench::listing::registry_tables_markdown());
         return;
     }
     drive(|cfg: &RunConfig| {

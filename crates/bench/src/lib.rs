@@ -24,12 +24,37 @@
 //! | `exp_progress` | E15 — named-fraction progress curves |
 //! | `exp_matrix` | any algorithm × adversary × n, by registry key |
 //! | `exp_explore` | schedule-space search: exhaustive DFS + fuzz, tape shrinking |
+//! | `exp_report` | REPRODUCTION.md generator: statistical claim verdicts + SVG charts |
 //!
 //! Every binary is a thin `main` over the [`scenario`] engine: the
 //! experiment itself is a declarative [`scenario::ScenarioSpec`] in
 //! [`scenario::specs`], naming algorithms and adversaries by **registry
 //! key** and executed by the shared parallel [`runner`] with the safety
 //! audit always on.
+//!
+//! ```
+//! use rr_bench::scenario::{
+//!     render_to_string, BatchSection, Column, RowSpec, ScenarioSpec, Section,
+//! };
+//!
+//! // An experiment is a declaration; the engine runs and renders it.
+//! let spec = ScenarioSpec {
+//!     id: "DOC",
+//!     claim: "crate doctest",
+//!     sections: vec![Section::Batch(BatchSection {
+//!         title: None,
+//!         columns: vec![
+//!             Column::new("n", |ctx| ctx.row.n.to_string()),
+//!             Column::new("steps max", |ctx| ctx.stats.max_steps().to_string()),
+//!         ],
+//!         rows: vec![RowSpec::new("tight-tau:c=4", "fair", 16, 1)],
+//!     })],
+//!     claim_check: String::new(),
+//!     reproduces: vec![],
+//! };
+//! assert!(render_to_string(spec).starts_with("=== DOC: crate doctest ==="));
+//! ```
 
+pub mod listing;
 pub mod runner;
 pub mod scenario;

@@ -23,9 +23,9 @@ pub mod sink;
 pub mod spec;
 pub mod specs;
 
-pub use sink::{Emitter, JsonSink, Record, Sink, TableSink, Value};
+pub use sink::{Emitter, JsonSink, Record, ReportSink, Sink, TableSink, Value};
 pub use spec::{
-    BatchSection, CellFn, Column, CustomSection, RowCtx, RowSpec, ScenarioSpec, Section,
+    BatchSection, CellFn, ClaimCheck, Column, CustomSection, RowCtx, RowSpec, ScenarioSpec, Section,
 };
 
 use crate::runner::{run_batch_backend, BatchTiming, RunConfig};
@@ -200,6 +200,7 @@ mod tests {
                 ],
             })],
             claim_check: "claim check: smoke only.".into(),
+            reproduces: vec![],
         }
     }
 
@@ -275,6 +276,7 @@ mod tests {
                 rows: vec![RowSpec::new("no-such-algo", "fair", 8, 1)],
             })],
             claim_check: String::new(),
+            reproduces: vec![],
         };
         render_to_string(spec);
     }

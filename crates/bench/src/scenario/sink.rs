@@ -52,6 +52,28 @@ pub struct Record {
 }
 
 impl Record {
+    /// Converts this record into the report crate's parsed form — the
+    /// exact shape `rr_report::parse_records` yields from a [`JsonSink`]
+    /// file, including mapping non-finite floats to `Null` the way the
+    /// JSON writer serializes them. The single conversion path
+    /// `exp_report`'s run mode and the end-to-end tests share.
+    pub fn to_report_rec(&self) -> rr_report::Rec {
+        let mut fields = vec![
+            ("scenario".to_string(), rr_report::records::Value::Str(self.scenario.clone())),
+            ("section".to_string(), rr_report::records::Value::Str(self.section.clone())),
+        ];
+        for (k, v) in &self.fields {
+            let value = match v {
+                Value::U64(x) => rr_report::records::Value::U64(*x),
+                Value::F64(x) if x.is_finite() => rr_report::records::Value::F64(*x),
+                Value::F64(_) => rr_report::records::Value::Null,
+                Value::Str(s) => rr_report::records::Value::Str(s.clone()),
+            };
+            fields.push((k.clone(), value));
+        }
+        rr_report::Rec { fields }
+    }
+
     fn to_json(&self) -> String {
         let mut out = String::from("{");
         out.push_str(&format!("\"scenario\":{}", json_string(&self.scenario)));
@@ -97,6 +119,23 @@ pub trait Sink {
     /// Propagates I/O errors from the underlying writer.
     fn finish(&mut self) -> io::Result<()> {
         Ok(())
+    }
+}
+
+/// Forwarding impl so a sink can be attached by mutable borrow — the
+/// report pipeline lends `&mut ReportSink` to the engine and keeps
+/// ownership of the collected records.
+impl<S: Sink + ?Sized> Sink for &mut S {
+    fn text(&mut self, chunk: &str) {
+        (**self).text(chunk);
+    }
+
+    fn record(&mut self, record: &Record) {
+        (**self).record(record);
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        (**self).finish()
     }
 }
 
@@ -166,6 +205,40 @@ impl Sink for JsonSink {
     }
 }
 
+/// Collects the record stream in memory — the sink behind `exp_report`:
+/// the engine runs claim scenarios against a `ReportSink`, then the
+/// report generator consumes [`ReportSink::records`] directly instead of
+/// round-tripping through a JSON file. Ignores text.
+#[derive(Debug, Default)]
+pub struct ReportSink {
+    records: Vec<Record>,
+}
+
+impl ReportSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The records collected so far, in emission order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Consumes the sink, returning the collected records.
+    pub fn into_records(self) -> Vec<Record> {
+        self.records
+    }
+}
+
+impl Sink for ReportSink {
+    fn text(&mut self, _chunk: &str) {}
+
+    fn record(&mut self, record: &Record) {
+        self.records.push(record.clone());
+    }
+}
+
 /// The handle custom scenario sections emit through: fans text and
 /// records out to every attached sink.
 pub struct Emitter<'a, 'b> {
@@ -217,6 +290,17 @@ mod tests {
             "{\"scenario\":\"E1\",\"section\":\"\",\"algorithm\":\"tight-tau:c=4\",\
              \"n\":1024,\"ratio\":3.5,\"bad\":null}"
         );
+    }
+
+    /// The in-memory conversion and the JSON file round trip are the
+    /// same function: what `exp_report`'s run mode feeds the evaluator
+    /// is byte-equivalent to re-parsing its own `--json` output,
+    /// including non-finite floats becoming `Null`.
+    #[test]
+    fn report_rec_conversion_matches_the_json_round_trip() {
+        let rec = sample();
+        let via_json = rr_report::parse_records(&format!("[\n{}\n]\n", rec.to_json())).unwrap();
+        assert_eq!(vec![rec.to_report_rec()], via_json);
     }
 
     #[test]

@@ -40,6 +40,7 @@ use rr_renaming::traits::RenamingAlgorithm;
 ///         ],
 ///     })],
 ///     claim_check: "claim check: both rows pass the safety audit.".into(),
+///     reproduces: vec![],
 /// };
 /// let out = render_to_string(spec);
 /// assert!(out.starts_with("=== DEMO: registry keys in, table out ==="));
@@ -55,6 +56,30 @@ pub struct ScenarioSpec {
     pub sections: Vec<Section>,
     /// Closing note (printed as a blank line + the note); empty to omit.
     pub claim_check: String,
+    /// The statistically checked paper claims this spec's **records**
+    /// feed — the [`ClaimCheck`] layer the reproduction report
+    /// (`rr-report`, driven by `exp_report`) consumes. Empty for
+    /// scenarios that measure without reproducing a numbered bound
+    /// (the matrix, the backend shoot-out, …).
+    pub reproduces: Vec<ClaimCheck>,
+}
+
+/// Declares that a scenario's record stream reproduces one numbered
+/// paper claim: the report subsystem matches `claim` against the claim
+/// registry in `rr-report` and evaluates the measured records against
+/// the `bound` it states.
+///
+/// This is spec **metadata**: adding a `ClaimCheck` to a spec is what
+/// enrolls it in `exp_report`'s re-run set and in the generated
+/// `REPRODUCTION.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClaimCheck {
+    /// Claim id in `rr-report`'s registry (`"theorem5"`, `"lemma3"`,
+    /// `"cor9"`, …).
+    pub claim: &'static str,
+    /// The predicted bound, as stated by the paper (`"O(log n) steps
+    /// w.h.p."`, …) — rendered in the report header for the claim.
+    pub bound: &'static str,
 }
 
 /// One scenario section.

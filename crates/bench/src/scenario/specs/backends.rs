@@ -132,5 +132,6 @@ pub fn backends(cfg: &RunConfig, opts: &BackendsOptions) -> ScenarioSpec {
                       virtual executor on the identical (bit-checked) batch; the tentpole \
                       target is ≥ 5x at n = 2^20."
             .into(),
+        reproduces: vec![],
     }
 }

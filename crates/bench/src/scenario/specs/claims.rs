@@ -3,7 +3,7 @@
 //! byte-for-byte against the pre-engine binaries.
 
 use crate::runner::RunConfig;
-use crate::scenario::{BatchSection, Column, RowSpec, ScenarioSpec, Section};
+use crate::scenario::{BatchSection, ClaimCheck, Column, RowSpec, ScenarioSpec, Section};
 use rr_analysis::stats::{norm_log2, norm_loglog_sq, per_n, upper_median};
 use rr_analysis::table::fnum;
 use rr_renaming::{spare, Lemma6Schedule, Lemma8Schedule, TightPlan};
@@ -51,6 +51,10 @@ pub fn theorem5(cfg: &RunConfig) -> ScenarioSpec {
         claim_check: "claim check: 'max/log2(n)' bounded by a constant as n grows; \
                       'unnamed' identically 0; 'space/n' bounded (O(n) space)."
             .into(),
+        reproduces: vec![ClaimCheck {
+            claim: "theorem5",
+            bound: "O(log n) steps w.h.p., O(n) space, m = n",
+        }],
     }
 }
 
@@ -104,6 +108,10 @@ pub fn lemma6(cfg: &RunConfig) -> ScenarioSpec {
                       bound) and 'steps max' ≤ 'step bound' (the schedule is the exact \
                       ceiling)."
             .into(),
+        reproduces: vec![ClaimCheck {
+            claim: "lemma6",
+            bound: "unnamed <= 2n/(loglog n)^l w.h.p., steps <= the exact schedule ceiling",
+        }],
     }
 }
 
@@ -150,6 +158,10 @@ pub fn lemma8(cfg: &RunConfig) -> ScenarioSpec {
                       'bound n/(ln)^l' (asymptotic bound; the structural floor \
                       n − capacity is part of it), 'steps max' ≤ 'step bound'."
             .into(),
+        reproduces: vec![ClaimCheck {
+            claim: "lemma8",
+            bound: "unnamed ~ n/(log n)^l + structural floor, steps <= 2l(loglog n)^2",
+        }],
     }
 }
 
@@ -211,6 +223,10 @@ pub fn cor7(cfg: &RunConfig) -> ScenarioSpec {
                       O((loglog)^2), see DESIGN.md); m/n → 1 as n or l grows \
                       ((1+o(1))·n name space)."
             .into(),
+        reproduces: vec![ClaimCheck {
+            claim: "cor7",
+            bound: "full renaming into m = n + 2n/(loglog n)^l names, poly-loglog steps",
+        }],
     }
 }
 
@@ -228,5 +244,9 @@ pub fn cor9(cfg: &RunConfig) -> ScenarioSpec {
         claim_check: "claim check: 'unnamed' identically 0; 'max/(lln)^2' bounded by \
                       a constant as n grows; m/n = 1 + 2/(log n)^l → 1 polynomially."
             .into(),
+        reproduces: vec![ClaimCheck {
+            claim: "cor9",
+            bound: "full renaming into m = n + 2n/(log n)^l names, O((loglog n)^2) steps",
+        }],
     }
 }

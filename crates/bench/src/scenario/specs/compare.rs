@@ -75,6 +75,7 @@ pub fn adversary(cfg: &RunConfig) -> ScenarioSpec {
                       — the protocols' bounds are adversary-robust, as proved; crashes \
                       never strand a surviving process ('survivors unnamed' = 0)."
             .into(),
+        reproduces: vec![],
     }
 }
 
@@ -165,6 +166,7 @@ pub fn baselines(cfg: &RunConfig) -> ScenarioSpec {
                       fetch-add = 1 step (ideal hardware); loose protocols bounded in \
                       (loglog n)^2 while uniform probing's max grows like log n."
             .into(),
+        reproduces: vec![],
     }
 }
 
@@ -220,6 +222,7 @@ pub fn deterministic_gap(cfg: &RunConfig) -> ScenarioSpec {
                       grow roughly linearly in n/log n — the exponential separation \
                       between deterministic and randomized renaming."
             .into(),
+        reproduces: vec![],
     }
 }
 
@@ -317,5 +320,6 @@ pub fn progress(cfg: &RunConfig) -> ScenarioSpec {
              uniform probing starts fastest but its last stragglers linger — \
              the distribution shapes behind the step-complexity tables."
         ),
+        reproduces: vec![],
     }
 }

@@ -302,6 +302,7 @@ pub fn explore(
                       diversity axis). Any violation would appear above as a COUNTEREXAMPLE \
                       with its minimal replayable tape."
             .into(),
+        reproduces: vec![],
     }
 }
 

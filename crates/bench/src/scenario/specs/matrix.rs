@@ -98,6 +98,7 @@ pub fn matrix(cfg: &RunConfig, opts: &MatrixOptions) -> ScenarioSpec {
                       almost-tight protocols and the crash schedules; 'crashed' > 0 \
                       only under crash."
             .into(),
+        reproduces: vec![],
     }
 }
 

@@ -5,7 +5,7 @@
 //! they measure lives below the batch runner's interface.
 
 use crate::runner::{run_batch, RunConfig, Schedule};
-use crate::scenario::{Emitter, ScenarioSpec, Section};
+use crate::scenario::{ClaimCheck, Emitter, Record, ScenarioSpec, Section, Value};
 use rand::rngs::ChaCha8Rng;
 use rand::{RngExt, SeedableRng};
 use rr_analysis::ballsbins::{expected_empty_bins, lemma3_bound, simulate_lemma3};
@@ -64,6 +64,22 @@ pub fn lemma3(cfg: &RunConfig) -> ScenarioSpec {
                     fprob(r.violation_rate()),
                     fprob(lemma3_bound(n, c)),
                 ]);
+                em.record(&Record {
+                    scenario: "E2".into(),
+                    section: String::new(),
+                    fields: vec![
+                        ("n".into(), Value::U64(n as u64)),
+                        ("c".into(), Value::U64(c)),
+                        ("balls".into(), Value::U64(balls)),
+                        ("bins".into(), Value::U64(bins)),
+                        ("trials".into(), Value::U64(trials)),
+                        ("mean_empty".into(), Value::F64(r.mean_empty)),
+                        ("max_empty".into(), Value::U64(r.max_empty)),
+                        ("threshold".into(), Value::U64(log_n)),
+                        ("viol_rate".into(), Value::F64(r.violation_rate())),
+                        ("viol_bound".into(), Value::F64(lemma3_bound(n, c))),
+                    ],
+                });
             }
         }
         em.text(table.to_string());
@@ -75,12 +91,17 @@ pub fn lemma3(cfg: &RunConfig) -> ScenarioSpec {
         claim_check: "claim check: for c ≥ 4 (= 2ℓ+2 at ℓ=1) the measured violation \
                       rate is 0 across all trials and the analytic bound is ≤ 1/n."
             .into(),
+        reproduces: vec![ClaimCheck {
+            claim: "lemma3",
+            bound: "<= log n empty bins with probability >= 1 - n^-l for c >= 2l+2",
+        }],
     }
 }
 
 fn lemma4_report(
     em: &mut Emitter<'_, '_>,
     algo: TightRenaming,
+    variant: &str,
     n: usize,
     seed: u64,
     max_rounds: usize,
@@ -130,6 +151,22 @@ fn lemma4_report(
             max.to_string(),
             format!("{full}/{regs}"),
         ]);
+        em.record(&Record {
+            scenario: "E3".into(),
+            section: String::new(),
+            fields: vec![
+                ("variant".into(), Value::Str(variant.to_string())),
+                ("n".into(), Value::U64(n as u64)),
+                ("round".into(), Value::U64(round as u64 + 1)),
+                ("registers".into(), Value::U64(regs as u64)),
+                ("req_min".into(), Value::U64(min)),
+                ("req_mean".into(), Value::F64(mean)),
+                ("req_max".into(), Value::U64(max)),
+                ("full".into(), Value::U64(full as u64)),
+                ("whp_target".into(), Value::U64(2 * c * l)),
+                ("expected".into(), Value::U64(4 * c * l)),
+            ],
+        });
     }
     em.text(table.to_string());
 }
@@ -141,11 +178,11 @@ fn lemma4_report(
 pub fn lemma4(cfg: &RunConfig) -> ScenarioSpec {
     let n = cfg.pick(1 << 14, 1 << 10);
     let body = Section::custom(move |em| {
-        lemma4_report(em, TightRenaming::calibrated(4), n, 0xE3, 10);
+        lemma4_report(em, TightRenaming::calibrated(4), "calibrated", n, 0xE3, 10);
         // The paper-exact variant funnels almost everyone through the final
         // sweep (the documented under-provisioning), which is Θ(n·n/log n)
         // total work — run it one size down so the table regenerates fast.
-        lemma4_report(em, TightRenaming::paper_exact(4), n.min(1 << 12), 0xE3, 10);
+        lemma4_report(em, TightRenaming::paper_exact(4), "paper-exact", n.min(1 << 12), 0xE3, 10);
     });
     ScenarioSpec {
         id: "E3",
@@ -156,6 +193,10 @@ pub fn lemma4(cfg: &RunConfig) -> ScenarioSpec {
                       saturation holds a fortiori, but most names are only reachable \
                       through the final-round sweep (DESIGN.md, gap 1)."
             .into(),
+        reproduces: vec![ClaimCheck {
+            claim: "lemma4",
+            bound: ">= 2c log n requests per register w.h.p. (4c log n in expectation)",
+        }],
     }
 }
 
@@ -256,6 +297,7 @@ pub fn tau(_cfg: &RunConfig) -> ScenarioSpec {
                       concurrency per cycle); threaded register admits exactly tau \
                       winners with distinct names."
             .into(),
+        reproduces: vec![],
     }
 }
 
@@ -321,6 +363,7 @@ pub fn adaptive(cfg: &RunConfig) -> ScenarioSpec {
              polyloglog (our simple transform; the paper notes the transform \
              yields no improvement over [8])."
         ),
+        reproduces: vec![],
     }
 }
 
@@ -383,6 +426,7 @@ pub fn longlived(cfg: &RunConfig) -> ScenarioSpec {
                       (1+e)/e for every ε and does not grow with the number of churn \
                       rounds — names recycle indefinitely (long-lived renaming)."
             .into(),
+        reproduces: vec![],
     }
 }
 
@@ -512,5 +556,6 @@ pub fn ablation(cfg: &RunConfig) -> ScenarioSpec {
                       sweep; the growing j+2 budgets are insurance for the w.h.p. tail, \
                       not the common case."
             .into(),
+        reproduces: vec![],
     }
 }

@@ -1,5 +1,5 @@
 //! The experiment catalogue: every `exp_*` binary as a declarative
-//! [`ScenarioSpec`](super::ScenarioSpec) constructor.
+//! [`ScenarioSpec`] constructor.
 //!
 //! | spec | binary | claim |
 //! |---|---|---|
@@ -22,7 +22,7 @@
 //! | [`backends`] | `exp_backends` | execution-backend shoot-out (virtual vs dense, timed) |
 //! | [`explore`] | `exp_explore` | schedule-space search: exhaustive DFS + fuzz, tape shrinking |
 //!
-//! Each constructor takes the [`RunConfig`](crate::runner::RunConfig)
+//! Each constructor takes the [`RunConfig`]
 //! and returns the spec with `--quick`-appropriate sweeps baked in; the
 //! engine's golden tests pin the rendered output of E1 and E7
 //! byte-for-byte against the pre-engine binaries.
@@ -40,3 +40,31 @@ pub use compare::{adversary, baselines, deterministic_gap, progress};
 pub use explore::{explore, ExploreOptions};
 pub use matrix::{matrix, MatrixOptions};
 pub use micro::{ablation, adaptive, lemma3, lemma4, longlived, tau};
+
+use super::ScenarioSpec;
+use crate::runner::RunConfig;
+
+/// Every fixed-shape experiment spec (E1–E15), built for `cfg` — the
+/// catalogue `exp_report` filters by [`ScenarioSpec::reproduces`] to
+/// find the claim-bearing tiers it must re-run. The option-driven
+/// scenarios (`matrix`, `backends`, `explore`) are not listed: they
+/// take extra CLI state and reproduce no numbered claim.
+pub fn catalogue(cfg: &RunConfig) -> Vec<ScenarioSpec> {
+    vec![
+        theorem5(cfg),
+        lemma3(cfg),
+        lemma4(cfg),
+        lemma6(cfg),
+        cor7(cfg),
+        lemma8(cfg),
+        cor9(cfg),
+        baselines(cfg),
+        adversary(cfg),
+        tau(cfg),
+        deterministic_gap(cfg),
+        adaptive(cfg),
+        longlived(cfg),
+        ablation(cfg),
+        progress(cfg),
+    ]
+}

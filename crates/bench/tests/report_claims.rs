@@ -1,0 +1,75 @@
+//! The `ClaimCheck` layer and the report crate's claim registry are one
+//! contract: every claim a spec declares must be evaluable by
+//! `rr-report`, every claim `rr-report` evaluates must be declared by
+//! exactly one spec, and the bound strings must agree verbatim — so the
+//! report can never silently drop or duplicate a paper claim.
+
+use rr_bench::runner::RunConfig;
+use rr_bench::scenario::specs::catalogue;
+use rr_bench::scenario::{ReportSink, Sink};
+use std::collections::BTreeMap;
+
+/// `claim id -> (scenario id, bound)` as declared by the specs.
+fn declared() -> BTreeMap<&'static str, (&'static str, &'static str)> {
+    let mut map = BTreeMap::new();
+    for spec in catalogue(&RunConfig::default()) {
+        for check in &spec.reproduces {
+            let prev = map.insert(check.claim, (spec.id, check.bound));
+            assert!(prev.is_none(), "claim {} declared by two specs", check.claim);
+        }
+    }
+    map
+}
+
+#[test]
+fn spec_metadata_and_report_registry_are_aligned() {
+    let declared = declared();
+    let evaluated = rr_report::evaluate_claims(&[]);
+    assert_eq!(
+        declared.keys().copied().collect::<Vec<_>>(),
+        {
+            let mut ids = rr_report::claim_ids();
+            ids.sort_unstable();
+            ids
+        },
+        "spec ClaimChecks and rr-report claims must name the same set"
+    );
+    for outcome in &evaluated {
+        let (scenario, bound) = declared[outcome.id];
+        assert_eq!(outcome.scenario, scenario, "claim {} scenario mismatch", outcome.id);
+        assert_eq!(outcome.bound, bound, "claim {} bound text drifted", outcome.id);
+    }
+}
+
+#[test]
+fn every_claim_spec_is_a_known_e_scenario() {
+    for (claim, (scenario, _)) in declared() {
+        assert!(scenario.starts_with('E'), "claim {claim} must come from an E-spec");
+    }
+    // The full catalogue shape: 15 fixed specs, 7 of them claim-bearing.
+    let specs = catalogue(&RunConfig::default());
+    assert_eq!(specs.len(), 15);
+    assert_eq!(specs.iter().filter(|s| !s.reproduces.is_empty()).count(), 7);
+}
+
+/// Driving one claim spec through a `ReportSink` yields records the
+/// report crate evaluates to a verdict — the end-to-end path of
+/// `exp_report` in miniature.
+#[test]
+fn report_sink_records_feed_a_claim_evaluation() {
+    let cfg = RunConfig { quick: true, ..RunConfig::default() };
+    let spec = catalogue(&cfg).into_iter().find(|s| s.id == "E2").expect("E2 in catalogue");
+    let mut sink = ReportSink::new();
+    {
+        let mut sinks: Vec<Box<dyn Sink + '_>> = vec![Box::new(&mut sink)];
+        rr_bench::scenario::run_spec(spec, &cfg, &mut sinks);
+        for s in &mut sinks {
+            s.finish().unwrap();
+        }
+    }
+    let recs: Vec<rr_report::Rec> =
+        sink.records().iter().map(rr_bench::scenario::Record::to_report_rec).collect();
+    assert!(!recs.is_empty(), "E2 must emit records for the report");
+    let lemma3 = rr_report::evaluate_claims(&recs).into_iter().find(|o| o.id == "lemma3").unwrap();
+    assert_eq!(lemma3.verdict, rr_report::Verdict::Pass, "{:#?}", lemma3.checks);
+}

@@ -23,6 +23,18 @@
 //!
 //! All protocols are [`rr_sched::Process`] state machines: run them under
 //! the adversarial virtual executor or on free-running threads.
+//!
+//! ```
+//! use rr_renaming::traits::RenamingAlgorithm;
+//! use rr_renaming::AlgorithmRegistry;
+//!
+//! let reg = AlgorithmRegistry::with_paper_algorithms();
+//! let algo = reg.build("cor9:l=1").unwrap();
+//! assert_eq!(algo.name(), "cor9(l=1)");
+//! // Corollary 9's name space is polynomially close to n.
+//! let (n, m) = (1024, algo.m(1024));
+//! assert!(m > n && m < n + n / 2, "m = {m}");
+//! ```
 
 pub mod aagw;
 pub mod adaptive;

@@ -1,0 +1,174 @@
+//! Cross-cutting checks that are not numbered paper claims but belong
+//! in the reproduction report: the registry-wide safety matrix
+//! (`BENCH_scenarios.json`) and the schedule-space search
+//! (`BENCH_explore.json`). They turn "we also ran everything else" into
+//! audited statements with verdicts.
+
+use crate::records::Rec;
+use rr_analysis::verdict::{overall, Check, Verdict};
+use std::collections::BTreeSet;
+
+/// One evaluated cross-check section.
+#[derive(Debug, Clone)]
+pub struct CrossOutcome {
+    /// Section heading.
+    pub heading: &'static str,
+    /// What this section establishes and where its records come from.
+    pub statement: &'static str,
+    /// Folded verdict over the checks.
+    pub verdict: Verdict,
+    /// The named checks.
+    pub checks: Vec<Check>,
+}
+
+/// Evaluates both cross-checks against `recs`.
+pub fn evaluate_cross(recs: &[Rec]) -> Vec<CrossOutcome> {
+    vec![matrix_safety(recs), schedule_space(recs)]
+}
+
+fn matrix_safety(recs: &[Rec]) -> CrossOutcome {
+    let rows: Vec<&Rec> =
+        recs.iter().filter(|r| r.scenario() == "MATRIX" && r.str("kind").is_none()).collect();
+    let mut checks = Vec::new();
+    if rows.is_empty() {
+        checks.push(Check::inconclusive(
+            "records present",
+            "no MATRIX records in the input set — include BENCH_scenarios.json",
+        ));
+    } else {
+        let algos: BTreeSet<&str> = rows.iter().filter_map(|r| r.str("algorithm")).collect();
+        let advs: BTreeSet<&str> = rows.iter().filter_map(|r| r.str("adversary")).collect();
+        checks.push(Check::pass(
+            "coverage",
+            format!(
+                "{} cells over {} algorithms × {} adversaries",
+                rows.len(),
+                algos.len(),
+                advs.len()
+            ),
+        ));
+        let violations: u64 = rows.iter().filter_map(|r| r.u64("violations")).sum();
+        checks.push(Check::new(
+            "renaming safety across the whole matrix",
+            format!("{violations} violations over all cells"),
+            violations == 0,
+        ));
+    }
+    CrossOutcome {
+        heading: "Cross-check — registry matrix safety",
+        statement: "Every registered algorithm under every stock adversary (the \
+                    `exp_matrix` snapshot): the renaming-safety audit must be clean in \
+                    every cell.",
+        verdict: overall(&checks),
+        checks,
+    }
+}
+
+fn schedule_space(recs: &[Rec]) -> CrossOutcome {
+    let rows: Vec<&Rec> =
+        recs.iter().filter(|r| r.scenario() == "EXPLORE" && r.str("kind").is_none()).collect();
+    let counterexamples = recs.iter().filter(|r| r.str("kind") == Some("counterexample")).count();
+    let mut checks = Vec::new();
+    if rows.is_empty() {
+        checks.push(Check::inconclusive(
+            "records present",
+            "no EXPLORE records in the input set — include BENCH_explore.json",
+        ));
+    } else {
+        let exhaustive: Vec<&&Rec> = rows.iter().filter(|r| r.get("exhausted").is_some()).collect();
+        let schedules: u64 = exhaustive.iter().filter_map(|r| r.u64("schedules")).sum();
+        let all_exhausted = exhaustive.iter().all(|r| r.u64("exhausted") == Some(1));
+        checks.push(Check::new(
+            "bounded schedule trees exhausted",
+            format!(
+                "{}/{} trees exhausted, {schedules} schedules executed",
+                exhaustive.iter().filter(|r| r.u64("exhausted") == Some(1)).count(),
+                exhaustive.len()
+            ),
+            all_exhausted,
+        ));
+        let worst = exhaustive
+            .iter()
+            .filter_map(|r| Some((r.u64("worst_steps")?, r.str("algorithm")?.to_string())))
+            .max();
+        if let Some((steps, algo)) = worst {
+            checks.push(Check::pass(
+                "worst case over all explored schedules",
+                format!("{steps} steps ({algo}) — stronger than any single stock adversary"),
+            ));
+        }
+        let violations: u64 = rows.iter().filter_map(|r| r.u64("violations")).sum();
+        checks.push(Check::new(
+            "no violations on any explored schedule",
+            format!("{violations} violations over all searched runs"),
+            violations == 0,
+        ));
+    }
+    checks.push(Check::new(
+        "no shrunk counterexample tapes",
+        format!("{counterexamples} kind:\"counterexample\" records"),
+        counterexamples == 0,
+    ));
+    CrossOutcome {
+        heading: "Cross-check — schedule-space search",
+        statement: "The paper quantifies over all schedules; the bounded exhaustive DFS \
+                    and fuzzing snapshot (`exp_explore`) must exhaust its trees with no \
+                    safety violation and no minimized counterexample tape.",
+        verdict: overall(&checks),
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::parse_records;
+
+    #[test]
+    fn missing_sections_are_inconclusive() {
+        let cross = evaluate_cross(&[]);
+        assert_eq!(cross.len(), 2);
+        assert_eq!(cross[0].verdict, Verdict::Inconclusive);
+        // No explore records at all still proves "no counterexamples",
+        // but the missing records keep the section inconclusive.
+        assert_eq!(cross[1].verdict, Verdict::Inconclusive);
+    }
+
+    #[test]
+    fn clean_matrix_and_explore_pass() {
+        let recs = parse_records(
+            r#"[
+{"scenario":"MATRIX","section":"","algorithm":"aagw","adversary":"fair","n":256,"violations":0},
+{"scenario":"MATRIX","section":"","algorithm":"cor9","adversary":"stall","n":256,"violations":0},
+{"scenario":"EXPLORE","section":"exhaustive","algorithm":"aagw","adversary":"explore","n":4,"schedules":96,"exhausted":1,"worst_steps":4,"violations":0}
+]"#,
+        )
+        .unwrap();
+        let cross = evaluate_cross(&recs);
+        assert_eq!(cross[0].verdict, Verdict::Pass, "{:#?}", cross[0].checks);
+        assert_eq!(cross[1].verdict, Verdict::Pass, "{:#?}", cross[1].checks);
+        assert!(cross[0].checks[0].detail.contains("2 cells over 2 algorithms"));
+    }
+
+    #[test]
+    fn counterexample_record_fails_the_search_section() {
+        let recs = parse_records(
+            r#"[
+{"scenario":"EXPLORE","section":"exhaustive","algorithm":"aagw","adversary":"explore","n":4,"schedules":96,"exhausted":1,"worst_steps":4,"violations":0},
+{"scenario":"EXPLORE","section":"exhaustive","kind":"counterexample","algorithm":"aagw","tape":"g0 g1"}
+]"#,
+        )
+        .unwrap();
+        let cross = evaluate_cross(&recs);
+        assert_eq!(cross[1].verdict, Verdict::Fail);
+    }
+
+    #[test]
+    fn matrix_violation_fails() {
+        let recs = parse_records(
+            r#"[{"scenario":"MATRIX","section":"","algorithm":"aagw","adversary":"fair","n":256,"violations":1}]"#,
+        )
+        .unwrap();
+        assert_eq!(evaluate_cross(&recs)[0].verdict, Verdict::Fail);
+    }
+}

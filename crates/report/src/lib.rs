@@ -1,0 +1,107 @@
+//! # rr-report — the reproduction report subsystem
+//!
+//! Closes the loop back to the paper: consumes the scenario engine's
+//! record streams (`BENCH_*.json` files or in-memory records from a
+//! `ReportSink`), evaluates every numbered claim — Lemmas 3/4/6/8,
+//! Theorem 5, Corollaries 7/9 — against the bound it states, and
+//! renders a deterministic `REPRODUCTION.md` with a PASS / FAIL /
+//! INCONCLUSIVE verdict, the fitted scaling curve, and a hand-rolled
+//! inline SVG chart per claim.
+//!
+//! The pipeline is pure: [`records`] parses the `JsonSink` format back,
+//! [`claims`] + [`cross`] compute verdicts (re-deriving predicted
+//! bounds from `rr-renaming`'s committed parameterizations and the
+//! Chernoff machinery in `rr-analysis`), [`svg`] draws, [`render`]
+//! emits markdown. No timestamps, no wall-clock fields — the report is
+//! a function of its inputs, so CI pins it byte-for-byte.
+//!
+//! ```
+//! use rr_report::{generate, records::parse_records};
+//!
+//! let recs = parse_records(
+//!     r#"[
+//! {"scenario":"E1","section":"","algorithm":"tight-tau:c=4","n":256,"seeds":5,
+//!  "steps_p50":50,"steps_max":50,"unnamed_max":0,"violations":0},
+//! {"scenario":"E1","section":"","algorithm":"tight-tau:c=4","n":1024,"seeds":5,
+//!  "steps_p50":57,"steps_max":57,"unnamed_max":0,"violations":0}
+//! ]"#,
+//! )
+//! .unwrap();
+//! let report = generate(&recs, vec!["inline".into()]);
+//! let theorem5 = report.claims.iter().find(|c| c.id == "theorem5").unwrap();
+//! assert_eq!(theorem5.verdict.label(), "PASS");
+//! assert!(report.to_markdown().contains("# Reproduction report"));
+//! ```
+
+pub mod claims;
+pub mod cross;
+pub mod records;
+pub mod render;
+pub mod svg;
+
+pub use claims::{claim_ids, evaluate_claims, ClaimOutcome};
+pub use cross::{evaluate_cross, CrossOutcome};
+pub use records::{parse_records, Rec};
+pub use render::slugify;
+pub use rr_analysis::verdict::Verdict;
+
+/// The fully evaluated report: every paper claim plus the cross-checks.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Numbered paper claims, in paper order.
+    pub claims: Vec<ClaimOutcome>,
+    /// Matrix-safety and schedule-space cross-checks.
+    pub cross: Vec<CrossOutcome>,
+    /// Display names of the record inputs (file names or `"in-memory"`).
+    pub inputs: Vec<String>,
+}
+
+/// Evaluates all claims and cross-checks over `recs`.
+pub fn generate(recs: &[Rec], inputs: Vec<String>) -> Report {
+    Report { claims: evaluate_claims(recs), cross: evaluate_cross(recs), inputs }
+}
+
+impl Report {
+    /// Renders the deterministic markdown (the `REPRODUCTION.md` body).
+    pub fn to_markdown(&self) -> String {
+        render::to_markdown(self)
+    }
+
+    /// The worst verdict across claims and cross-checks — `Fail` is the
+    /// CI gate (`exp_report` exits non-zero on it).
+    pub fn worst_verdict(&self) -> Verdict {
+        self.claims
+            .iter()
+            .map(|c| c.verdict)
+            .chain(self.cross.iter().map(|c| c.verdict))
+            .fold(Verdict::Pass, Verdict::worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_all_inconclusive_never_fail() {
+        let report = generate(&[], vec![]);
+        assert_eq!(report.claims.len(), 7);
+        assert_eq!(report.cross.len(), 2);
+        assert_eq!(report.worst_verdict(), Verdict::Inconclusive);
+    }
+
+    #[test]
+    fn worst_verdict_is_the_ci_gate() {
+        let mut report = generate(&[], vec![]);
+        report.claims[0].verdict = Verdict::Pass;
+        assert_eq!(report.worst_verdict(), Verdict::Inconclusive);
+        report.cross[1].verdict = Verdict::Fail;
+        assert_eq!(report.worst_verdict(), Verdict::Fail);
+    }
+
+    #[test]
+    fn markdown_is_deterministic() {
+        let report = generate(&[], vec!["a.json".into()]);
+        assert_eq!(report.to_markdown(), report.to_markdown());
+    }
+}

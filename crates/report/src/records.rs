@@ -1,0 +1,347 @@
+//! Reading experiment records back: the exact inverse of the scenario
+//! engine's hand-rolled `JsonSink` writer (`BENCH_*.json` files) — an
+//! array of flat objects whose values are strings, numbers or `null`.
+//!
+//! No serde in the container, so this is a small recursive-descent
+//! parser for precisely that subset. Nested arrays/objects are rejected:
+//! a record stream is flat by construction, and a loud error beats a
+//! silently dropped measurement.
+
+use std::fmt;
+
+/// One parsed field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Non-negative integer without fraction or exponent.
+    U64(u64),
+    /// Any other finite number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// `null` (the sink writes non-finite floats as `null`).
+    Null,
+}
+
+impl Value {
+    /// The value as `u64` (also accepts an integral `F64`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::F64(v) if v.fract() == 0.0 && *v >= 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(s) => f.write_str(s),
+            Value::Null => f.write_str("null"),
+        }
+    }
+}
+
+/// One record: ordered `(name, value)` fields, with the sink's leading
+/// `scenario`/`section` fields accessible like any other.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rec {
+    /// Fields in file order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Rec {
+    /// The field named `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Integer field accessor.
+    pub fn u64(&self, name: &str) -> Option<u64> {
+        self.get(name).and_then(Value::as_u64)
+    }
+
+    /// Float field accessor.
+    pub fn f64(&self, name: &str) -> Option<f64> {
+        self.get(name).and_then(Value::as_f64)
+    }
+
+    /// String field accessor.
+    pub fn str(&self, name: &str) -> Option<&str> {
+        self.get(name).and_then(Value::as_str)
+    }
+
+    /// The record's scenario id (`"E1"`, `"MATRIX"`, …).
+    pub fn scenario(&self) -> &str {
+        self.str("scenario").unwrap_or("")
+    }
+
+    /// Whether this is a wall-clock record (`kind` field present, e.g.
+    /// `"throughput"`) — the report generator skips these: they are
+    /// measurements of the machine, not of the algorithm.
+    pub fn is_wall_clock(&self) -> bool {
+        self.str("kind") == Some("throughput")
+    }
+}
+
+/// Parses a `JsonSink` file: a JSON array of flat objects.
+///
+/// # Errors
+/// Returns a message with a byte offset on any deviation from the
+/// record-stream subset (nested values, trailing garbage, bad escapes).
+pub fn parse_records(input: &str) -> Result<Vec<Rec>, String> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'[')?;
+    let mut recs = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b']') {
+        p.pos += 1;
+    } else {
+        loop {
+            recs.push(p.object()?);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => p.skip_ws(),
+                Some(b']') => break,
+                other => return Err(p.err(format!("expected `,` or `]`, got {other:?}"))),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing input after the record array".into()));
+    }
+    Ok(recs)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: String) -> String {
+        format!("record parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(self.err(format!("expected `{}`, got {other:?}", want as char))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Rec, String> {
+        self.skip_ws();
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Rec { fields });
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.next() {
+                Some(b',') => {}
+                Some(b'}') => break,
+                other => return Err(self.err(format!("expected `,` or `}}`, got {other:?}"))),
+            }
+        }
+        Ok(Rec { fields })
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'n') => {
+                self.literal("null")?;
+                Ok(Value::Null)
+            }
+            Some(b'0'..=b'9' | b'-') => self.number(),
+            Some(b'[' | b'{') => Err(self.err("nested values are not record fields".into())),
+            other => Err(self.err(format!("expected a value, got {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        if !text.contains(['.', 'e', 'E', '-']) {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.err(format!("bad number literal `{text}`")))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err(self.err("unterminated string".into())),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        if self.pos + 4 > self.bytes.len() {
+                            return Err(self.err("truncated \\u escape".into()));
+                        }
+                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            .map_err(|_| self.err("non-ascii \\u escape".into()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| self.err(format!("bad \\u escape `{hex}`")))?;
+                        self.pos += 4;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| self.err(format!("invalid codepoint {code}")))?,
+                        );
+                    }
+                    other => return Err(self.err(format!("bad escape {other:?}"))),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos - 1..])
+                        .map_err(|_| self.err("invalid utf8".into()))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8() - 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"[
+{"scenario":"E1","section":"","n":1024,"ratio":3.5,"bad":null,"name":"tight-tau:c=4"},
+{"scenario":"E2","section":"s","viol_rate":0.006,"big":18446744073709551615}
+]
+"#;
+
+    #[test]
+    fn round_trips_the_sink_format() {
+        let recs = parse_records(SAMPLE).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].scenario(), "E1");
+        assert_eq!(recs[0].u64("n"), Some(1024));
+        assert_eq!(recs[0].f64("ratio"), Some(3.5));
+        assert_eq!(recs[0].get("bad"), Some(&Value::Null));
+        assert_eq!(recs[0].str("name"), Some("tight-tau:c=4"));
+        assert_eq!(recs[1].f64("viol_rate"), Some(0.006));
+        assert_eq!(recs[1].u64("big"), Some(u64::MAX));
+        assert!(!recs[0].is_wall_clock());
+    }
+
+    #[test]
+    fn wall_clock_records_are_flagged() {
+        let recs =
+            parse_records(r#"[{"scenario":"E1","kind":"throughput","wall_ms":1.5}]"#).unwrap();
+        assert!(recs[0].is_wall_clock());
+    }
+
+    #[test]
+    fn empty_array_and_escapes() {
+        assert!(parse_records("[]\n").unwrap().is_empty());
+        let recs = parse_records(r#"[{"a":"x\"y\\z\nw","u":"é"}]"#).unwrap();
+        assert_eq!(recs[0].str("a"), Some("x\"y\\z\nw"));
+        assert_eq!(recs[0].str("u"), Some("é"));
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let recs = parse_records("[{\"s\":\"τ-register ≤ bound\"}]").unwrap();
+        assert_eq!(recs[0].str("s"), Some("τ-register ≤ bound"));
+    }
+
+    #[test]
+    fn negative_and_exponent_numbers_are_floats() {
+        let recs = parse_records(r#"[{"a":-3,"b":1e3,"c":2.5}]"#).unwrap();
+        assert_eq!(recs[0].f64("a"), Some(-3.0));
+        assert_eq!(recs[0].f64("b"), Some(1000.0));
+        assert_eq!(recs[0].u64("b"), Some(1000), "integral float converts");
+        assert_eq!(recs[0].u64("c"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_records("").is_err());
+        assert!(parse_records("[{").is_err());
+        assert!(parse_records(r#"[{"a":[1]}]"#).is_err(), "nested array");
+        assert!(parse_records(r#"[{"a":{}}]"#).is_err(), "nested object");
+        assert!(parse_records(r#"[{"a":1}] extra"#).is_err(), "trailing garbage");
+        assert!(parse_records(r#"[{"a":tru}]"#).is_err());
+        let err = parse_records(r#"[{"a":}]"#).unwrap_err();
+        assert!(err.contains("byte"), "{err}");
+    }
+}

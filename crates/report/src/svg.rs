@@ -1,0 +1,392 @@
+//! Hand-rolled inline SVG charts for the reproduction report — no
+//! dependencies, no scripts, fully deterministic output (every
+//! coordinate is formatted to a fixed precision), so the generated
+//! `REPRODUCTION.md` can be byte-pinned by a golden test.
+//!
+//! Design rules (from the data-viz method this repo follows): at most
+//! three categorical series per chart, hues assigned in fixed validated
+//! order; measured data is solid line + markers and the predicted bound
+//! is a dashed curve in the *same* hue (color follows the ℓ-series
+//! entity, line style carries measured-vs-bound); recessive grid; an
+//! explicit light surface so the chart stays readable on dark viewers;
+//! the markdown data table next to each chart is the table view.
+
+use std::fmt::Write as _;
+
+/// Categorical palette, fixed assignment order (validated light-mode
+/// slots: blue, orange, aqua).
+const PALETTE: [&str; 3] = ["#2a78d6", "#eb6834", "#1baf7a"];
+const SURFACE: &str = "#fcfcfb";
+const INK: &str = "#0b0b0b";
+const INK_SOFT: &str = "#52514e";
+const GRID: &str = "#e4e3df";
+const AXIS: &str = "#b9b8b2";
+
+/// One measured series plus its optional predicted-bound curve.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label for the measured points (`"ℓ = 1"`, `"steps max"`).
+    pub label: String,
+    /// Measured `(x, y)` points, drawn as a solid line with markers.
+    pub points: Vec<(f64, f64)>,
+    /// Predicted bound: legend label and curve points, drawn dashed in
+    /// the series hue.
+    pub bound: Option<(String, Vec<(f64, f64)>)>,
+}
+
+/// A complete chart description; [`Chart::render`] emits the SVG.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Chart title (top left).
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// y-axis label (rendered horizontally above the axis).
+    pub y_label: String,
+    /// Plot x on a log₂ scale (the `n` sweeps); ticks still show the
+    /// raw values.
+    pub log_x: bool,
+    /// The series — at most three (the validated palette cap).
+    pub series: Vec<Series>,
+}
+
+const W: f64 = 640.0;
+const H: f64 = 320.0;
+const ML: f64 = 64.0; // left margin (y tick labels)
+const MR: f64 = 168.0; // right margin (legend)
+const MT: f64 = 40.0;
+const MB: f64 = 48.0;
+
+fn fmt_coord(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Tick label: integers plain, everything else with two decimals.
+fn fmt_tick(v: f64) -> String {
+    if v == v.round() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Largest "nice" step (1/2/5 × 10^k) giving at most 5 intervals.
+fn nice_step(span: f64) -> f64 {
+    let raw = span / 5.0;
+    let mag = 10f64.powf(raw.log10().floor());
+    for m in [1.0, 2.0, 5.0, 10.0] {
+        if raw <= m * mag {
+            return m * mag;
+        }
+    }
+    10.0 * mag
+}
+
+impl Chart {
+    fn tx(&self, x: f64) -> f64 {
+        if self.log_x {
+            x.max(1.0).log2()
+        } else {
+            x
+        }
+    }
+
+    /// Renders the chart as a self-contained `<svg>` element (single
+    /// trailing newline, no blank lines — safe to embed in markdown).
+    ///
+    /// # Panics
+    /// Panics when more than three series are supplied (the validated
+    /// palette caps categorical series; fold or facet instead) or when
+    /// no series has any point.
+    pub fn render(&self) -> String {
+        assert!(
+            self.series.len() <= PALETTE.len(),
+            "at most {} series per chart (fold or facet)",
+            PALETTE.len()
+        );
+        let all_xy = |f: &mut dyn FnMut(f64, f64)| {
+            for s in &self.series {
+                for &(x, y) in &s.points {
+                    f(x, y);
+                }
+                if let Some((_, pts)) = &s.bound {
+                    for &(x, y) in pts {
+                        f(x, y);
+                    }
+                }
+            }
+        };
+        let (mut xmin, mut xmax, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        all_xy(&mut |x, y| {
+            let tx = self.tx(x);
+            xmin = xmin.min(tx);
+            xmax = xmax.max(tx);
+            ymax = ymax.max(y);
+        });
+        assert!(xmin.is_finite(), "chart `{}` has no points", self.title);
+        if xmax - xmin < 1e-9 {
+            xmin -= 0.5;
+            xmax += 0.5;
+        }
+        let ymax = if ymax <= 0.0 { 1.0 } else { ymax * 1.08 };
+        let pw = W - ML - MR;
+        let ph = H - MT - MB;
+        let px = |x: f64| ML + (self.tx(x) - xmin) / (xmax - xmin) * pw;
+        let py = |y: f64| MT + ph - (y / ymax) * ph;
+
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {W} {H}\" width=\"{W}\" \
+             height=\"{H}\" role=\"img\" aria-label=\"{}\" \
+             font-family=\"system-ui, sans-serif\">",
+            esc(&self.title)
+        );
+        let _ = writeln!(s, "<rect width=\"{W}\" height=\"{H}\" rx=\"6\" fill=\"{SURFACE}\"/>");
+        let _ = writeln!(
+            s,
+            "<text x=\"{ML}\" y=\"22\" font-size=\"13\" font-weight=\"600\" fill=\"{INK}\">{}\
+             </text>",
+            esc(&self.title)
+        );
+
+        // Horizontal grid + y ticks.
+        let step = nice_step(ymax);
+        let mut yt = 0.0;
+        while yt <= ymax + 1e-9 {
+            let y = py(yt);
+            let _ = writeln!(
+                s,
+                "<line x1=\"{ML}\" y1=\"{0}\" x2=\"{1}\" y2=\"{0}\" stroke=\"{GRID}\" \
+                 stroke-width=\"1\"/>",
+                fmt_coord(y),
+                fmt_coord(W - MR),
+            );
+            let _ = writeln!(
+                s,
+                "<text x=\"{0}\" y=\"{1}\" font-size=\"10\" fill=\"{INK_SOFT}\" \
+                 text-anchor=\"end\">{2}</text>",
+                fmt_coord(ML - 8.0),
+                fmt_coord(y + 3.5),
+                fmt_tick(yt)
+            );
+            yt += step;
+        }
+        // x ticks: every distinct measured x, thinned to at most 8.
+        let mut xs: Vec<f64> = Vec::new();
+        for series in &self.series {
+            for &(x, _) in &series.points {
+                if !xs.iter().any(|&v| (v - x).abs() < 1e-9) {
+                    xs.push(x);
+                }
+            }
+        }
+        xs.sort_by(f64::total_cmp);
+        let keep_every = xs.len().div_ceil(8).max(1);
+        for (i, &x) in xs.iter().enumerate() {
+            if i % keep_every != 0 && i + 1 != xs.len() {
+                continue;
+            }
+            let xpx = px(x);
+            let _ = writeln!(
+                s,
+                "<line x1=\"{0}\" y1=\"{1}\" x2=\"{0}\" y2=\"{2}\" stroke=\"{AXIS}\" \
+                 stroke-width=\"1\"/>",
+                fmt_coord(xpx),
+                fmt_coord(MT + ph),
+                fmt_coord(MT + ph + 4.0),
+            );
+            let _ = writeln!(
+                s,
+                "<text x=\"{0}\" y=\"{1}\" font-size=\"10\" fill=\"{INK_SOFT}\" \
+                 text-anchor=\"middle\">{2}</text>",
+                fmt_coord(xpx),
+                fmt_coord(MT + ph + 16.0),
+                fmt_tick(x)
+            );
+        }
+        // Axes.
+        let _ = writeln!(
+            s,
+            "<line x1=\"{ML}\" y1=\"{0}\" x2=\"{1}\" y2=\"{0}\" stroke=\"{AXIS}\" \
+             stroke-width=\"1\"/>",
+            fmt_coord(MT + ph),
+            fmt_coord(W - MR),
+        );
+        let _ = writeln!(
+            s,
+            "<text x=\"{0}\" y=\"{1}\" font-size=\"11\" fill=\"{INK_SOFT}\" \
+             text-anchor=\"middle\">{2}</text>",
+            fmt_coord(ML + pw / 2.0),
+            fmt_coord(H - 12.0),
+            esc(&self.x_label)
+        );
+        let _ = writeln!(
+            s,
+            "<text x=\"{0}\" y=\"{1}\" font-size=\"11\" fill=\"{INK_SOFT}\">{2}</text>",
+            fmt_coord(8.0),
+            fmt_coord(MT - 10.0),
+            esc(&self.y_label)
+        );
+
+        // Series: bound (dashed, under) then measured (solid + markers).
+        for (i, series) in self.series.iter().enumerate() {
+            let color = PALETTE[i];
+            if let Some((_, pts)) = &series.bound {
+                let _ = writeln!(
+                    s,
+                    "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"2\" \
+                     stroke-dasharray=\"6 4\" opacity=\"0.75\" points=\"{}\"/>",
+                    poly(pts, &px, &py)
+                );
+            }
+            if series.points.len() > 1 {
+                let _ = writeln!(
+                    s,
+                    "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"2\" \
+                     points=\"{}\"/>",
+                    poly(&series.points, &px, &py)
+                );
+            }
+            for &(x, y) in &series.points {
+                let _ = writeln!(
+                    s,
+                    "<circle cx=\"{}\" cy=\"{}\" r=\"3.5\" fill=\"{color}\" \
+                     stroke=\"{SURFACE}\" stroke-width=\"2\"/>",
+                    fmt_coord(px(x)),
+                    fmt_coord(py(y)),
+                );
+            }
+        }
+
+        // Legend (always present — every chart here has a bound or ≥ 2
+        // entries to distinguish).
+        let lx = W - MR + 14.0;
+        let mut ly = MT + 6.0;
+        for (i, series) in self.series.iter().enumerate() {
+            let color = PALETTE[i];
+            let _ = writeln!(
+                s,
+                "<line x1=\"{0}\" y1=\"{1}\" x2=\"{2}\" y2=\"{1}\" stroke=\"{color}\" \
+                 stroke-width=\"2\"/><circle cx=\"{3}\" cy=\"{1}\" r=\"3\" fill=\"{color}\"/>",
+                fmt_coord(lx),
+                fmt_coord(ly),
+                fmt_coord(lx + 22.0),
+                fmt_coord(lx + 11.0),
+            );
+            let _ = writeln!(
+                s,
+                "<text x=\"{0}\" y=\"{1}\" font-size=\"11\" fill=\"{INK}\">{2}</text>",
+                fmt_coord(lx + 28.0),
+                fmt_coord(ly + 3.5),
+                esc(&series.label)
+            );
+            ly += 16.0;
+            if let Some((blabel, _)) = &series.bound {
+                let _ = writeln!(
+                    s,
+                    "<line x1=\"{0}\" y1=\"{1}\" x2=\"{2}\" y2=\"{1}\" stroke=\"{color}\" \
+                     stroke-width=\"2\" stroke-dasharray=\"6 4\" opacity=\"0.75\"/>",
+                    fmt_coord(lx),
+                    fmt_coord(ly),
+                    fmt_coord(lx + 22.0),
+                );
+                let _ = writeln!(
+                    s,
+                    "<text x=\"{0}\" y=\"{1}\" font-size=\"11\" fill=\"{INK_SOFT}\">{2}</text>",
+                    fmt_coord(lx + 28.0),
+                    fmt_coord(ly + 3.5),
+                    esc(blabel)
+                );
+                ly += 16.0;
+            }
+        }
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+fn poly(pts: &[(f64, f64)], px: &dyn Fn(f64) -> f64, py: &dyn Fn(f64) -> f64) -> String {
+    let mut sorted: Vec<(f64, f64)> = pts.to_vec();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    sorted
+        .iter()
+        .map(|&(x, y)| format!("{},{}", fmt_coord(px(x)), fmt_coord(py(y))))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Chart {
+        Chart {
+            title: "steps vs n".into(),
+            x_label: "n".into(),
+            y_label: "steps".into(),
+            log_x: true,
+            series: vec![Series {
+                label: "measured".into(),
+                points: vec![(256.0, 50.0), (1024.0, 57.0)],
+                bound: Some(("8 log2 n".into(), vec![(256.0, 64.0), (1024.0, 80.0)])),
+            }],
+        }
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = demo().render();
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(!svg.contains("\n\n"), "blank lines would break the markdown HTML block");
+        assert_eq!(svg.matches("<circle").count(), 2 + 1, "2 markers + legend swatch");
+        assert!(svg.contains("stroke-dasharray"), "bound curve is dashed");
+        assert!(svg.contains("256") && svg.contains("1024"), "raw n tick labels");
+        assert!(svg.contains("8 log2 n"));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(demo().render(), demo().render());
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let mut c = demo();
+        c.title = "a < b & \"c\"".into();
+        let svg = c.render();
+        assert!(svg.contains("a &lt; b &amp; &quot;c&quot;"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn more_than_three_series_panics() {
+        let mut c = demo();
+        let s = c.series[0].clone();
+        c.series = vec![s.clone(), s.clone(), s.clone(), s];
+        c.render();
+    }
+
+    #[test]
+    #[should_panic(expected = "no points")]
+    fn empty_chart_panics() {
+        let mut c = demo();
+        c.series[0].points.clear();
+        c.series[0].bound = None;
+        c.render();
+    }
+
+    #[test]
+    fn nice_steps_are_1_2_5() {
+        assert_eq!(nice_step(10.0), 2.0);
+        assert_eq!(nice_step(100.0), 20.0);
+        assert_eq!(nice_step(7.0), 2.0);
+        assert_eq!(nice_step(0.5), 0.1);
+        assert_eq!(nice_step(2500.0), 500.0);
+    }
+}

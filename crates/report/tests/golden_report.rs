@@ -1,0 +1,104 @@
+//! Golden pin of the committed `REPRODUCTION.md`: regenerating the
+//! report from the committed record snapshots must reproduce it
+//! byte-for-byte, with every claim verdict exactly as committed. The
+//! wall-clock (`kind:"throughput"`) records in the snapshots are
+//! ignored by construction — asserted here by stripping them and
+//! re-generating.
+
+use rr_report::{generate, parse_records, Rec, Verdict};
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// The committed snapshot set, in the canonical `exp_report` order.
+const INPUTS: [&str; 3] = ["BENCH_report.json", "BENCH_scenarios.json", "BENCH_explore.json"];
+
+fn committed_records() -> Vec<Rec> {
+    let mut recs = Vec::new();
+    for name in INPUTS {
+        let body = std::fs::read_to_string(repo_root().join(name))
+            .unwrap_or_else(|e| panic!("committed snapshot {name} must exist: {e}"));
+        recs.extend(parse_records(&body).unwrap_or_else(|e| panic!("{name}: {e}")));
+    }
+    recs
+}
+
+fn committed_report() -> String {
+    std::fs::read_to_string(repo_root().join("REPRODUCTION.md"))
+        .expect("committed REPRODUCTION.md must exist")
+}
+
+#[test]
+fn regenerated_report_is_byte_identical_to_committed() {
+    let report = generate(&committed_records(), INPUTS.iter().map(|s| s.to_string()).collect());
+    let fresh = report.to_markdown();
+    let committed = committed_report();
+    if fresh != committed {
+        let diff_at = fresh
+            .lines()
+            .zip(committed.lines())
+            .position(|(a, b)| a != b)
+            .map_or("length".to_string(), |i| format!("line {}", i + 1));
+        panic!(
+            "REPRODUCTION.md drifted from the committed snapshots (first difference: \
+             {diff_at}).\nRegenerate with:\n  cargo run --release -p rr-bench --bin \
+             exp_report -- --ingest --from {} --out REPRODUCTION.md",
+            INPUTS.join(",")
+        );
+    }
+}
+
+#[test]
+fn committed_verdicts_are_exactly_pass() {
+    let report = generate(&committed_records(), INPUTS.iter().map(|s| s.to_string()).collect());
+    for claim in &report.claims {
+        assert_eq!(
+            claim.verdict,
+            Verdict::Pass,
+            "claim {} must PASS on the committed snapshots: {:#?}",
+            claim.id,
+            claim.checks
+        );
+        assert!(claim.chart.is_some(), "claim {} must render a chart", claim.id);
+    }
+    for cross in &report.cross {
+        assert_eq!(cross.verdict, Verdict::Pass, "{}: {:#?}", cross.heading, cross.checks);
+    }
+    assert_eq!(report.worst_verdict(), Verdict::Pass);
+}
+
+#[test]
+fn wall_clock_records_are_masked_out_of_the_report() {
+    let all = committed_records();
+    let stripped: Vec<Rec> =
+        all.iter().filter(|r| r.str("kind") != Some("throughput")).cloned().collect();
+    assert!(stripped.len() < all.len(), "snapshots should contain throughput records to mask");
+    let inputs: Vec<String> = INPUTS.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        generate(&all, inputs.clone()).to_markdown(),
+        generate(&stripped, inputs).to_markdown(),
+        "wall-clock records must not influence a single report byte"
+    );
+}
+
+#[test]
+fn generation_is_deterministic() {
+    let recs = committed_records();
+    let inputs: Vec<String> = INPUTS.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        generate(&recs, inputs.clone()).to_markdown(),
+        generate(&recs, inputs).to_markdown()
+    );
+}
+
+#[test]
+fn committed_report_has_a_chart_and_verdict_per_claim_section() {
+    let committed = committed_report();
+    assert_eq!(committed.matches("<svg ").count(), 7, "one chart per paper claim");
+    // 7 claims + 2 cross-checks in the summary table, all PASS.
+    assert_eq!(committed.matches("| **PASS** |").count(), 9);
+    assert_eq!(committed.matches("**Verdict: PASS**").count(), 9);
+    assert!(!committed.contains("**Verdict: FAIL**"));
+}

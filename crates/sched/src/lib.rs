@@ -27,6 +27,17 @@
 //! can build any of them from a string key (`"fair"`,
 //! `"crash:p=20,cap=10"`, `"explore:depth=6"`, …) instead of re-matching
 //! enums.
+//!
+//! ```
+//! use rr_sched::adversary::Adversary;
+//! use rr_sched::registry::{standard, ParsedKey};
+//!
+//! // Every adversary builds from a string key through one registry.
+//! let key = ParsedKey::parse("crash:p=200,cap=25").unwrap();
+//! assert_eq!(key.name, "crash");
+//! let adversary = standard().build("crash:p=200,cap=25", 16, 7).unwrap();
+//! assert!(!adversary.name().is_empty());
+//! ```
 
 pub mod adversary;
 pub mod dense;

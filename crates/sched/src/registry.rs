@@ -31,6 +31,29 @@ pub struct ParsedKey {
 impl ParsedKey {
     /// Parses `name[:k=v[,k=v…]]`.
     ///
+    /// The full grammar, executable:
+    ///
+    /// ```
+    /// use rr_sched::registry::ParsedKey;
+    ///
+    /// // name alone, or name + comma-separated k=v parameters:
+    /// assert_eq!(ParsedKey::parse("fair").unwrap().name, "fair");
+    /// let key = ParsedKey::parse("crash:p=200,cap=25").unwrap();
+    /// assert_eq!(key.name, "crash");
+    /// assert_eq!(key.get::<u32>("p", 20).unwrap(), 200);
+    /// assert_eq!(key.get::<u32>("missing", 7).unwrap(), 7); // default
+    ///
+    /// // factories reject typo'd parameters instead of defaulting:
+    /// key.check_known(&["p", "cap"]).unwrap();
+    /// assert!(key.check_known(&["p"]).is_err());
+    ///
+    /// // malformed keys are loud errors, not guesses:
+    /// assert!(ParsedKey::parse("").is_err());        // empty key
+    /// assert!(ParsedKey::parse(":p=1").is_err());    // empty name
+    /// assert!(ParsedKey::parse("crash:p").is_err()); // not k=v
+    /// assert!(ParsedKey::parse("crash:p=x").unwrap().get::<u32>("p", 0).is_err());
+    /// ```
+    ///
     /// # Errors
     /// Returns a human-readable message on an empty key or a parameter
     /// that is not of the form `k=v`.
@@ -125,6 +148,25 @@ impl AdversaryRegistry {
     /// 250; `rounds` = corpus capacity, default 64). The searchers keep
     /// state across the seeds of one prepared builder — see
     /// [`crate::explore`] for their serial exactly-once guarantee.
+    ///
+    /// The searcher keys, end to end:
+    ///
+    /// ```
+    /// use rr_sched::adversary::Adversary;
+    /// use rr_sched::registry::AdversaryRegistry;
+    ///
+    /// let reg = AdversaryRegistry::with_standard();
+    /// // Bounded exhaustive DFS with a crash budget, and the
+    /// // coverage-guided schedule fuzzer — ordinary registry keys:
+    /// let dfs = reg.build("explore:depth=3,crashes=1", 4, 0).unwrap();
+    /// let fuzzer = reg.build("fuzz:rounds=8,strength=500", 8, 1).unwrap();
+    /// assert!(!dfs.name().is_empty() && !fuzzer.name().is_empty());
+    ///
+    /// // Parameters are validated at build time:
+    /// assert!(reg.build("explore:depth=0", 4, 0).is_err());
+    /// assert!(reg.build("fuzz:strength=1500", 4, 0).is_err());
+    /// assert!(reg.build("fuzz:rounds=0", 4, 0).is_err());
+    /// ```
     pub fn with_standard() -> Self {
         let mut reg = Self::new();
         reg.register("fair", "round-robin over active processes", "fair", |key| {

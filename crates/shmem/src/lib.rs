@@ -26,6 +26,18 @@
 //! `Release` pairs on the TAS words are the only orderings the renaming
 //! protocols need (winning a register happens-before any later observation
 //! of it being set).
+//!
+//! ```
+//! use rr_shmem::tas::{AtomicTasArray, TasMemory};
+//!
+//! // Eight names, many contenders: exactly one process wins each TAS
+//! // register — the winner-takes-the-name primitive everything builds on.
+//! let names = AtomicTasArray::new(8);
+//! assert!(names.tas(3), "the first test-and-set wins");
+//! assert!(!names.tas(3), "every later attempt loses");
+//! assert!(names.is_set(3));
+//! assert_eq!(names.count_set(), 1);
+//! ```
 
 pub mod intent;
 pub mod namespace;

@@ -16,6 +16,19 @@
 //!   so free-running OS threads share a register; concurrent requests are
 //!   answered at cycle boundaries exactly like the asynchronous hardware.
 //! * [`trace`] — cycle-by-cycle rendering for demos and experiments.
+//!
+//! ```
+//! use rr_tau::CountingDevice;
+//!
+//! // A width-8 device with quota tau = 4: however many concurrent
+//! // requests a cycle absorbs, the confirmed population never exceeds
+//! // tau — the §II-B invariant.
+//! let mut device = CountingDevice::new(8, 4);
+//! let requests: Vec<(usize, usize)> = (0..6).map(|p| (p, p % 8)).collect();
+//! let report = device.clock_cycle(&requests);
+//! assert!(report.win_count() <= 4);
+//! assert!(device.confirmed_count() <= device.tau());
+//! ```
 
 pub mod concurrent;
 pub mod device;

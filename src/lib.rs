@@ -25,6 +25,7 @@
 pub use rr_analysis as analysis;
 pub use rr_baselines as baselines;
 pub use rr_renaming as renaming;
+pub use rr_report as report;
 pub use rr_sched as sched;
 pub use rr_shmem as shmem;
 pub use rr_tau as tau;
