@@ -8,6 +8,7 @@
 //! steps, at the cost of a stronger primitive and a single hot spot.
 
 use rr_renaming::traits::{Instance, RenamingAlgorithm};
+use rr_sched::ids::Pid;
 use rr_sched::process::{Process, StepOutcome};
 use rr_shmem::Access;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -32,8 +33,8 @@ impl Process for CounterProcess {
         StepOutcome::Done(name)
     }
 
-    fn pid(&self) -> usize {
-        self.pid
+    fn pid(&self) -> Pid {
+        Pid::new(self.pid)
     }
 }
 

@@ -9,6 +9,7 @@
 //! step complexity is exactly n.
 
 use rr_renaming::traits::{Instance, RenamingAlgorithm};
+use rr_sched::ids::Pid;
 use rr_sched::process::{Process, StepOutcome};
 use rr_shmem::tas::{AtomicTasArray, TasMemory};
 use rr_shmem::Access;
@@ -64,8 +65,8 @@ impl Process for ScanProcess {
         }
     }
 
-    fn pid(&self) -> usize {
-        self.pid
+    fn pid(&self) -> Pid {
+        Pid::new(self.pid)
     }
 }
 

@@ -19,6 +19,7 @@
 //! [`crate::aks_model`] for the crossover tables. See DESIGN.md.
 
 use rr_renaming::traits::{Instance, RenamingAlgorithm};
+use rr_sched::ids::Pid;
 use rr_sched::process::{Process, StepOutcome};
 use rr_shmem::tas::{AtomicTasArray, TasMemory};
 use rr_shmem::Access;
@@ -194,8 +195,8 @@ impl Process for NetworkProcess {
         }
     }
 
-    fn pid(&self) -> usize {
-        self.pid
+    fn pid(&self) -> Pid {
+        Pid::new(self.pid)
     }
 }
 

@@ -24,6 +24,7 @@
 //! splitter visit), faithful to the read/write cost model.
 
 use rr_renaming::traits::{Instance, RenamingAlgorithm};
+use rr_sched::ids::Pid;
 use rr_sched::process::{Process, StepOutcome};
 use rr_shmem::Access;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -203,8 +204,8 @@ impl Process for GridProcess {
         }
     }
 
-    fn pid(&self) -> usize {
-        self.pid
+    fn pid(&self) -> Pid {
+        Pid::new(self.pid)
     }
 }
 

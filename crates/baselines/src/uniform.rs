@@ -7,6 +7,7 @@
 //! exhibits.
 
 use rr_renaming::traits::{Instance, RenamingAlgorithm};
+use rr_sched::ids::Pid;
 use rr_sched::process::{Process, StepOutcome};
 use rr_shmem::rng::ProcessRng;
 use rr_shmem::tas::{AtomicTasArray, TasMemory};
@@ -52,8 +53,8 @@ impl Process for UniformProcess {
         }
     }
 
-    fn pid(&self) -> usize {
-        self.pid
+    fn pid(&self) -> Pid {
+        Pid::new(self.pid)
     }
 }
 

@@ -28,6 +28,11 @@ pub fn backend_rows() -> Vec<(&'static str, &'static str, &'static str)> {
             "free-running OS threads, at most N concurrent",
             "wall-clock truth; ignores the adversary key, not seed-reproducible",
         ),
+        (
+            "shard:s=N",
+            "N coupled per-shard arenas, one thread each, merged deterministically",
+            "pure function of (seed, N) on any machine; `shard:s=1` bit-identical to `dense`",
+        ),
     ]
 }
 
@@ -88,6 +93,7 @@ mod tests {
             assert!(listing.contains(key), "adversary {key} missing from listing");
         }
         assert!(listing.contains("threads:t=N"));
+        assert!(listing.contains("shard:s=N"));
     }
 
     #[test]

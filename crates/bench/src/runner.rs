@@ -4,9 +4,9 @@
 
 use rr_renaming::traits::RenamingAlgorithm;
 use rr_sched::adversary::Adversary;
-use rr_sched::dense::Arena;
 use rr_sched::process::Process;
 use rr_sched::registry::{standard, ParsedKey};
+use rr_sched::shard::{run_sharded, shard_seed, Arena, ShardRun, DEFAULT_COUPLING_EVERY};
 use rr_sched::thread_exec::run_threads_bounded;
 use rr_sched::virtual_exec::{run, RunOutcome};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -166,8 +166,8 @@ impl Schedule {
             searcher @ ("explore" | "fuzz") => {
                 return Err(format!(
                     "`{searcher}` is a registry-only adversary (stateful across seeds); \
-                     use the keyed batch API (run_batch_keyed / --adversaries) instead of \
-                     the typed Schedule"
+                     use the keyed batch API (BatchRun::adversary / --adversaries) instead \
+                     of the typed Schedule"
                 ))
             }
             other => {
@@ -201,13 +201,14 @@ impl Schedule {
 /// | `virtual` | boxed shim over the arena loop | exact, adversary-scheduled |
 /// | `dense` | flat arena, typed processes, scratch reuse | bit-identical to `virtual` |
 /// | `threads:t=N` | free-running OS threads (≤ N concurrent) | wall-clock only; safety audited, steps not reproducible; ignores the adversary key |
+/// | `shard:s=N` | S coupled per-shard arenas, one thread each | pure function of `(seed, S)` regardless of thread timing; `s=1` bit-identical to `dense` |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecBackend {
     /// The historical boxed executor ([`rr_sched::virtual_exec::run`]).
     #[default]
     Virtual,
     /// The flat arena core with monomorphized process storage and
-    /// cross-seed scratch reuse ([`rr_sched::dense::Arena`]).
+    /// cross-seed scratch reuse ([`rr_sched::shard::Arena`]).
     Dense,
     /// Free-running OS threads, at most `t` concurrent
     /// ([`rr_sched::thread_exec::run_threads_bounded`]). No adversary:
@@ -217,16 +218,28 @@ pub enum ExecBackend {
         /// Max concurrent OS threads.
         t: usize,
     },
+    /// Sharded entity-keyed arenas ([`rr_sched::shard::run_sharded`]):
+    /// the pid space is partitioned round-robin into `s` shards, each
+    /// driven by its own arena on its own thread, coupled through the
+    /// deterministic round ledger every
+    /// [`DEFAULT_COUPLING_EVERY`] decisions. The merged outcome is a
+    /// pure function of `(seed, s)` — thread scheduling cannot change
+    /// it — and `s = 1` is bit-identical to `dense`.
+    Shard {
+        /// Number of shards (each runs on its own thread).
+        s: usize,
+    },
 }
 
 impl ExecBackend {
-    /// Parses a backend key: `virtual`, `dense`, `threads` or
-    /// `threads:t=N` (default `t = 8`), following the registry key
-    /// grammar.
+    /// Parses a backend key: `virtual`, `dense`, `threads` /
+    /// `threads:t=N` (default `t = 8`), or `shard` / `shard:s=N`
+    /// (default `s` = the machine's available parallelism), following
+    /// the registry key grammar.
     ///
     /// # Errors
-    /// Returns a message on unknown names, unknown parameters, or
-    /// `t = 0`.
+    /// Returns a message on unknown names, unknown parameters, `t = 0`,
+    /// or `s = 0`.
     pub fn parse(key: &str) -> Result<Self, String> {
         let parsed = ParsedKey::parse(key)?;
         match parsed.name.as_str() {
@@ -246,7 +259,18 @@ impl ExecBackend {
                 }
                 Ok(ExecBackend::Threads { t })
             }
-            other => Err(format!("unknown backend `{other}` (known: virtual, dense, threads:t=N)")),
+            "shard" => {
+                parsed.check_known(&["s"])?;
+                let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+                let s: usize = parsed.get("s", cores)?;
+                if s == 0 {
+                    return Err("shard backend needs s ≥ 1".into());
+                }
+                Ok(ExecBackend::Shard { s })
+            }
+            other => Err(format!(
+                "unknown backend `{other}` (known: virtual, dense, threads:t=N, shard:s=N)"
+            )),
         }
     }
 
@@ -256,6 +280,7 @@ impl ExecBackend {
             ExecBackend::Virtual => "virtual".into(),
             ExecBackend::Dense => "dense".into(),
             ExecBackend::Threads { t } => format!("threads:t={t}"),
+            ExecBackend::Shard { s } => format!("shard:s={s}"),
         }
     }
 }
@@ -320,9 +345,54 @@ pub fn run_once_backend(
             let inst = algo.instantiate(n, seed);
             run_threads_bounded(inst.processes, t, algo.step_budget(n))
         }
+        ExecBackend::Shard { .. } => panic!(
+            "the shard backend builds one adversary per shard and cannot reuse a single \
+             `&mut dyn Adversary`; drive it through `BatchRun` or `run_once_sharded`"
+        ),
     };
     if let Err(v) = out.verify_renaming(algo.m(n)) {
         panic!("{} violated renaming safety at n={n}, seed {seed}: {v}", algo.name());
+    }
+    out
+}
+
+/// Runs `algo` at size `n` once with `seed` as `shards` coupled
+/// shard sub-instances (the `shard:s=N` backend).
+///
+/// Shard `s` runs `algo` at its sub-size `n_s` (round-robin partition
+/// of the pid space) with a fresh adversary from
+/// `build_adv(n_s, shard_seed(seed, s))`, coupled to the global round
+/// ledger every [`DEFAULT_COUPLING_EVERY`] decisions. Shard name spaces
+/// are offset-disjoint, so the merged run renames into
+/// `m_total = Σ m(n_s)` names and is verified against that bound. The
+/// outcome is a pure function of `(seed, shards)`; with `shards = 1` it
+/// is bit-identical to the `dense` backend.
+///
+/// # Panics
+/// Panics on `shards = 0`, `shards > n`, executor errors, or
+/// renaming-safety violations.
+pub fn run_once_sharded(
+    algo: &(dyn RenamingAlgorithm + Sync),
+    n: usize,
+    seed: u64,
+    build_adv: &(dyn Fn(usize, u64) -> Box<dyn Adversary> + Sync),
+    shards: usize,
+) -> RunOutcome {
+    assert!(shards >= 1, "shard backend needs s ≥ 1");
+    assert!(shards <= n, "shard backend needs s ≤ n (got s={shards}, n={n})");
+    let (out, m_total) = run_sharded(n, shards, DEFAULT_COUPLING_EVERY, |s, n_s, ctx| {
+        let sub_seed = shard_seed(seed, s);
+        let mut adversary = ctx.couple(build_adv(n_s, sub_seed));
+        let mut arena = Arena::new();
+        algo.run_dense(n_s, sub_seed, &mut adversary, &mut arena)
+            .map(|outcome| ShardRun { outcome, m: algo.m(n_s) })
+    })
+    .unwrap_or_else(|e| panic!("{} at n={n}, seed {seed}, shard:s={shards}: {e}", algo.name()));
+    if let Err(v) = out.verify_renaming(m_total) {
+        panic!(
+            "{} violated renaming safety at n={n}, seed {seed}, shard:s={shards}: {v}",
+            algo.name()
+        );
     }
     out
 }
@@ -397,41 +467,175 @@ fn assemble(rows: Vec<SeedRow>) -> BatchStats {
     stats
 }
 
-/// Runs `algo` at size `n` across `seeds` seeds, one seed at a time.
+/// The one batch entry point: a builder describing a seed sweep of one
+/// algorithm at one size, with the adversary, execution backend and
+/// worker count as optional axes.
 ///
-/// Reference path for [`run_batch`]: same output, no threads. Exposed so
-/// the equivalence test (and anyone debugging a single seed) can bypass
-/// the parallel executor.
+/// Replaces the old `run_batch` / `run_batch_serial` /
+/// `run_batch_keyed` / `run_batch_backend` function family (which
+/// remain as deprecated shims over this type):
+///
+/// ```
+/// use rr_bench::runner::{BatchRun, ExecBackend};
+/// use rr_renaming::TightRenaming;
+///
+/// let algo = TightRenaming::calibrated(4);
+/// let (stats, timing) = BatchRun::new(&algo, 64)
+///     .seeds(3)
+///     .adversary("crash:p=200,cap=25")
+///     .backend(ExecBackend::Dense)
+///     .workers(2)
+///     .run()
+///     .unwrap();
+/// assert_eq!(stats.runs, 3);
+/// assert_eq!(timing.runs, 3);
+/// ```
+///
+/// Every seed's run is deterministic in isolation (instantiation, coin
+/// flips and the adversary all derive from `(seed, pid)` streams), so
+/// seeds are farmed out to scoped worker threads via an atomic
+/// work-stealing counter and the rows are re-assembled **in seed
+/// order** — the resulting [`BatchStats`] is bit-identical for every
+/// worker count (`workers(1)` is the serial reference path).
+#[must_use = "a BatchRun does nothing until .run()"]
+pub struct BatchRun<'a> {
+    algo: &'a (dyn RenamingAlgorithm + Sync),
+    n: usize,
+    seeds: u64,
+    adversary: String,
+    backend: ExecBackend,
+    workers: usize,
+}
+
+impl<'a> BatchRun<'a> {
+    /// A batch of `algo` at size `n`. Defaults: 1 seed, the `fair`
+    /// adversary, the `virtual` backend, and `RR_RUNNER_THREADS` (else
+    /// available parallelism) workers.
+    pub fn new(algo: &'a (dyn RenamingAlgorithm + Sync), n: usize) -> Self {
+        Self {
+            algo,
+            n,
+            seeds: 1,
+            adversary: "fair".into(),
+            backend: ExecBackend::default(),
+            workers: runner_threads(),
+        }
+    }
+
+    /// Seeds `0..seeds` to sweep.
+    pub fn seeds(mut self, seeds: u64) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Adversary registry key (`"fair"`, `"crash:p=200,cap=25"`, …);
+    /// validated at [`BatchRun::run`] time.
+    pub fn adversary(mut self, key: impl Into<String>) -> Self {
+        self.adversary = key.into();
+        self
+    }
+
+    /// Typed-schedule convenience: equivalent to
+    /// `.adversary(schedule.key())`.
+    pub fn schedule(self, schedule: Schedule) -> Self {
+        self.adversary(schedule.key())
+    }
+
+    /// Execution backend (default [`ExecBackend::Virtual`]).
+    pub fn backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Worker threads for the seed sweep; `workers ≤ 1` runs serially
+    /// on the caller's thread. Output is bit-identical either way.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Executes the batch: aggregated [`BatchStats`] plus the batch's
+    /// wall-clock [`BatchTiming`].
+    ///
+    /// The `dense` backend gives each worker one [`Arena`] reused
+    /// across all of its seeds; `virtual`, `dense` and `shard:s=1`
+    /// produce bit-identical [`BatchStats`]; `shard:s=K` is a pure
+    /// function of `(seed, K)`; `threads` ignores the adversary
+    /// (free-running) and its step counts are wall-clock truths, not
+    /// seed-reproducible data.
+    ///
+    /// # Errors
+    /// Returns a message when the adversary key names no registered
+    /// adversary or its parameters fail validation, or when the shard
+    /// backend's `s` exceeds `n`. The runs themselves panic on safety
+    /// violations (those are bugs, not data).
+    pub fn run(self) -> Result<(BatchStats, BatchTiming), String> {
+        if let ExecBackend::Shard { s } = self.backend {
+            if s > self.n {
+                return Err(format!("shard backend needs s ≤ n (got s={s}, n={})", self.n));
+            }
+        }
+        let builder = standard().prepare(&self.adversary)?;
+        let start = Instant::now();
+        let stats = run_batch_core(
+            self.algo,
+            self.n,
+            self.seeds,
+            &move |n, seed| builder(n, seed),
+            self.workers,
+            self.backend,
+        );
+        let timing = BatchTiming {
+            wall_secs: start.elapsed().as_secs_f64(),
+            runs: self.seeds,
+            steps: stats.total_work(),
+        };
+        Ok((stats, timing))
+    }
+
+    /// [`BatchRun::run`], keeping only the stats — for callers that
+    /// don't track throughput.
+    ///
+    /// # Errors
+    /// Same conditions as [`BatchRun::run`].
+    pub fn stats(self) -> Result<BatchStats, String> {
+        Ok(self.run()?.0)
+    }
+}
+
+/// Runs `algo` at size `n` across `seeds` seeds, one seed at a time.
+#[deprecated(note = "use BatchRun::new(algo, n).seeds(seeds).schedule(schedule).workers(1)")]
 pub fn run_batch_serial(
-    algo: &dyn RenamingAlgorithm,
+    algo: &(dyn RenamingAlgorithm + Sync),
     n: usize,
     seeds: u64,
     schedule: Schedule,
 ) -> BatchStats {
-    assemble((0..seeds).map(|seed| measure(&run_once(algo, n, seed, schedule), n)).collect())
+    BatchRun::new(algo, n)
+        .seeds(seeds)
+        .schedule(schedule)
+        .workers(1)
+        .stats()
+        .expect("every Schedule variant maps to a registered adversary key")
 }
 
 /// Runs `algo` at size `n` across `seeds` seeds, in parallel over seeds.
-///
-/// Every seed's run is already deterministic in isolation (instantiation,
-/// coin flips and the adversary all derive from `(seed, pid)` streams),
-/// so seeds are farmed out to scoped worker threads via an atomic
-/// work-stealing counter and the rows are re-assembled **in seed order**
-/// — the resulting [`BatchStats`] is bit-identical to
-/// [`run_batch_serial`], just `min(seeds, cores)` times sooner.
-///
-/// Thread count: `RR_RUNNER_THREADS` if set, else the machine's available
-/// parallelism (see [`RunConfig::from_env`]).
+#[deprecated(note = "use BatchRun::new(algo, n).seeds(seeds).schedule(schedule)")]
 pub fn run_batch(
     algo: &(dyn RenamingAlgorithm + Sync),
     n: usize,
     seeds: u64,
     schedule: Schedule,
 ) -> BatchStats {
-    run_batch_with_threads(algo, n, seeds, schedule, runner_threads())
+    BatchRun::new(algo, n)
+        .seeds(seeds)
+        .schedule(schedule)
+        .stats()
+        .expect("every Schedule variant maps to a registered adversary key")
 }
 
 /// [`run_batch`] with an explicit worker count (≤ 1 runs serially).
+#[deprecated(note = "use BatchRun::new(algo, n).seeds(seeds).schedule(schedule).workers(workers)")]
 pub fn run_batch_with_threads(
     algo: &(dyn RenamingAlgorithm + Sync),
     n: usize,
@@ -439,36 +643,35 @@ pub fn run_batch_with_threads(
     schedule: Schedule,
     workers: usize,
 ) -> BatchStats {
-    run_batch_core(
-        algo,
-        n,
-        seeds,
-        &move |n, seed| schedule.build(n, seed),
-        workers,
-        ExecBackend::Virtual,
-    )
+    BatchRun::new(algo, n)
+        .seeds(seeds)
+        .schedule(schedule)
+        .workers(workers)
+        .stats()
+        .expect("every Schedule variant maps to a registered adversary key")
 }
 
 /// Runs `algo` across seeds under the adversary named by a registry
-/// `key` (`"fair"`, `"stall"`, `"crash:p=200,cap=25"`, …) — the string
-/// path the scenario engine drives. Same parallel executor and the same
-/// bit-identical-to-serial guarantee as [`run_batch`].
+/// `key`.
 ///
 /// # Errors
-/// Returns a message when `key` names no registered adversary or its
-/// parameters fail validation. The runs themselves panic on safety
-/// violations, exactly like [`run_batch`].
+/// Same conditions as [`BatchRun::run`].
+#[deprecated(note = "use BatchRun::new(algo, n).seeds(seeds).adversary(key)")]
 pub fn run_batch_keyed(
     algo: &(dyn RenamingAlgorithm + Sync),
     n: usize,
     seeds: u64,
     key: &str,
 ) -> Result<BatchStats, String> {
-    run_batch_keyed_with_threads(algo, n, seeds, key, runner_threads())
+    BatchRun::new(algo, n).seeds(seeds).adversary(key).stats()
 }
 
 /// [`run_batch_keyed`] with an explicit worker count (≤ 1 runs
-/// serially) — the scenario engine passes [`RunConfig::threads`] here.
+/// serially).
+///
+/// # Errors
+/// Same conditions as [`BatchRun::run`].
+#[deprecated(note = "use BatchRun::new(algo, n).seeds(seeds).adversary(key).workers(workers)")]
 pub fn run_batch_keyed_with_threads(
     algo: &(dyn RenamingAlgorithm + Sync),
     n: usize,
@@ -476,20 +679,16 @@ pub fn run_batch_keyed_with_threads(
     key: &str,
     workers: usize,
 ) -> Result<BatchStats, String> {
-    Ok(run_batch_backend(algo, n, seeds, key, ExecBackend::Virtual, workers)?.0)
+    BatchRun::new(algo, n).seeds(seeds).adversary(key).workers(workers).stats()
 }
 
-/// The backend-selectable batch entry point: runs `algo` across seeds
-/// under adversary `key` on `backend` with `workers` threads, returning
-/// the aggregated stats plus the batch's wall-clock [`BatchTiming`].
-///
-/// The `dense` backend gives each worker one [`Arena`] reused across all
-/// of its seeds; `virtual` and `dense` produce bit-identical
-/// [`BatchStats`]; `threads` ignores the adversary (free-running) and
-/// its step counts are wall-clock truths, not seed-reproducible data.
+/// The backend-selectable batch entry point.
 ///
 /// # Errors
-/// Same conditions as [`run_batch_keyed`].
+/// Same conditions as [`BatchRun::run`].
+#[deprecated(
+    note = "use BatchRun::new(algo, n).seeds(seeds).adversary(key).backend(backend).workers(workers)"
+)]
 pub fn run_batch_backend(
     algo: &(dyn RenamingAlgorithm + Sync),
     n: usize,
@@ -498,15 +697,7 @@ pub fn run_batch_backend(
     backend: ExecBackend,
     workers: usize,
 ) -> Result<(BatchStats, BatchTiming), String> {
-    let builder = standard().prepare(key)?;
-    let start = Instant::now();
-    let stats = run_batch_core(algo, n, seeds, &move |n, seed| builder(n, seed), workers, backend);
-    let timing = BatchTiming {
-        wall_secs: start.elapsed().as_secs_f64(),
-        runs: seeds,
-        steps: stats.total_work(),
-    };
-    Ok((stats, timing))
+    BatchRun::new(algo, n).seeds(seeds).adversary(key).backend(backend).workers(workers).run()
 }
 
 /// The shared batch executor: farms seeds to scoped workers, building a
@@ -522,7 +713,11 @@ fn run_batch_core(
     backend: ExecBackend,
 ) -> BatchStats {
     let run_seed = |seed: u64, arena: &mut Arena| {
-        measure(&run_once_backend(algo, n, seed, build_adv(n, seed).as_mut(), backend, arena), n)
+        let out = match backend {
+            ExecBackend::Shard { s } => run_once_sharded(algo, n, seed, build_adv, s),
+            _ => run_once_backend(algo, n, seed, build_adv(n, seed).as_mut(), backend, arena),
+        };
+        measure(&out, n)
     };
     let workers = workers.min(seeds as usize);
     if workers <= 1 {
@@ -675,7 +870,7 @@ mod tests {
 
     #[test]
     fn batch_runs_and_aggregates() {
-        let stats = run_batch(&TightRenaming::calibrated(4), 64, 3, Schedule::Fair);
+        let stats = BatchRun::new(&TightRenaming::calibrated(4), 64).seeds(3).stats().unwrap();
         assert_eq!(stats.runs, 3);
         assert_eq!(stats.violations, 0);
         assert!(stats.max_steps() > 0);
@@ -685,18 +880,21 @@ mod tests {
 
     #[test]
     fn almost_tight_batch_counts_unnamed() {
-        let stats = run_batch(&LooseL6 { ell: 1 }, 256, 2, Schedule::Random);
+        let stats = BatchRun::new(&LooseL6 { ell: 1 }, 256)
+            .seeds(2)
+            .schedule(Schedule::Random)
+            .stats()
+            .unwrap();
         assert!(stats.mean_unnamed() > 0.0, "L6 should leave someone unnamed at n=256");
     }
 
     #[test]
     fn crash_schedule_counts_crashes() {
-        let stats = run_batch(
-            &TightRenaming::calibrated(4),
-            64,
-            2,
-            Schedule::Crashes { p_permille: 500, budget_pct: 20 },
-        );
+        let stats = BatchRun::new(&TightRenaming::calibrated(4), 64)
+            .seeds(2)
+            .schedule(Schedule::Crashes { p_permille: 500, budget_pct: 20 })
+            .stats()
+            .unwrap();
         assert!(stats.crashed.iter().any(|&c| c > 0));
         assert!(stats.total_crashed() > 0);
     }
@@ -714,10 +912,12 @@ mod tests {
             Schedule::Stall,
             Schedule::Crashes { p_permille: 200, budget_pct: 25 },
         ] {
-            let serial = run_batch_serial(&algo, 96, 8, schedule);
-            // Force real threading: `run_batch` alone would fall back to
-            // serial on single-core CI machines.
-            let parallel = run_batch_with_threads(&algo, 96, 8, schedule, 4);
+            let serial =
+                BatchRun::new(&algo, 96).seeds(8).schedule(schedule).workers(1).stats().unwrap();
+            // Force real threading: the default worker count would fall
+            // back to serial on single-core CI machines.
+            let parallel =
+                BatchRun::new(&algo, 96).seeds(8).schedule(schedule).workers(4).stats().unwrap();
             assert_eq!(serial.step_complexity, parallel.step_complexity, "{schedule:?}");
             assert_eq!(serial.unnamed, parallel.unnamed, "{schedule:?}");
             assert_eq!(serial.crashed, parallel.crashed, "{schedule:?}");
@@ -742,8 +942,8 @@ mod tests {
             ("stall", Schedule::Stall),
             ("crash:p=200,cap=25", Schedule::Crashes { p_permille: 200, budget_pct: 25 }),
         ] {
-            let keyed = run_batch_keyed(&algo, 96, 4, key).unwrap();
-            let typed = run_batch(&algo, 96, 4, schedule);
+            let keyed = BatchRun::new(&algo, 96).seeds(4).adversary(key).stats().unwrap();
+            let typed = BatchRun::new(&algo, 96).seeds(4).schedule(schedule).stats().unwrap();
             assert_eq!(keyed.step_complexity, typed.step_complexity, "{key}");
             assert_eq!(keyed.unnamed, typed.unnamed, "{key}");
             assert_eq!(keyed.crashed, typed.crashed, "{key}");
@@ -756,13 +956,13 @@ mod tests {
     #[test]
     fn keyed_batch_rejects_unknown_keys() {
         let algo = TightRenaming::calibrated(4);
-        assert!(run_batch_keyed(&algo, 16, 1, "livelock").is_err());
-        assert!(run_batch_keyed(&algo, 16, 1, "crash:p=nope").is_err());
+        assert!(BatchRun::new(&algo, 16).adversary("livelock").stats().is_err());
+        assert!(BatchRun::new(&algo, 16).adversary("crash:p=nope").stats().is_err());
     }
 
     #[test]
     fn single_seed_batch_falls_back_to_serial() {
-        let stats = run_batch(&TightRenaming::calibrated(4), 64, 1, Schedule::Fair);
+        let stats = BatchRun::new(&TightRenaming::calibrated(4), 64).stats().unwrap();
         assert_eq!(stats.runs, 1);
     }
 
@@ -805,7 +1005,7 @@ mod tests {
         for key in ["explore", "explore:depth=4", "fuzz:rounds=8"] {
             let msg = Schedule::parse(key).unwrap_err();
             assert!(msg.contains("registry-only"), "{key}: {msg}");
-            assert!(msg.contains("run_batch_keyed"), "{key}: {msg}");
+            assert!(msg.contains("BatchRun::adversary"), "{key}: {msg}");
         }
         // parse runs the registry's full validation: anything it accepts,
         // build can construct — and vice versa.
@@ -822,15 +1022,25 @@ mod tests {
             ("dense", ExecBackend::Dense),
             ("threads", ExecBackend::Threads { t: 8 }),
             ("threads:t=4", ExecBackend::Threads { t: 4 }),
+            ("shard:s=4", ExecBackend::Shard { s: 4 }),
+            ("shard:s=1", ExecBackend::Shard { s: 1 }),
         ] {
             assert_eq!(ExecBackend::parse(key).unwrap(), backend, "{key}");
             assert_eq!(ExecBackend::parse(&backend.key()).unwrap(), backend);
         }
+        // Bare `shard` defaults s to the machine's core count — whatever
+        // that is here, it is at least 1 and round-trips.
+        let ExecBackend::Shard { s } = ExecBackend::parse("shard").unwrap() else {
+            panic!("bare `shard` must parse to the shard backend");
+        };
+        assert!(s >= 1);
         assert_eq!(ExecBackend::default(), ExecBackend::Virtual);
         assert!(ExecBackend::parse("gpu").is_err());
         assert!(ExecBackend::parse("dense:t=2").is_err());
         assert!(ExecBackend::parse("threads:t=0").is_err());
         assert!(ExecBackend::parse("threads:x=1").is_err());
+        assert!(ExecBackend::parse("shard:s=0").is_err());
+        assert!(ExecBackend::parse("shard:x=1").is_err());
     }
 
     /// The dense backend reuses one arena across every seed of a worker
@@ -839,8 +1049,17 @@ mod tests {
     fn dense_backend_bit_identical_to_virtual() {
         let algo = TightRenaming::calibrated(4);
         for key in ["fair", "random", "collisions", "stall", "crash:p=200,cap=25"] {
-            let (virt, _) = run_batch_backend(&algo, 96, 6, key, ExecBackend::Virtual, 2).unwrap();
-            let (dense, _) = run_batch_backend(&algo, 96, 6, key, ExecBackend::Dense, 2).unwrap();
+            let run = |backend| {
+                BatchRun::new(&algo, 96)
+                    .seeds(6)
+                    .adversary(key)
+                    .backend(backend)
+                    .workers(2)
+                    .stats()
+                    .unwrap()
+            };
+            let virt = run(ExecBackend::Virtual);
+            let dense = run(ExecBackend::Dense);
             assert_eq!(virt.step_complexity, dense.step_complexity, "{key}");
             assert_eq!(virt.total_steps, dense.total_steps, "{key}");
             assert_eq!(virt.unnamed, dense.unnamed, "{key}");
@@ -851,11 +1070,70 @@ mod tests {
         }
     }
 
+    /// A single shard is the degenerate partition: `shard_seed(seed, 0)`
+    /// is the identity and the coupler adds zero remote names, so
+    /// `shard:s=1` must reproduce the dense backend bit for bit.
+    #[test]
+    fn shard_backend_with_one_shard_bit_identical_to_dense() {
+        let algo = TightRenaming::calibrated(4);
+        for key in ["fair", "random", "crash:p=200,cap=25"] {
+            let run = |backend| {
+                BatchRun::new(&algo, 96).seeds(4).adversary(key).backend(backend).stats().unwrap()
+            };
+            let dense = run(ExecBackend::Dense);
+            let shard = run(ExecBackend::Shard { s: 1 });
+            assert_eq!(dense.step_complexity, shard.step_complexity, "{key}");
+            assert_eq!(dense.total_steps, shard.total_steps, "{key}");
+            assert_eq!(dense.unnamed, shard.unnamed, "{key}");
+            assert_eq!(dense.crashed, shard.crashed, "{key}");
+        }
+    }
+
+    /// `shard:s=K` is a pure function of (seed, K): repeated runs and
+    /// different worker counts give bit-identical stats.
+    #[test]
+    fn shard_backend_deterministic_across_workers() {
+        let algo = TightRenaming::calibrated(4);
+        let run = |workers| {
+            BatchRun::new(&algo, 96)
+                .seeds(4)
+                .adversary("random")
+                .backend(ExecBackend::Shard { s: 4 })
+                .workers(workers)
+                .stats()
+                .unwrap()
+        };
+        let a = run(1);
+        let b = run(1);
+        let c = run(4);
+        for other in [&b, &c] {
+            assert_eq!(a.step_complexity, other.step_complexity);
+            assert_eq!(a.total_steps, other.total_steps);
+            assert_eq!(a.unnamed, other.unnamed);
+            assert_eq!(a.crashed, other.crashed);
+            let ab: Vec<u64> = a.mean_steps.iter().map(|f| f.to_bits()).collect();
+            let ob: Vec<u64> = other.mean_steps.iter().map(|f| f.to_bits()).collect();
+            assert_eq!(ab, ob);
+        }
+    }
+
+    #[test]
+    fn shard_backend_rejects_more_shards_than_processes() {
+        let algo = TightRenaming::calibrated(4);
+        let err =
+            BatchRun::new(&algo, 16).backend(ExecBackend::Shard { s: 32 }).stats().unwrap_err();
+        assert_eq!(err, "shard backend needs s ≤ n (got s=32, n=16)");
+    }
+
     #[test]
     fn threads_backend_renames_and_reports_timing() {
         let algo = TightRenaming::calibrated(4);
-        let (stats, timing) =
-            run_batch_backend(&algo, 48, 2, "fair", ExecBackend::Threads { t: 4 }, 1).unwrap();
+        let (stats, timing) = BatchRun::new(&algo, 48)
+            .seeds(2)
+            .backend(ExecBackend::Threads { t: 4 })
+            .workers(1)
+            .run()
+            .unwrap();
         assert_eq!(stats.runs, 2);
         assert_eq!(stats.violations, 0);
         assert_eq!(timing.runs, 2);
@@ -865,9 +1143,35 @@ mod tests {
         assert!(timing.steps_per_sec() > 0.0);
     }
 
+    /// The deprecated function family must stay byte-equivalent to the
+    /// builder it now delegates to, until it is removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_batch_run() {
+        let algo = TightRenaming::calibrated(4);
+        let shim = run_batch_keyed(&algo, 64, 3, "random").unwrap();
+        let built = BatchRun::new(&algo, 64).seeds(3).adversary("random").stats().unwrap();
+        assert_eq!(shim.step_complexity, built.step_complexity);
+        assert_eq!(shim.total_steps, built.total_steps);
+
+        let shim = run_batch_serial(&algo, 64, 2, Schedule::Stall);
+        let built =
+            BatchRun::new(&algo, 64).seeds(2).schedule(Schedule::Stall).workers(1).stats().unwrap();
+        assert_eq!(shim.step_complexity, built.step_complexity);
+
+        let (shim, _) = run_batch_backend(&algo, 64, 2, "fair", ExecBackend::Dense, 2).unwrap();
+        let built = BatchRun::new(&algo, 64)
+            .seeds(2)
+            .backend(ExecBackend::Dense)
+            .workers(2)
+            .stats()
+            .unwrap();
+        assert_eq!(shim.step_complexity, built.step_complexity);
+    }
+
     #[test]
     fn total_steps_consistent_with_mean() {
-        let stats = run_batch(&TightRenaming::calibrated(4), 64, 3, Schedule::Fair);
+        let stats = BatchRun::new(&TightRenaming::calibrated(4), 64).seeds(3).stats().unwrap();
         for (total, mean) in stats.total_steps.iter().zip(&stats.mean_steps) {
             assert_eq!((*total as f64 / 64.0).to_bits(), mean.to_bits());
         }
@@ -906,6 +1210,8 @@ mod tests {
         assert_eq!(cfg.backend, ExecBackend::Dense);
         let cfg = RunConfig::from_args(["--backend", "threads:t=3"].map(String::from), None);
         assert_eq!(cfg.backend, ExecBackend::Threads { t: 3 });
+        let cfg = RunConfig::from_args(["--backend", "shard:s=2"].map(String::from), None);
+        assert_eq!(cfg.backend, ExecBackend::Shard { s: 2 });
         // `--backend` with no value (next is a flag) leaves the default.
         let cfg = RunConfig::from_args(["--backend", "--quick"].map(String::from), None);
         assert_eq!(cfg.backend, ExecBackend::Virtual);
@@ -926,7 +1232,7 @@ mod tests {
         let algo = TightRenaming::calibrated(4);
         let outs: Vec<_> = (0..3).map(|s| run_once(&algo, 64, s, Schedule::Fair)).collect();
         let manual = BatchStats::from_outcomes(&outs, 64);
-        let batch = run_batch_serial(&algo, 64, 3, Schedule::Fair);
+        let batch = BatchRun::new(&algo, 64).seeds(3).workers(1).stats().unwrap();
         assert_eq!(manual.step_complexity, batch.step_complexity);
         assert_eq!(manual.unnamed, batch.unnamed);
         assert_eq!(manual.crashed, batch.crashed);

@@ -28,7 +28,7 @@ pub use spec::{
     BatchSection, CellFn, ClaimCheck, Column, CustomSection, RowCtx, RowSpec, ScenarioSpec, Section,
 };
 
-use crate::runner::{run_batch_backend, BatchTiming, RunConfig};
+use crate::runner::{BatchRun, BatchTiming, RunConfig};
 use rr_analysis::stats::upper_median;
 use rr_renaming::registry::{AlgorithmRegistry, BoxedAlgorithm};
 use std::collections::BTreeMap;
@@ -102,15 +102,13 @@ fn run_batch_section(
         let algo = algos.entry(row.algorithm.clone()).or_insert_with(|| {
             reg.build(&row.algorithm).unwrap_or_else(|e| panic!("scenario {scenario}: {e}"))
         });
-        let (stats, timing) = run_batch_backend(
-            algo.as_ref(),
-            row.n,
-            row.seeds,
-            &row.adversary,
-            cfg.backend,
-            cfg.threads,
-        )
-        .unwrap_or_else(|e| panic!("scenario {scenario}: {e}"));
+        let (stats, timing) = BatchRun::new(algo.as_ref(), row.n)
+            .seeds(row.seeds)
+            .adversary(&row.adversary)
+            .backend(cfg.backend)
+            .workers(cfg.threads)
+            .run()
+            .unwrap_or_else(|e| panic!("scenario {scenario}: {e}"));
         let ctx = RowCtx { row, algo: algo.as_ref(), stats: &stats };
         table.row(section.columns.iter().map(|c| (c.cell)(&ctx)).collect());
         emitter.record(&batch_record(scenario, &section, row, cfg, algo.as_ref().name(), &stats));

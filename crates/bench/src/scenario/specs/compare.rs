@@ -2,7 +2,7 @@
 //! landscape (E8), the deterministic gap (E11) and the progress curves
 //! (E15).
 
-use crate::runner::{run_batch, RunConfig, Schedule};
+use crate::runner::{BatchRun, RunConfig, Schedule};
 use crate::scenario::{BatchSection, Column, RowSpec, ScenarioSpec, Section};
 use rr_analysis::stats::{norm_log2, norm_loglog_sq, upper_median};
 use rr_analysis::table::{fnum, Table};
@@ -10,7 +10,7 @@ use rr_baselines::aks_model;
 use rr_baselines::{LinearScan, ScanStart, SplitterGrid};
 use rr_renaming::traits::{Cor9, RenamingAlgorithm};
 use rr_renaming::TightRenaming;
-use rr_sched::adversary::{Adversary, Decision, FairAdversary, View};
+use rr_sched::adversary::{Adversary, Decision, FairAdversary, RunView};
 use rr_sched::process::Process;
 use rr_sched::virtual_exec::run;
 use std::cell::Cell;
@@ -195,13 +195,16 @@ pub fn deterministic_gap(cfg: &RunConfig) -> ScenarioSpec {
             "det/loose",
         ]);
         for &n in &sizes {
-            let d = run_batch(&det, n, 1, Schedule::Fair); // deterministic: 1 run
-                                                           // The grid is Θ(n) steps/process and Θ(n²) registers — cap its size
-                                                           // so the table regenerates in seconds (the linear trend is
-                                                           // unambiguous by 2^12).
-            let g = run_batch(&grid, n.min(1 << 12), 1, Schedule::Fair);
-            let t = run_batch(&tight, n, seeds, Schedule::Fair);
-            let l = run_batch(&loose, n, seeds, Schedule::Fair);
+            let batch = |algo: &(dyn RenamingAlgorithm + Sync), n: usize, seeds: u64| {
+                BatchRun::new(algo, n).seeds(seeds).stats().unwrap()
+            };
+            let d = batch(&det, n, 1); // deterministic: 1 run
+                                       // The grid is Θ(n) steps/process and Θ(n²) registers — cap its
+                                       // size so the table regenerates in seconds (the linear trend
+                                       // is unambiguous by 2^12).
+            let g = batch(&grid, n.min(1 << 12), 1);
+            let t = batch(&tight, n, seeds);
+            let l = batch(&loose, n, seeds);
             table.row(vec![
                 n.to_string(),
                 d.max_steps().to_string(),
@@ -243,7 +246,7 @@ impl ProgressProbe {
 }
 
 impl Adversary for ProgressProbe {
-    fn decide(&mut self, view: &View<'_>) -> Decision {
+    fn decide(&mut self, view: &RunView<'_>) -> Decision {
         self.grants += 1;
         if self.grants % self.n == 0 {
             self.series.push(view.named as f64 / self.n as f64);

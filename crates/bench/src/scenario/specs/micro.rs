@@ -4,7 +4,7 @@
 //! design ablations (E14). These run as custom sections: the machinery
 //! they measure lives below the batch runner's interface.
 
-use crate::runner::{run_batch, RunConfig, Schedule};
+use crate::runner::{BatchRun, RunConfig};
 use crate::scenario::{ClaimCheck, Emitter, Record, ScenarioSpec, Section, Value};
 use rand::rngs::ChaCha8Rng;
 use rand::{RngExt, SeedableRng};
@@ -437,7 +437,7 @@ fn ablate_c(em: &mut Emitter<'_, '_>, n: usize, seeds: u64) {
     for c in [1u32, 2, 4, 8] {
         let algo = TightRenaming::calibrated(c);
         let plan = rr_renaming::TightPlan::calibrated(n, c);
-        let stats = run_batch(&algo, n, seeds, Schedule::Fair);
+        let stats = BatchRun::new(&algo, n).seeds(seeds).stats().unwrap();
         table.row(vec![
             c.to_string(),
             plan.rounds().to_string(),

@@ -5,17 +5,51 @@
 //!   **bit for bit** for every registry algorithm under every adversary
 //!   family the engine schedules deterministically — same announce
 //!   cadence, same tombstone compaction, same RNG consumption.
+//! * `shard:s=1` is the degenerate partition (one shard, identity
+//!   sub-seed, zero cross-shard traffic) and must likewise be
+//!   bit-identical to `dense` — and therefore to `virtual`.
 //! * `threads` is free-running (the machine schedules), so its step
 //!   counts are not reproducible — but it must still satisfy
 //!   `verify_renaming` and account for every process.
 
-use rr_bench::runner::{run_batch_backend, ExecBackend};
+use rr_bench::runner::{BatchRun, BatchStats, ExecBackend};
 use rr_bench::scenario::registry;
+use rr_renaming::registry::BoxedAlgorithm;
 
 /// Sizes small enough that the full registry × adversary sweep stays in
 /// CI territory while still exercising multi-round protocol behaviour.
 const N: usize = 64;
 const SEEDS: u64 = 3;
+
+fn batch(
+    algo: &BoxedAlgorithm,
+    n: usize,
+    seeds: u64,
+    adv_key: &str,
+    backend: ExecBackend,
+    workers: usize,
+) -> BatchStats {
+    BatchRun::new(algo.as_ref(), n)
+        .seeds(seeds)
+        .adversary(adv_key)
+        .backend(backend)
+        .workers(workers)
+        .stats()
+        .unwrap()
+}
+
+fn assert_bit_identical(a: &BatchStats, b: &BatchStats, ctx: &str) {
+    assert_eq!(a.step_complexity, b.step_complexity, "{ctx}");
+    assert_eq!(a.total_steps, b.total_steps, "{ctx}");
+    assert_eq!(a.unnamed, b.unnamed, "{ctx}");
+    assert_eq!(a.crashed, b.crashed, "{ctx}");
+    assert_eq!(a.runs, b.runs, "{ctx}");
+    assert_eq!(a.violations, b.violations, "{ctx}");
+    // f64 equality is bit equality — no tolerance.
+    let ab: Vec<u64> = a.mean_steps.iter().map(|f| f.to_bits()).collect();
+    let bb: Vec<u64> = b.mean_steps.iter().map(|f| f.to_bits()).collect();
+    assert_eq!(ab, bb, "{ctx}");
+}
 
 #[test]
 fn dense_matches_virtual_bit_for_bit_for_every_algorithm() {
@@ -23,22 +57,27 @@ fn dense_matches_virtual_bit_for_bit_for_every_algorithm() {
     for algo_key in reg.keys() {
         let algo = reg.build(algo_key).unwrap();
         for adv_key in ["fair", "random"] {
-            let (virt, _) =
-                run_batch_backend(algo.as_ref(), N, SEEDS, adv_key, ExecBackend::Virtual, 2)
-                    .unwrap();
-            let (dense, _) =
-                run_batch_backend(algo.as_ref(), N, SEEDS, adv_key, ExecBackend::Dense, 2).unwrap();
-            let ctx = format!("{algo_key} under {adv_key}");
-            assert_eq!(virt.step_complexity, dense.step_complexity, "{ctx}");
-            assert_eq!(virt.total_steps, dense.total_steps, "{ctx}");
-            assert_eq!(virt.unnamed, dense.unnamed, "{ctx}");
-            assert_eq!(virt.crashed, dense.crashed, "{ctx}");
-            assert_eq!(virt.runs, dense.runs, "{ctx}");
-            assert_eq!(virt.violations, dense.violations, "{ctx}");
-            // f64 equality is bit equality — no tolerance.
-            let vb: Vec<u64> = virt.mean_steps.iter().map(|f| f.to_bits()).collect();
-            let db: Vec<u64> = dense.mean_steps.iter().map(|f| f.to_bits()).collect();
-            assert_eq!(vb, db, "{ctx}");
+            let virt = batch(&algo, N, SEEDS, adv_key, ExecBackend::Virtual, 2);
+            let dense = batch(&algo, N, SEEDS, adv_key, ExecBackend::Dense, 2);
+            assert_bit_identical(&virt, &dense, &format!("{algo_key} under {adv_key}"));
+        }
+    }
+}
+
+/// The shard backend with a single shard must be indistinguishable from
+/// the serial dense core, for every registry algorithm: `shard_seed`
+/// leaves shard 0's seed untouched, the partition is the identity, and
+/// the coupler never adds remote names — so any divergence here is a
+/// sharding bug, not a modelling choice.
+#[test]
+fn shard_with_one_shard_matches_dense_bit_for_bit_for_every_algorithm() {
+    let reg = registry();
+    for algo_key in reg.keys() {
+        let algo = reg.build(algo_key).unwrap();
+        for adv_key in ["fair", "random"] {
+            let dense = batch(&algo, N, SEEDS, adv_key, ExecBackend::Dense, 2);
+            let shard = batch(&algo, N, SEEDS, adv_key, ExecBackend::Shard { s: 1 }, 2);
+            assert_bit_identical(&dense, &shard, &format!("{algo_key} under {adv_key}"));
         }
     }
 }
@@ -53,17 +92,44 @@ fn dense_matches_virtual_under_adaptive_and_crash_adversaries() {
     for algo_key in ["tight-tau:c=4", "cor9", "uniform"] {
         let algo = reg.build(algo_key).unwrap();
         for adv_key in ["collisions", "stall", "crash:p=300,cap=25"] {
-            let (virt, _) =
-                run_batch_backend(algo.as_ref(), N, SEEDS, adv_key, ExecBackend::Virtual, 1)
-                    .unwrap();
-            let (dense, _) =
-                run_batch_backend(algo.as_ref(), N, SEEDS, adv_key, ExecBackend::Dense, 1).unwrap();
+            let virt = batch(&algo, N, SEEDS, adv_key, ExecBackend::Virtual, 1);
+            let dense = batch(&algo, N, SEEDS, adv_key, ExecBackend::Dense, 1);
             let ctx = format!("{algo_key} under {adv_key}");
             assert_eq!(virt.step_complexity, dense.step_complexity, "{ctx}");
             assert_eq!(virt.total_steps, dense.total_steps, "{ctx}");
             assert_eq!(virt.crashed, dense.crashed, "{ctx}");
             assert_eq!(virt.unnamed, dense.unnamed, "{ctx}");
         }
+    }
+}
+
+/// `shard:s=1` must hold its dense equivalence under the same
+/// RNG-consuming adversary families.
+#[test]
+fn shard_with_one_shard_matches_dense_under_adaptive_and_crash_adversaries() {
+    let reg = registry();
+    for algo_key in ["tight-tau:c=4", "cor9", "uniform"] {
+        let algo = reg.build(algo_key).unwrap();
+        for adv_key in ["collisions", "stall", "crash:p=300,cap=25"] {
+            let dense = batch(&algo, N, SEEDS, adv_key, ExecBackend::Dense, 1);
+            let shard = batch(&algo, N, SEEDS, adv_key, ExecBackend::Shard { s: 1 }, 1);
+            assert_bit_identical(&dense, &shard, &format!("{algo_key} under {adv_key}"));
+        }
+    }
+}
+
+/// `shard:s=K` for K > 1 is not bit-identical to dense — the partition
+/// changes every sub-instance — but it must be a pure function of
+/// (seed, K): the same stats whatever the batch worker count, and the
+/// renaming audit must pass for every registry algorithm.
+#[test]
+fn shard_with_many_shards_is_deterministic_for_every_algorithm() {
+    let reg = registry();
+    for algo_key in reg.keys() {
+        let algo = reg.build(algo_key).unwrap();
+        let a = batch(&algo, N, 2, "random", ExecBackend::Shard { s: 4 }, 1);
+        let b = batch(&algo, N, 2, "random", ExecBackend::Shard { s: 4 }, 2);
+        assert_bit_identical(&a, &b, &format!("{algo_key}: shard:s=4 across worker counts"));
     }
 }
 
@@ -80,11 +146,9 @@ fn threads_backend_verifies_every_algorithm() {
     for algo_key in reg.keys() {
         let algo = reg.build(algo_key).unwrap();
         let n = 32;
-        // run_batch_backend already panics on verify_renaming failure;
-        // it returning is the audit passing.
-        let (stats, _) =
-            run_batch_backend(algo.as_ref(), n, 2, "fair", ExecBackend::Threads { t: 4 }, 1)
-                .unwrap();
+        // BatchRun::run already panics on verify_renaming failure; it
+        // returning is the audit passing.
+        let stats = batch(&algo, n, 2, "fair", ExecBackend::Threads { t: 4 }, 1);
         assert_eq!(stats.runs, 2, "{algo_key}");
         assert_eq!(stats.violations, 0, "{algo_key}");
         for (unnamed, crashed) in stats.unnamed.iter().zip(&stats.crashed) {

@@ -15,10 +15,15 @@ fn backend_rejects_zero_threads_with_a_named_bound() {
 }
 
 #[test]
+fn backend_rejects_zero_shards_with_a_named_bound() {
+    assert_eq!(ExecBackend::parse("shard:s=0").unwrap_err(), "shard backend needs s ≥ 1");
+}
+
+#[test]
 fn backend_rejects_unknown_names_listing_the_alternatives() {
     assert_eq!(
         ExecBackend::parse("gpu").unwrap_err(),
-        "unknown backend `gpu` (known: virtual, dense, threads:t=N)"
+        "unknown backend `gpu` (known: virtual, dense, threads:t=N, shard:s=N)"
     );
 }
 
@@ -39,6 +44,14 @@ fn backend_rejects_unknown_and_malformed_parameters() {
     assert_eq!(
         ExecBackend::parse("threads:t=many").unwrap_err(),
         "parameter `t=many` of `threads` is invalid"
+    );
+    assert_eq!(
+        ExecBackend::parse("shard:x=1").unwrap_err(),
+        "unknown parameter `x` for `shard` (allowed: s)"
+    );
+    assert_eq!(
+        ExecBackend::parse("shard:s=lots").unwrap_err(),
+        "parameter `s=lots` of `shard` is invalid"
     );
 }
 
@@ -116,4 +129,5 @@ fn backend_round_trip_still_accepts_the_valid_grammar() {
     // with the documented happy paths.
     assert_eq!(ExecBackend::parse("threads:t=1").unwrap(), ExecBackend::Threads { t: 1 });
     assert_eq!(ExecBackend::parse(" dense ").unwrap(), ExecBackend::Dense);
+    assert_eq!(ExecBackend::parse("shard:s=4").unwrap(), ExecBackend::Shard { s: 4 });
 }

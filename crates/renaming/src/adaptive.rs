@@ -28,6 +28,7 @@ use crate::loose_l6::{L6Process, LooseShared};
 use crate::params::{FinisherPlan, Lemma6Schedule};
 use crate::phase::{PhaseOutcome, PhaseProcess};
 use crate::traits::{Instance, RenamingAlgorithm};
+use rr_sched::ids::Pid;
 use rr_sched::process::{Process, StepOutcome};
 use rr_shmem::Access;
 use std::sync::Arc;
@@ -232,8 +233,8 @@ impl Process for AdaptiveProcess {
         }
     }
 
-    fn pid(&self) -> usize {
-        self.pid
+    fn pid(&self) -> Pid {
+        Pid::new(self.pid)
     }
 }
 

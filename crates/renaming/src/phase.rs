@@ -12,6 +12,7 @@
 //! * [`Chain`] — `Exhausted` hands the process to a second stage (the
 //!   finisher), yielding the full loose renaming of the corollaries.
 
+use rr_sched::ids::Pid;
 use rr_sched::process::{Process, StepOutcome};
 use rr_shmem::Access;
 
@@ -53,8 +54,8 @@ impl<P: PhaseProcess> Process for AlmostTight<P> {
         }
     }
 
-    fn pid(&self) -> usize {
-        self.0.pid()
+    fn pid(&self) -> Pid {
+        Pid::new(self.0.pid())
     }
 }
 
@@ -115,8 +116,8 @@ impl<A: PhaseProcess, B: PhaseProcess> Process for Chain<A, B> {
         }
     }
 
-    fn pid(&self) -> usize {
-        self.first.pid()
+    fn pid(&self) -> Pid {
+        Pid::new(self.first.pid())
     }
 }
 

@@ -17,6 +17,7 @@
 //! request and one per name-slot TAS.
 
 use crate::params::{TightPlan, TightVariant};
+use rr_sched::ids::Pid;
 use rr_sched::process::{Process, StepOutcome};
 use rr_shmem::rng::ProcessRng;
 use rr_shmem::Access;
@@ -287,8 +288,8 @@ impl Process for TightProcess {
         }
     }
 
-    fn pid(&self) -> usize {
-        self.pid
+    fn pid(&self) -> Pid {
+        Pid::new(self.pid)
     }
 }
 

@@ -4,46 +4,71 @@
 //! and which processes crash, and "is allowed to see the state of all
 //! processes (including the results of coin flips) when making its
 //! scheduling choices". Here that power is concrete: before every
-//! decision the executor hands the adversary a [`View`] containing each
+//! decision the executor hands the adversary a [`RunView`] containing each
 //! active process's *announced* next access — announcements are made
 //! after the coin flip that chose the target register, so the adversary
 //! schedules with full knowledge of the randomness.
 
+use crate::ids::{EntityVec, Pid, ShardMap};
 use rand::rngs::ChaCha8Rng;
 use rand::{RngExt, SeedableRng};
 use rr_shmem::Access;
 
-/// What the adversary sees before each decision.
+/// What the adversary sees before each decision — one context struct
+/// rather than a growing positional-argument list, so shard-aware fields
+/// can ride along without breaking every strategy.
 #[derive(Debug)]
-pub struct View<'a> {
+pub struct RunView<'a> {
     /// Sorted *superset* of the pids still running: the executor
     /// tombstones halted pids and compacts lazily, so entries whose
     /// `announced` slot is `None` are already done/crashed and must not
     /// be granted. `announced[pid].is_some()` is the ground truth for
     /// runnability.
-    pub active: &'a [usize],
+    pub active: &'a [Pid],
     /// `announced[pid]` — the access each runnable process will perform
     /// next (`None` for finished/crashed processes).
-    pub announced: &'a [Option<Access>],
+    pub announced: &'a EntityVec<Pid, Option<Access>>,
     /// Steps taken so far, indexed by pid.
-    pub steps: &'a [u64],
-    /// Number of processes that already hold a name.
+    pub steps: &'a EntityVec<Pid, u64>,
+    /// Number of processes that already hold a name (global across
+    /// shards — under the shard backend this includes the other shards'
+    /// counts as of the last coupling round).
     pub named: usize,
+    /// How the run's pid space is partitioned across shards.
+    /// [`ShardMap::single`] for every unsharded backend.
+    pub shards: ShardMap,
 }
+
+impl<'a> RunView<'a> {
+    /// An unsharded view — the common case for every serial executor and
+    /// for tests.
+    pub fn new(
+        active: &'a [Pid],
+        announced: &'a EntityVec<Pid, Option<Access>>,
+        steps: &'a EntityVec<Pid, u64>,
+        named: usize,
+    ) -> Self {
+        Self { active, announced, steps, named, shards: ShardMap::single() }
+    }
+}
+
+/// Pre-redesign name of [`RunView`].
+#[deprecated(note = "renamed to RunView; decide() now takes one context struct")]
+pub type View<'a> = RunView<'a>;
 
 /// One scheduling decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Decision {
     /// Let `pid` execute its announced access.
-    Grant(usize),
+    Grant(Pid),
     /// Crash `pid`: it takes no further steps (and never gets a name).
-    Crash(usize),
+    Crash(Pid),
 }
 
 /// An adaptive adversary strategy.
 pub trait Adversary {
     /// Chooses the next decision. `view.active` is non-empty.
-    fn decide(&mut self, view: &View<'_>) -> Decision;
+    fn decide(&mut self, view: &RunView<'_>) -> Decision;
 
     /// Strategy name for experiment tables.
     fn name(&self) -> &'static str;
@@ -52,7 +77,7 @@ pub trait Adversary {
 /// Boxed adversaries delegate — so registry-built strategies can be
 /// wrapped by [`crate::replay::RecordingAdversary`] and friends.
 impl<A: Adversary + ?Sized> Adversary for Box<A> {
-    fn decide(&mut self, view: &View<'_>) -> Decision {
+    fn decide(&mut self, view: &RunView<'_>) -> Decision {
         (**self).decide(view)
     }
 
@@ -77,18 +102,18 @@ pub struct FairAdversary {
 }
 
 impl Adversary for FairAdversary {
-    fn decide(&mut self, view: &View<'_>) -> Decision {
+    fn decide(&mut self, view: &RunView<'_>) -> Decision {
         let active = view.active;
         let len = active.len();
         // Index of the first active entry ≥ cursor: the validated hint,
         // or a binary search when the hint is stale.
         let start = if self.hint <= len
-            && (self.hint == 0 || active[self.hint - 1] < self.cursor)
-            && (self.hint == len || active[self.hint] >= self.cursor)
+            && (self.hint == 0 || active[self.hint - 1].index() < self.cursor)
+            && (self.hint == len || active[self.hint].index() >= self.cursor)
         {
             self.hint
         } else {
-            active.partition_point(|&p| p < self.cursor)
+            active.partition_point(|&p| p.index() < self.cursor)
         };
         // Grant the first runnable pid at or after the cursor, skipping
         // tombstones (amortized O(1): each tombstone is skipped at most
@@ -101,7 +126,7 @@ impl Adversary for FairAdversary {
             .find(|&(_, p)| view.announced[p].is_some())
             .expect("decide() requires at least one runnable process");
         let index = if start + offset < len { start + offset } else { start + offset - len };
-        self.cursor = pid + 1;
+        self.cursor = pid.index() + 1;
         self.hint = index + 1;
         Decision::Grant(pid)
     }
@@ -125,7 +150,7 @@ impl RandomAdversary {
 }
 
 impl Adversary for RandomAdversary {
-    fn decide(&mut self, view: &View<'_>) -> Decision {
+    fn decide(&mut self, view: &RunView<'_>) -> Decision {
         // Rejection-sample past tombstones (< 50% of the vector by the
         // executor's compaction policy, so ≤ 2 tries expected).
         loop {
@@ -150,11 +175,11 @@ impl Adversary for RandomAdversary {
 #[derive(Debug, Default)]
 pub struct CollisionMaximizer {
     /// Pids queued for consecutive scheduling.
-    burst: Vec<usize>,
+    burst: Vec<Pid>,
 }
 
 impl Adversary for CollisionMaximizer {
-    fn decide(&mut self, view: &View<'_>) -> Decision {
+    fn decide(&mut self, view: &RunView<'_>) -> Decision {
         // Drain the current burst first (skip pids no longer runnable).
         while let Some(pid) = self.burst.pop() {
             if view.announced.get(pid).is_some_and(|a| a.is_some()) {
@@ -162,7 +187,7 @@ impl Adversary for CollisionMaximizer {
             }
         }
         // Group active pids by announced target; pick the biggest group.
-        let mut groups: std::collections::HashMap<(u32, usize), Vec<usize>> =
+        let mut groups: std::collections::HashMap<(u32, usize), Vec<Pid>> =
             std::collections::HashMap::new();
         for &pid in view.active {
             if let Some(acc) = view.announced[pid] {
@@ -170,14 +195,14 @@ impl Adversary for CollisionMaximizer {
                     Access::Tas { array, index } => (array, index),
                     Access::Read { array, index } => (array, index),
                     Access::TauRequest { register, bit } => (u32::MAX, register * 64 + bit),
-                    Access::Local => (u32::MAX - 1, pid),
+                    Access::Local => (u32::MAX - 1, pid.index()),
                 };
                 groups.entry(key).or_default().push(pid);
             }
         }
         let mut best = groups
             .into_values()
-            .max_by_key(|v| (v.len(), usize::MAX - v[0]))
+            .max_by_key(|v| (v.len(), usize::MAX - v[0].index()))
             .expect("decide() requires at least one runnable process");
         // Grant one now, queue the rest.
         let pid = best.pop().unwrap();
@@ -207,7 +232,7 @@ impl StallWinners {
 }
 
 impl Adversary for StallWinners {
-    fn decide(&mut self, view: &View<'_>) -> Decision {
+    fn decide(&mut self, view: &RunView<'_>) -> Decision {
         for &pid in view.active {
             if let Some(acc) = view.announced[pid] {
                 if !(self.probe)(&acc) {
@@ -266,7 +291,7 @@ impl<A: Adversary> CrashAdversary<A> {
 }
 
 impl<A: Adversary> Adversary for CrashAdversary<A> {
-    fn decide(&mut self, view: &View<'_>) -> Decision {
+    fn decide(&mut self, view: &RunView<'_>) -> Decision {
         if self.crashed < self.budget && view.active.len() > 1 {
             for &pid in view.active {
                 let winning = view.announced[pid].is_some_and(|a| a.is_winning_kind());
@@ -287,57 +312,56 @@ impl<A: Adversary> Adversary for CrashAdversary<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ids::pids;
 
     fn view<'a>(
-        active: &'a [usize],
-        announced: &'a [Option<Access>],
-        steps: &'a [u64],
-    ) -> View<'a> {
-        View { active, announced, steps, named: 0 }
+        active: &'a [Pid],
+        announced: &'a EntityVec<Pid, Option<Access>>,
+        steps: &'a EntityVec<Pid, u64>,
+    ) -> RunView<'a> {
+        RunView::new(active, announced, steps, 0)
+    }
+
+    fn grant(d: Decision) -> usize {
+        match d {
+            Decision::Grant(p) => p.index(),
+            _ => panic!("expected a grant, got {d:?}"),
+        }
     }
 
     #[test]
     fn fair_is_round_robin() {
-        let active = [0, 1, 2];
-        let ann = [Some(Access::Local); 3].to_vec();
-        let steps = [0u64; 3];
+        let active: Vec<Pid> = pids(3).collect();
+        let ann: EntityVec<Pid, _> = crate::entity_vec![Some(Access::Local); 3];
+        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 3];
         let mut adv = FairAdversary::default();
-        let picks: Vec<_> = (0..6)
-            .map(|_| match adv.decide(&view(&active, &ann, &steps)) {
-                Decision::Grant(p) => p,
-                _ => panic!(),
-            })
-            .collect();
+        let picks: Vec<_> =
+            (0..6).map(|_| grant(adv.decide(&view(&active, &ann, &steps)))).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
 
     #[test]
     fn fair_skips_inactive() {
-        let ann = [Some(Access::Local); 5].to_vec();
-        let steps = [0u64; 5];
+        let ann: EntityVec<Pid, _> = crate::entity_vec![Some(Access::Local); 5];
+        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 5];
         let mut adv = FairAdversary::default();
-        let active = [1, 3];
+        let active = [Pid::new(1), Pid::new(3)];
         let p1 = adv.decide(&view(&active, &ann, &steps));
         let p2 = adv.decide(&view(&active, &ann, &steps));
         let p3 = adv.decide(&view(&active, &ann, &steps));
-        assert_eq!(p1, Decision::Grant(1));
-        assert_eq!(p2, Decision::Grant(3));
-        assert_eq!(p3, Decision::Grant(1));
+        assert_eq!(p1, Decision::Grant(Pid::new(1)));
+        assert_eq!(p2, Decision::Grant(Pid::new(3)));
+        assert_eq!(p3, Decision::Grant(Pid::new(1)));
     }
 
     #[test]
     fn random_is_deterministic_given_seed() {
-        let active: Vec<usize> = (0..10).collect();
-        let ann = vec![Some(Access::Local); 10];
-        let steps = vec![0u64; 10];
+        let active: Vec<Pid> = pids(10).collect();
+        let ann: EntityVec<Pid, _> = crate::entity_vec![Some(Access::Local); 10];
+        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 10];
         let run = |seed| {
             let mut adv = RandomAdversary::new(seed);
-            (0..20)
-                .map(|_| match adv.decide(&view(&active, &ann, &steps)) {
-                    Decision::Grant(p) => p,
-                    _ => panic!(),
-                })
-                .collect::<Vec<_>>()
+            (0..20).map(|_| grant(adv.decide(&view(&active, &ann, &steps)))).collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
@@ -346,58 +370,53 @@ mod tests {
     #[test]
     fn collision_maximizer_groups_by_target() {
         // pids 0,2 target register 5; pid 1 targets register 9.
-        let active = [0, 1, 2];
-        let ann = vec![
+        let active: Vec<Pid> = pids(3).collect();
+        let ann: EntityVec<Pid, _> = crate::entity_vec![
             Some(Access::Tas { array: 0, index: 5 }),
             Some(Access::Tas { array: 0, index: 9 }),
             Some(Access::Tas { array: 0, index: 5 }),
         ];
-        let steps = [0u64; 3];
+        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 3];
         let mut adv = CollisionMaximizer::default();
-        let first = adv.decide(&view(&active, &ann, &steps));
-        let second = adv.decide(&view(&active, &ann, &steps));
-        let granted: Vec<usize> = [first, second]
-            .iter()
-            .map(|d| match d {
-                Decision::Grant(p) => *p,
-                _ => panic!(),
-            })
-            .collect();
+        let first = grant(adv.decide(&view(&active, &ann, &steps)));
+        let second = grant(adv.decide(&view(&active, &ann, &steps)));
+        let granted = [first, second];
         // Both members of the largest group come before pid 1.
         assert!(granted.contains(&0) && granted.contains(&2), "granted {granted:?}");
     }
 
     #[test]
     fn stall_winners_prefers_losers() {
-        let active = [0, 1];
-        let ann = vec![
+        let active: Vec<Pid> = pids(2).collect();
+        let ann: EntityVec<Pid, _> = crate::entity_vec![
             Some(Access::Tas { array: 0, index: 0 }), // would win
             Some(Access::Tas { array: 0, index: 1 }), // would lose
         ];
-        let steps = [0u64; 2];
+        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 2];
         let mut adv = StallWinners::new(Box::new(|a: &Access| a.index() == Some(0)));
-        assert_eq!(adv.decide(&view(&active, &ann, &steps)), Decision::Grant(1));
+        assert_eq!(adv.decide(&view(&active, &ann, &steps)), Decision::Grant(Pid::new(1)));
     }
 
     #[test]
     fn stall_winners_grants_when_all_win() {
-        let active = [3, 4];
-        let ann = {
+        let active = [Pid::new(3), Pid::new(4)];
+        let ann: EntityVec<Pid, _> = {
             let mut v = vec![None; 5];
             v[3] = Some(Access::Tas { array: 0, index: 0 });
             v[4] = Some(Access::Tas { array: 0, index: 1 });
-            v
+            v.into()
         };
-        let steps = [0u64; 5];
+        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 5];
         let mut adv = StallWinners::new(Box::new(|_| true));
-        assert_eq!(adv.decide(&view(&active, &ann, &steps)), Decision::Grant(3));
+        assert_eq!(adv.decide(&view(&active, &ann, &steps)), Decision::Grant(Pid::new(3)));
     }
 
     #[test]
     fn crash_adversary_respects_budget() {
-        let active: Vec<usize> = (0..10).collect();
-        let ann = vec![Some(Access::Tas { array: 0, index: 0 }); 10];
-        let steps = vec![0u64; 10];
+        let active: Vec<Pid> = pids(10).collect();
+        let ann: EntityVec<Pid, _> =
+            crate::entity_vec![Some(Access::Tas { array: 0, index: 0 }); 10];
+        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 10];
         let mut adv = CrashAdversary::new(FairAdversary::default(), 1.0, 3, 1);
         let mut crashes = 0;
         for _ in 0..50 {
@@ -411,28 +430,41 @@ mod tests {
 
     #[test]
     fn crash_adversary_never_crashes_last_process() {
-        let active = [5];
-        let ann = {
+        let active = [Pid::new(5)];
+        let ann: EntityVec<Pid, _> = {
             let mut v = vec![None; 6];
             v[5] = Some(Access::Tas { array: 0, index: 0 });
-            v
+            v.into()
         };
-        let steps = [0u64; 6];
+        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 6];
         let mut adv = CrashAdversary::new(FairAdversary::default(), 1.0, 100, 1);
         for _ in 0..10 {
-            assert!(matches!(adv.decide(&view(&active, &ann, &steps)), Decision::Grant(5)));
+            assert!(matches!(
+                adv.decide(&view(&active, &ann, &steps)),
+                Decision::Grant(p) if p == Pid::new(5)
+            ));
         }
     }
 
     #[test]
     fn crash_zero_probability_never_crashes() {
-        let active: Vec<usize> = (0..4).collect();
-        let ann = vec![Some(Access::Tas { array: 0, index: 0 }); 4];
-        let steps = vec![0u64; 4];
+        let active: Vec<Pid> = pids(4).collect();
+        let ann: EntityVec<Pid, _> =
+            crate::entity_vec![Some(Access::Tas { array: 0, index: 0 }); 4];
+        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 4];
         let mut adv = CrashAdversary::new(FairAdversary::default(), 0.0, 100, 1);
         for _ in 0..20 {
             assert!(matches!(adv.decide(&view(&active, &ann, &steps)), Decision::Grant(_)));
         }
+    }
+
+    #[test]
+    fn view_defaults_to_a_single_shard() {
+        let active: Vec<Pid> = pids(2).collect();
+        let ann: EntityVec<Pid, _> = crate::entity_vec![Some(Access::Local); 2];
+        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 2];
+        let v = RunView::new(&active, &ann, &steps, 0);
+        assert_eq!(v.shards, ShardMap::single());
     }
 
     #[test]
@@ -471,8 +503,8 @@ mod stall_integration {
                 crate::process::StepOutcome::Continue
             }
         }
-        fn pid(&self) -> usize {
-            self.pid
+        fn pid(&self) -> Pid {
+            Pid::new(self.pid)
         }
     }
 

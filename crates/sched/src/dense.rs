@@ -1,318 +1,9 @@
-//! The flat arena execution core — one loop, every backend.
+//! Pre-shard home of the flat arena core.
 //!
-//! [`virtual_exec::run`](crate::virtual_exec::run) historically drove
-//! `Vec<Box<dyn Process>>` with a virtual call per announce and per step
-//! and re-allocated its bookkeeping vectors on every run, which is what
-//! made n = 2²⁰ sweeps slow and n = 2²² impractical. The [`Arena`] here
-//! is the replacement hot path:
-//!
-//! * **Struct-of-arrays state.** Per-process lifecycle is one packed
-//!   status byte per pid (running / named / gave-up / crashed)
-//!   instead of the scattered `Vec<Option<usize>>` + `Vec<bool>` pair;
-//!   names and steps live in dense parallel arrays.
-//! * **Scratch reuse.** All working vectors (`announced`, `active`,
-//!   `status`, `steps`, `names`) are owned by the arena and reused across
-//!   seeds — a batch at n = 2²⁰ allocates its ~50 MB of bookkeeping once,
-//!   not once per seed.
-//! * **Monomorphized dispatch.** [`Arena::run`] is generic over the
-//!   process type: algorithms that build their state machines as a plain
-//!   `Vec<ConcreteProcess>` (see `RenamingAlgorithm::run_dense` in
-//!   `rr-renaming`) get the announce/step calls statically dispatched and
-//!   inlined, with all n machines contiguous in memory — no per-pid `Box`
-//!   allocation, no vtable chase per step. The boxed path still works:
-//!   `Box<dyn Process>` itself implements [`Process`]
-//!   (see [`crate::process`]), so `virtual_exec::run` is now a thin shim
-//!   over this same loop.
-//!
-//! **Scheduling semantics are bit-identical to the historical executor by
-//! construction** — same announce cadence, same tombstoned `active`
-//! vector with the same lazy-compaction threshold, same [`View`] handed
-//! to the adversary before every decision. An adversary cannot tell which
-//! backend is driving it, so step counts, crash patterns and RNG
-//! consumption all reproduce exactly (the cross-backend equivalence tests
-//! in `rr-bench` pin this for every registry algorithm × adversary).
+//! The [`Arena`] (struct-of-arrays state, scratch reuse, monomorphized
+//! dispatch) now lives in [`crate::shard`] alongside the multi-arena
+//! sharded engine; this module re-exports it so `rr_sched::dense::Arena`
+//! paths keep compiling. New code should import from [`crate::shard`]
+//! (or the crate root).
 
-use crate::adversary::{Adversary, Decision, View};
-use crate::process::{Process, StepOutcome};
-use crate::virtual_exec::{ExecError, RunOutcome};
-use rr_shmem::Access;
-
-/// Packed per-process lifecycle state — one byte per pid, the
-/// struct-of-arrays replacement for `names: Vec<Option<usize>>` +
-/// `crashed: Vec<bool>` + `gave_up: Vec<bool>` during a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[repr(u8)]
-enum Status {
-    /// Still taking steps.
-    Running = 0,
-    /// Halted holding a name (in `Arena::names`).
-    Named = 1,
-    /// Halted unnamed of its own accord.
-    GaveUp = 2,
-    /// Crashed by the adversary.
-    Crashed = 3,
-}
-
-/// Reusable execution scratch: the allocation-free (after warm-up) arena
-/// every backend's runs execute in.
-///
-/// Create one per worker thread and feed it run after run — buffers grow
-/// to the largest n seen and are reused verbatim afterwards:
-///
-/// ```
-/// use rr_sched::adversary::FairAdversary;
-/// use rr_sched::dense::Arena;
-/// use rr_sched::process::{Process, StepOutcome};
-/// use rr_shmem::Access;
-///
-/// struct Count { pid: usize, left: usize }
-/// impl Process for Count {
-///     fn announce(&mut self) -> Access { Access::Local }
-///     fn step(&mut self) -> StepOutcome {
-///         if self.left == 0 { StepOutcome::Done(self.pid) }
-///         else { self.left -= 1; StepOutcome::Continue }
-///     }
-///     fn pid(&self) -> usize { self.pid }
-/// }
-///
-/// let mut arena = Arena::new();
-/// for _seed in 0..3 {
-///     // A plain Vec of concrete processes: static dispatch, no boxing.
-///     let mut procs: Vec<Count> = (0..4).map(|pid| Count { pid, left: pid }).collect();
-///     let out = arena.run(&mut procs, &mut FairAdversary::default(), 1000).unwrap();
-///     out.verify_renaming(4).unwrap();
-/// }
-/// ```
-#[derive(Debug, Default)]
-pub struct Arena {
-    announced: Vec<Option<Access>>,
-    active: Vec<usize>,
-    status: Vec<Status>,
-    steps: Vec<u64>,
-    names: Vec<usize>,
-}
-
-impl Arena {
-    /// An empty arena; buffers are sized lazily by the first run.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    fn reset(&mut self, n: usize) {
-        self.announced.clear();
-        self.announced.resize(n, None);
-        self.active.clear();
-        self.active.extend(0..n);
-        self.status.clear();
-        self.status.resize(n, Status::Running);
-        self.steps.clear();
-        self.steps.resize(n, 0);
-        self.names.clear();
-        self.names.resize(n, usize::MAX);
-    }
-
-    /// Runs `processes` to completion under `adversary` — the shared
-    /// execution loop behind every backend.
-    ///
-    /// `processes[i]` must be the state machine with `pid() == i` (every
-    /// workload factory in this workspace builds them that way). The
-    /// outcome vectors are freshly allocated (they escape the arena); all
-    /// scratch is reused across calls.
-    ///
-    /// # Errors
-    /// [`ExecError::StepBudgetExceeded`] past `step_budget` total steps,
-    /// [`ExecError::BadDecision`] if the adversary addresses a pid that
-    /// is not runnable.
-    ///
-    /// # Panics
-    /// Panics if some `processes[i].pid() != i`.
-    pub fn run<P, A>(
-        &mut self,
-        processes: &mut [P],
-        adversary: &mut A,
-        step_budget: u64,
-    ) -> Result<RunOutcome, ExecError>
-    where
-        P: Process,
-        A: Adversary + ?Sized,
-    {
-        let n = processes.len();
-        self.reset(n);
-        let mut named = 0usize;
-        let mut decisions = 0u64;
-        let mut total_steps = 0u64;
-
-        // Initial announcements (and the pid-layout contract check).
-        for (pid, p) in processes.iter_mut().enumerate() {
-            assert_eq!(p.pid(), pid, "arena requires processes[i].pid() == i");
-            self.announced[pid] = Some(p.announce());
-        }
-
-        // `active` uses tombstones: halted pids stay in the vector (their
-        // `announced` slot is `None`) until more than half are dead, then
-        // one O(len) compaction reclaims them — amortized O(1) per halt.
-        // The `View` contract reflects this: `active` is a sorted
-        // superset of the runnable pids; `announced[pid].is_some()` is
-        // the ground truth. This policy is observable (RandomAdversary
-        // rejection-samples over it), so it must never drift from the
-        // historical executor's.
-        let mut live = n;
-        while live > 0 {
-            if self.active.len() > 2 * live {
-                let announced = &self.announced;
-                self.active.retain(|&pid| announced[pid].is_some());
-            }
-            let decision = {
-                let view = View {
-                    active: &self.active,
-                    announced: &self.announced,
-                    steps: &self.steps,
-                    named,
-                };
-                adversary.decide(&view)
-            };
-            decisions += 1;
-            match decision {
-                Decision::Grant(pid) => {
-                    if pid >= n || self.announced[pid].is_none() {
-                        return Err(ExecError::BadDecision { decision: format!("{decision:?}") });
-                    }
-                    self.steps[pid] += 1;
-                    total_steps += 1;
-                    if total_steps > step_budget {
-                        return Err(ExecError::StepBudgetExceeded { budget: step_budget });
-                    }
-                    match processes[pid].step() {
-                        StepOutcome::Continue => {
-                            self.announced[pid] = Some(processes[pid].announce());
-                        }
-                        StepOutcome::Done(name) => {
-                            self.names[pid] = name;
-                            self.status[pid] = Status::Named;
-                            named += 1;
-                            self.announced[pid] = None;
-                            live -= 1;
-                        }
-                        StepOutcome::GaveUp => {
-                            self.status[pid] = Status::GaveUp;
-                            self.announced[pid] = None;
-                            live -= 1;
-                        }
-                    }
-                }
-                Decision::Crash(pid) => {
-                    if pid >= n || self.announced[pid].is_none() {
-                        return Err(ExecError::BadDecision { decision: format!("{decision:?}") });
-                    }
-                    self.status[pid] = Status::Crashed;
-                    self.announced[pid] = None;
-                    live -= 1;
-                }
-            }
-        }
-
-        Ok(self.outcome(decisions))
-    }
-
-    /// Unpacks the packed SoA state into the public [`RunOutcome`] shape.
-    fn outcome(&self, decisions: u64) -> RunOutcome {
-        RunOutcome {
-            names: self
-                .status
-                .iter()
-                .zip(&self.names)
-                .map(|(&s, &name)| (s == Status::Named).then_some(name))
-                .collect(),
-            steps: self.steps.clone(),
-            crashed: self.status.iter().map(|&s| s == Status::Crashed).collect(),
-            gave_up: self.status.iter().map(|&s| s == Status::GaveUp).collect(),
-            decisions,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::adversary::{CrashAdversary, FairAdversary, RandomAdversary};
-    use crate::process::testutil::ScanProcess;
-    use crate::virtual_exec;
-    use rr_shmem::tas::AtomicTasArray;
-    use std::sync::Arc;
-
-    fn scan_processes(
-        n: usize,
-        m: usize,
-    ) -> (Vec<ScanProcess<AtomicTasArray>>, Arc<AtomicTasArray>) {
-        let mem = Arc::new(AtomicTasArray::new(m));
-        let procs =
-            (0..n).map(|pid| ScanProcess { pid, mem: Arc::clone(&mem), cursor: 0 }).collect();
-        (procs, mem)
-    }
-
-    #[test]
-    fn typed_run_matches_boxed_virtual_run_bit_for_bit() {
-        for seed in 0..4u64 {
-            let (mut typed, _m1) = scan_processes(24, 24);
-            let mut arena = Arena::new();
-            let dense = arena.run(&mut typed, &mut RandomAdversary::new(seed), 100_000).unwrap();
-
-            let (boxed, _m2) = scan_processes(24, 24);
-            let boxed: Vec<Box<dyn Process>> =
-                boxed.into_iter().map(|p| Box::new(p) as Box<dyn Process>).collect();
-            let virt = virtual_exec::run(boxed, &mut RandomAdversary::new(seed), 100_000).unwrap();
-
-            assert_eq!(dense.names, virt.names, "seed {seed}");
-            assert_eq!(dense.steps, virt.steps, "seed {seed}");
-            assert_eq!(dense.crashed, virt.crashed, "seed {seed}");
-            assert_eq!(dense.gave_up, virt.gave_up, "seed {seed}");
-            assert_eq!(dense.decisions, virt.decisions, "seed {seed}");
-        }
-    }
-
-    #[test]
-    fn arena_buffers_are_reused_across_runs_without_leakage() {
-        let mut arena = Arena::new();
-        // Big run first: buffers grow.
-        let (mut big, _m) = scan_processes(64, 64);
-        let out = arena.run(&mut big, &mut FairAdversary::default(), 100_000).unwrap();
-        out.verify_renaming(64).unwrap();
-        // Small run next: outcome must be sized to the small n, with no
-        // stale state from the big run.
-        let (mut small, _m) = scan_processes(5, 5);
-        let out = arena.run(&mut small, &mut FairAdversary::default(), 1_000).unwrap();
-        assert_eq!(out.names.len(), 5);
-        assert_eq!(out.steps, vec![1, 2, 3, 4, 5]);
-        out.verify_renaming(5).unwrap();
-        // And a crashy run after that still accounts correctly.
-        let (mut procs, _m) = scan_processes(10, 10);
-        let mut adv = CrashAdversary::new(FairAdversary::default(), 0.5, 3, 7);
-        let out = arena.run(&mut procs, &mut adv, 100_000).unwrap();
-        assert_eq!(out.crashed.iter().filter(|&&c| c).count(), adv.crashes());
-        out.verify_renaming(10).unwrap();
-    }
-
-    #[test]
-    fn empty_slice_is_trivial() {
-        let mut arena = Arena::new();
-        let mut procs: Vec<ScanProcess<AtomicTasArray>> = Vec::new();
-        let out = arena.run(&mut procs, &mut FairAdversary::default(), 10).unwrap();
-        assert_eq!(out.decisions, 0);
-        assert!(out.names.is_empty());
-    }
-
-    #[test]
-    fn step_budget_enforced_in_arena() {
-        let (mut procs, _m) = scan_processes(4, 4);
-        let err = Arena::new().run(&mut procs, &mut FairAdversary::default(), 2).unwrap_err();
-        assert!(matches!(err, ExecError::StepBudgetExceeded { budget: 2 }));
-    }
-
-    #[test]
-    #[should_panic(expected = "pid() == i")]
-    fn pid_layout_contract_enforced() {
-        let mem = Arc::new(AtomicTasArray::new(4));
-        let mut procs = vec![ScanProcess { pid: 3, mem, cursor: 0 }];
-        let _ = Arena::new().run(&mut procs, &mut FairAdversary::default(), 10);
-    }
-}
+pub use crate::shard::Arena;

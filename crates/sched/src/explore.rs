@@ -37,7 +37,8 @@
 //! concurrent seeds still run and stay safe, they just may revisit
 //! branches.
 
-use crate::adversary::{Adversary, Decision, View};
+use crate::adversary::{Adversary, Decision, RunView};
+use crate::ids::Pid;
 use crate::registry::ParsedKey;
 use crate::replay::Tape;
 use crate::virtual_exec::RunOutcome;
@@ -48,11 +49,11 @@ use std::sync::{Arc, Mutex};
 
 /// Runnable pids in `view`, ascending (`active` is a sorted superset
 /// with tombstones; `announced[pid].is_some()` is the ground truth).
-fn runnable<'a>(view: &'a View<'_>) -> impl Iterator<Item = usize> + 'a {
+fn runnable<'a>(view: &'a RunView<'_>) -> impl Iterator<Item = Pid> + 'a {
     view.active.iter().copied().filter(|&p| view.announced[p].is_some())
 }
 
-fn at_least_two_runnable(view: &View<'_>) -> bool {
+fn at_least_two_runnable(view: &RunView<'_>) -> bool {
     runnable(view).nth(1).is_some()
 }
 
@@ -71,7 +72,7 @@ struct RunnableCursor {
 }
 
 impl RunnableCursor {
-    fn first(&mut self, view: &View<'_>) -> usize {
+    fn first(&mut self, view: &RunView<'_>) -> Pid {
         if view.active.len() != self.last_len {
             self.dead_prefix = 0;
             self.last_len = view.active.len();
@@ -89,7 +90,7 @@ impl RunnableCursor {
     /// overall first — how the tolerant replayers redirect a decision
     /// that names a halted pid. `active` is sorted, so the ≥ `want`
     /// suffix is found by binary search rather than a front scan.
-    fn redirect(&mut self, view: &View<'_>, want: usize) -> usize {
+    fn redirect(&mut self, view: &RunView<'_>, want: Pid) -> Pid {
         let start = view.active.partition_point(|&p| p < want);
         view.active[start..]
             .iter()
@@ -104,8 +105,8 @@ impl RunnableCursor {
 /// runnable process — crash each runnable pid ascending. Identical views
 /// always yield identical lists, which is what makes digit prefixes a
 /// stable addressing scheme for schedules.
-fn choices(view: &View<'_>, crashes_left: usize) -> Vec<Decision> {
-    let grants: Vec<usize> = runnable(view).collect();
+fn choices(view: &RunView<'_>, crashes_left: usize) -> Vec<Decision> {
+    let grants: Vec<Pid> = runnable(view).collect();
     let mut out: Vec<Decision> = grants.iter().map(|&p| Decision::Grant(p)).collect();
     if crashes_left > 0 && grants.len() > 1 {
         out.extend(grants.iter().map(|&p| Decision::Crash(p)));
@@ -159,7 +160,7 @@ impl GuidedAdversary {
 }
 
 impl Adversary for GuidedAdversary {
-    fn decide(&mut self, view: &View<'_>) -> Decision {
+    fn decide(&mut self, view: &RunView<'_>) -> Decision {
         let d = if self.at < self.depth {
             let cs = choices(view, self.crash_budget - self.crashes_used);
             let mut digit = self.prefix.get(self.at).copied().unwrap_or(0);
@@ -230,6 +231,7 @@ pub struct ExploreReport {
 ///
 /// ```
 /// use rr_sched::explore::ExhaustiveExplorer;
+/// use rr_sched::ids::Pid;
 /// use rr_sched::process::{Process, StepOutcome};
 /// use rr_shmem::Access;
 ///
@@ -240,7 +242,7 @@ pub struct ExploreReport {
 ///         if self.left == 0 { StepOutcome::Done(self.pid) }
 ///         else { self.left -= 1; StepOutcome::Continue }
 ///     }
-///     fn pid(&self) -> usize { self.pid }
+///     fn pid(&self) -> Pid { Pid::new(self.pid) }
 /// }
 ///
 /// // 2 processes × 2 steps each: 4!/(2!·2!) = 6 interleavings.
@@ -395,7 +397,7 @@ impl TolerantReplay {
 }
 
 impl Adversary for TolerantReplay {
-    fn decide(&mut self, view: &View<'_>) -> Decision {
+    fn decide(&mut self, view: &RunView<'_>) -> Decision {
         let want = self.tape.decisions().get(self.at).copied();
         self.at += 1;
         match want {
@@ -493,7 +495,7 @@ impl MutatingReplay {
 }
 
 impl Adversary for MutatingReplay {
-    fn decide(&mut self, view: &View<'_>) -> Decision {
+    fn decide(&mut self, view: &RunView<'_>) -> Decision {
         let want = self.base.decisions().get(self.at).copied();
         self.at += 1;
         let d = if self.strength > 0.0 && self.rng.random_bool(self.strength) {
@@ -544,15 +546,16 @@ pub fn interleaving_signature(tape: &Tape, n: usize) -> u64 {
     let mut prev = usize::MAX;
     for &d in tape.decisions() {
         match d {
-            Decision::Grant(p) if p < n => {
+            Decision::Grant(p) if p.index() < n => {
+                let p = p.index();
                 steps[p] = steps[p].saturating_add(1);
                 if prev != p {
                     bursts[p] = bursts[p].saturating_add(1);
                 }
                 prev = p;
             }
-            Decision::Crash(p) if p < n => {
-                crashed[p] = true;
+            Decision::Crash(p) if p.index() < n => {
+                crashed[p.index()] = true;
                 prev = usize::MAX;
             }
             _ => {}
@@ -825,7 +828,7 @@ impl SharedGuided {
 }
 
 impl Adversary for SharedGuided {
-    fn decide(&mut self, view: &View<'_>) -> Decision {
+    fn decide(&mut self, view: &RunView<'_>) -> Decision {
         self.inner.as_mut().expect("guided adversary present until drop").decide(view)
     }
 
@@ -919,7 +922,7 @@ impl SharedFuzz {
 }
 
 impl Adversary for SharedFuzz {
-    fn decide(&mut self, view: &View<'_>) -> Decision {
+    fn decide(&mut self, view: &RunView<'_>) -> Decision {
         self.inner.as_mut().expect("mutating replay present until drop").decide(view)
     }
 
@@ -964,8 +967,8 @@ mod tests {
                 StepOutcome::Continue
             }
         }
-        fn pid(&self) -> usize {
-            self.pid
+        fn pid(&self) -> Pid {
+            Pid::new(self.pid)
         }
     }
 
@@ -1094,7 +1097,7 @@ mod tests {
         let noisy = Tape::from_text("g0 g1 c2 g0 g1 g0").unwrap();
         let fails = |t: &Tape| {
             let out = run(counters(3, 2), &mut TolerantReplay::new(t.clone()), 10_000).unwrap();
-            out.crashed[2]
+            out.crashed[Pid::new(2)]
         };
         assert!(fails(&noisy));
         let min = shrink_tape(&noisy, fails);
@@ -1123,7 +1126,7 @@ mod tests {
         let fail_g0_first = |adv: &mut dyn Adversary| {
             let mut probe = RecordingProbe { inner: adv, first: None };
             let out = run(counters(2, 0), &mut probe, 100).map_err(|e| e.to_string())?;
-            if probe.first == Some(Decision::Grant(0)) {
+            if probe.first == Some(Decision::Grant(Pid::new(0))) {
                 return Err("schedule granted pid 0 first".into());
             }
             Ok(out)
@@ -1149,7 +1152,7 @@ mod tests {
     }
 
     impl Adversary for RecordingProbe<'_> {
-        fn decide(&mut self, view: &View<'_>) -> Decision {
+        fn decide(&mut self, view: &RunView<'_>) -> Decision {
             let d = self.inner.decide(view);
             self.first.get_or_insert(d);
             d

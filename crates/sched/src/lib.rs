@@ -7,10 +7,14 @@
 //! Algorithms are [`Process`] state machines (announce an access, then
 //! execute it). One execution core, three faces:
 //!
-//! * [`dense`] — the flat arena core: struct-of-arrays process state,
+//! * [`shard`] — the flat arena core (struct-of-arrays process state,
 //!   scratch buffers reused across seeds, monomorphized announce/step
-//!   dispatch for typed process slices. Every adversary-scheduled run in
-//!   the workspace executes this loop.
+//!   dispatch for typed process slices) plus the sharded engine that
+//!   runs one logical execution as S coupled per-shard arenas. Every
+//!   adversary-scheduled run in the workspace executes this loop;
+//!   [`dense`] remains as a re-export shim for the arena's old path.
+//!   All pid-indexed tables are typed [`ids::EntityVec`]s keyed by
+//!   [`ids::Pid`].
 //! * [`virtual_exec`] — the boxed compatibility shim over the arena:
 //!   single-threaded, adversary-in-the-loop, exact step counts,
 //!   deterministic. This is the executor API that realizes the paper's
@@ -42,24 +46,32 @@
 pub mod adversary;
 pub mod dense;
 pub mod explore;
+pub mod ids;
 pub mod process;
 pub mod registry;
 pub mod replay;
+pub mod shard;
 pub mod thread_exec;
 pub mod virtual_exec;
 
+#[allow(deprecated)]
+pub use adversary::View;
 pub use adversary::{
     Adversary, CollisionMaximizer, CrashAdversary, Decision, FairAdversary, RandomAdversary,
-    StallWinners, View,
+    RunView, StallWinners,
 };
-pub use dense::Arena;
 pub use explore::{
     interleaving_signature, shrink_tape, Counterexample, ExhaustiveExplorer, ExploreReport,
     FuzzExplorer, FuzzReport, GuidedAdversary, MutatingReplay, SharedExplorer, SharedFuzzer,
     TolerantReplay,
 };
+pub use ids::{EntityVec, LocalIdx, Pid, ShardId, ShardMap};
 pub use process::{run_to_completion, Process, StepOutcome};
 pub use registry::{AdversaryBuilder, AdversaryRegistry, ParsedKey};
 pub use replay::{RecordingAdversary, ReplayAdversary, Tape};
+pub use shard::{
+    run_sharded, shard_seed, Arena, CoupledAdversary, ShardContext, ShardCoupler, ShardRun,
+    DEFAULT_COUPLING_EVERY,
+};
 pub use thread_exec::{run_threads, run_threads_bounded};
 pub use virtual_exec::{run, ExecError, RunOutcome};

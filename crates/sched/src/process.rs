@@ -14,6 +14,7 @@
 //! each process on its own OS thread against real atomics (wall-clock
 //! benchmarks).
 
+use crate::ids::Pid;
 use rr_shmem::Access;
 
 /// Result of executing one step.
@@ -47,7 +48,7 @@ pub trait Process: Send {
     fn step(&mut self) -> StepOutcome;
 
     /// The process id (stable, `0..n`).
-    fn pid(&self) -> usize;
+    fn pid(&self) -> Pid;
 }
 
 /// Boxed processes delegate — the compatibility shim that lets the flat
@@ -62,7 +63,7 @@ impl<P: Process + ?Sized> Process for Box<P> {
         (**self).step()
     }
 
-    fn pid(&self) -> usize {
+    fn pid(&self) -> Pid {
         (**self).pid()
     }
 }
@@ -116,8 +117,8 @@ pub(crate) mod testutil {
             }
         }
 
-        fn pid(&self) -> usize {
-            self.pid
+        fn pid(&self) -> Pid {
+            Pid::new(self.pid)
         }
     }
 }
@@ -150,8 +151,8 @@ mod tests {
             fn step(&mut self) -> StepOutcome {
                 StepOutcome::GaveUp
             }
-            fn pid(&self) -> usize {
-                0
+            fn pid(&self) -> Pid {
+                Pid::new(0)
             }
         }
         let (name, steps) = run_to_completion(&mut Quitter, 10);

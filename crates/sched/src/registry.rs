@@ -293,14 +293,15 @@ pub fn standard() -> &'static AdversaryRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adversary::{Decision, View};
+    use crate::adversary::{Decision, RunView};
+    use crate::ids::{pids, EntityVec, Pid};
 
     fn probe_view<'a>(
-        active: &'a [usize],
-        announced: &'a [Option<Access>],
-        steps: &'a [u64],
-    ) -> View<'a> {
-        View { active, announced, steps, named: 0 }
+        active: &'a [Pid],
+        announced: &'a EntityVec<Pid, Option<Access>>,
+        steps: &'a EntityVec<Pid, u64>,
+    ) -> RunView<'a> {
+        RunView::new(active, announced, steps, 0)
     }
 
     #[test]
@@ -366,9 +367,9 @@ mod tests {
     /// starts the walk over from the first schedule.
     #[test]
     fn prepared_explore_builder_walks_the_schedule_tree() {
-        let active = [0usize, 1];
-        let ann = vec![Some(Access::Local); 2];
-        let steps = [0u64; 2];
+        let active: Vec<Pid> = pids(2).collect();
+        let ann: EntityVec<Pid, Option<Access>> = crate::entity_vec![Some(Access::Local); 2];
+        let steps: EntityVec<Pid, u64> = crate::entity_vec![0u64; 2];
         let first_grant =
             |adv: &mut Box<dyn Adversary>| match adv.decide(&probe_view(&active, &ann, &steps)) {
                 Decision::Grant(p) => p,
@@ -376,22 +377,31 @@ mod tests {
             };
         let builder = standard().prepare("explore:depth=2").unwrap();
         let mut first = builder(2, 0);
-        assert_eq!(first_grant(&mut first), 0, "first schedule starts at the root choice");
+        assert_eq!(
+            first_grant(&mut first),
+            Pid::new(0),
+            "first schedule starts at the root choice"
+        );
         drop(first); // merges the trace, advancing the DFS
         let mut second = builder(2, 1);
-        assert_eq!(first_grant(&mut second), 1, "second schedule takes the sibling branch");
+        assert_eq!(
+            first_grant(&mut second),
+            Pid::new(1),
+            "second schedule takes the sibling branch"
+        );
         // A fresh prepare is a fresh search.
         let builder2 = standard().prepare("explore:depth=2").unwrap();
-        assert_eq!(first_grant(&mut builder2(2, 0)), 0);
+        assert_eq!(first_grant(&mut builder2(2, 0)), Pid::new(0));
     }
 
     #[test]
     fn crash_key_matches_manual_construction() {
         // The registry and a hand-built CrashAdversary must make the same
         // decisions given the same seed — single source of truth.
-        let active: Vec<usize> = (0..8).collect();
-        let ann = vec![Some(Access::Tas { array: 0, index: 0 }); 8];
-        let steps = vec![0u64; 8];
+        let active: Vec<Pid> = pids(8).collect();
+        let ann: EntityVec<Pid, Option<Access>> =
+            crate::entity_vec![Some(Access::Tas { array: 0, index: 0 }); 8];
+        let steps: EntityVec<Pid, u64> = crate::entity_vec![0u64; 8];
         let mut from_key = standard().build("crash:p=500,cap=50", 8, 9).unwrap();
         let mut manual = CrashAdversary::new(FairAdversary::default(), 0.5, 4, 9);
         for _ in 0..32 {
@@ -403,13 +413,13 @@ mod tests {
 
     #[test]
     fn stall_prefers_non_winning_kinds() {
-        let active = [0, 1];
-        let ann = vec![
+        let active: Vec<Pid> = pids(2).collect();
+        let ann: EntityVec<Pid, Option<Access>> = crate::entity_vec![
             Some(Access::Tas { array: 0, index: 0 }),
             Some(Access::Read { array: 0, index: 0 }),
         ];
-        let steps = [0u64; 2];
+        let steps: EntityVec<Pid, u64> = crate::entity_vec![0u64; 2];
         let mut adv = standard().build("stall", 2, 0).unwrap();
-        assert_eq!(adv.decide(&probe_view(&active, &ann, &steps)), Decision::Grant(1));
+        assert_eq!(adv.decide(&probe_view(&active, &ann, &steps)), Decision::Grant(Pid::new(1)));
     }
 }

@@ -8,7 +8,8 @@
 //! seed-stable process RNG this makes whole executions reproducible
 //! artifacts you can store and bisect.
 
-use crate::adversary::{Adversary, Decision, View};
+use crate::adversary::{Adversary, Decision, RunView};
+use crate::ids::Pid;
 
 /// A recorded schedule: the exact decision sequence of one execution.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -62,8 +63,8 @@ impl Tape {
             let (kind, pid) = tok.split_at(1);
             let pid: usize = pid.parse().map_err(|_| tok.to_string())?;
             decisions.push(match kind {
-                "g" => Decision::Grant(pid),
-                "c" => Decision::Crash(pid),
+                "g" => Decision::Grant(Pid::new(pid)),
+                "c" => Decision::Crash(Pid::new(pid)),
                 _ => return Err(tok.to_string()),
             });
         }
@@ -96,7 +97,7 @@ impl<A: Adversary> RecordingAdversary<A> {
 }
 
 impl<A: Adversary> Adversary for RecordingAdversary<A> {
-    fn decide(&mut self, view: &View<'_>) -> Decision {
+    fn decide(&mut self, view: &RunView<'_>) -> Decision {
         let d = self.inner.decide(view);
         self.tape.decisions.push(d);
         d
@@ -131,7 +132,7 @@ impl ReplayAdversary {
 }
 
 impl Adversary for ReplayAdversary {
-    fn decide(&mut self, _view: &View<'_>) -> Decision {
+    fn decide(&mut self, _view: &RunView<'_>) -> Decision {
         let d = self
             .tape
             .decisions
@@ -212,6 +213,13 @@ mod tests {
     fn tape_accessors() {
         let tape = Tape::from_text("g3 c1 g0").unwrap();
         assert_eq!(tape.len(), 3);
-        assert_eq!(tape.decisions(), &[Decision::Grant(3), Decision::Crash(1), Decision::Grant(0)]);
+        assert_eq!(
+            tape.decisions(),
+            &[
+                Decision::Grant(Pid::new(3)),
+                Decision::Crash(Pid::new(1)),
+                Decision::Grant(Pid::new(0))
+            ]
+        );
     }
 }

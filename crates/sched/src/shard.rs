@@ -1,0 +1,732 @@
+//! Sharded entity-keyed arenas — the execution core behind every backend.
+//!
+//! Two layers live here:
+//!
+//! 1. [`Arena`] — the flat struct-of-arrays execution loop (moved from
+//!    `crate::dense`, which remains as a re-export shim). All per-process
+//!    tables are [`EntityVec`]s keyed by typed [`Pid`]s; raw `usize`
+//!    indexing into pid space no longer type-checks.
+//! 2. [`run_sharded`] — the multi-arena engine: the pid space is
+//!    partitioned round-robin by a [`ShardMap`] into `S` shards, each
+//!    shard drives its own sub-instance in its own [`Arena`] on its own
+//!    thread, and the shards are *coupled* at adversary-decision
+//!    boundaries through a deterministic round ledger
+//!    ([`ShardCoupler`]).
+//!
+//! # Determinism of the sharded execution
+//!
+//! Cross-shard information flows through exactly one channel: every
+//! `every` decisions a shard publishes its local named-count to the
+//! ledger and reads the other shards' counts *for that same round index*
+//! (a finished shard's final count stands in for rounds it never
+//! reached). By induction on the round index, everything a shard
+//! publishes at boundary `k` is a pure function of the per-shard seeds
+//! and of values published at boundaries `< k` — OS thread scheduling
+//! can reorder the *waiting*, never the *values*. The merged outcome is
+//! therefore a pure function of `(seed, S)`, which the determinism suite
+//! in `rr-bench` pins across `RR_RUNNER_THREADS` settings, and
+//! `backend_equiv` pins the `S = 1` case bit-identical to the serial
+//! dense backend.
+//!
+//! **Scheduling semantics of [`Arena::run`] are bit-identical to the
+//! historical executor by construction** — same announce cadence, same
+//! tombstoned `active` vector with the same lazy-compaction threshold,
+//! same [`RunView`] handed to the adversary before every decision. An
+//! adversary cannot tell which backend is driving it, so step counts,
+//! crash patterns and RNG consumption all reproduce exactly.
+
+use crate::adversary::{Adversary, Decision, RunView};
+use crate::ids::{EntityVec, LocalIdx, Pid, ShardId, ShardMap};
+use crate::process::{Process, StepOutcome};
+use crate::virtual_exec::{ExecError, RunOutcome};
+use rr_shmem::Access;
+use std::sync::{Condvar, Mutex};
+
+/// Packed per-process lifecycle state — one byte per pid, the
+/// struct-of-arrays replacement for `names: Vec<Option<usize>>` +
+/// `crashed: Vec<bool>` + `gave_up: Vec<bool>` during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum Status {
+    /// Still taking steps.
+    Running = 0,
+    /// Halted holding a name (in `Arena::names`).
+    Named = 1,
+    /// Halted unnamed of its own accord.
+    GaveUp = 2,
+    /// Crashed by the adversary.
+    Crashed = 3,
+}
+
+/// Reusable execution scratch: the allocation-free (after warm-up) arena
+/// every backend's runs execute in.
+///
+/// Create one per worker thread and feed it run after run — buffers grow
+/// to the largest n seen and are reused verbatim afterwards:
+///
+/// ```
+/// use rr_sched::adversary::FairAdversary;
+/// use rr_sched::ids::Pid;
+/// use rr_sched::process::{Process, StepOutcome};
+/// use rr_sched::shard::Arena;
+/// use rr_shmem::Access;
+///
+/// struct Count { pid: usize, left: usize }
+/// impl Process for Count {
+///     fn announce(&mut self) -> Access { Access::Local }
+///     fn step(&mut self) -> StepOutcome {
+///         if self.left == 0 { StepOutcome::Done(self.pid) }
+///         else { self.left -= 1; StepOutcome::Continue }
+///     }
+///     fn pid(&self) -> Pid { Pid::new(self.pid) }
+/// }
+///
+/// let mut arena = Arena::new();
+/// for _seed in 0..3 {
+///     // A plain Vec of concrete processes: static dispatch, no boxing.
+///     let mut procs: Vec<Count> = (0..4).map(|pid| Count { pid, left: pid }).collect();
+///     let out = arena.run(&mut procs, &mut FairAdversary::default(), 1000).unwrap();
+///     out.verify_renaming(4).unwrap();
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct Arena {
+    announced: EntityVec<Pid, Option<Access>>,
+    active: Vec<Pid>,
+    status: EntityVec<Pid, Status>,
+    steps: EntityVec<Pid, u64>,
+    names: EntityVec<Pid, usize>,
+}
+
+impl Arena {
+    /// An empty arena; buffers are sized lazily by the first run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.announced.clear();
+        self.announced.resize(n, None);
+        self.active.clear();
+        self.active.extend(crate::ids::pids(n));
+        self.status.clear();
+        self.status.resize(n, Status::Running);
+        self.steps.clear();
+        self.steps.resize(n, 0);
+        self.names.clear();
+        self.names.resize(n, usize::MAX);
+    }
+
+    /// Runs `processes` to completion under `adversary` — the shared
+    /// execution loop behind every backend.
+    ///
+    /// `processes[i]` must be the state machine with `pid() == i` (every
+    /// workload factory in this workspace builds them that way). The
+    /// outcome vectors are freshly allocated (they escape the arena); all
+    /// scratch is reused across calls.
+    ///
+    /// # Errors
+    /// [`ExecError::StepBudgetExceeded`] past `step_budget` total steps,
+    /// [`ExecError::BadDecision`] if the adversary addresses a pid that
+    /// is not runnable.
+    ///
+    /// # Panics
+    /// Panics if some `processes[i].pid() != i`.
+    pub fn run<P, A>(
+        &mut self,
+        processes: &mut [P],
+        adversary: &mut A,
+        step_budget: u64,
+    ) -> Result<RunOutcome, ExecError>
+    where
+        P: Process,
+        A: Adversary + ?Sized,
+    {
+        let n = processes.len();
+        self.reset(n);
+        let mut named = 0usize;
+        let mut decisions = 0u64;
+        let mut total_steps = 0u64;
+
+        // Initial announcements (and the pid-layout contract check).
+        for (i, p) in processes.iter_mut().enumerate() {
+            assert_eq!(p.pid().index(), i, "arena requires processes[i].pid() == i");
+            self.announced[Pid::new(i)] = Some(p.announce());
+        }
+
+        // `active` uses tombstones: halted pids stay in the vector (their
+        // `announced` slot is `None`) until more than half are dead, then
+        // one O(len) compaction reclaims them — amortized O(1) per halt.
+        // The `RunView` contract reflects this: `active` is a sorted
+        // superset of the runnable pids; `announced[pid].is_some()` is
+        // the ground truth. This policy is observable (RandomAdversary
+        // rejection-samples over it), so it must never drift from the
+        // historical executor's.
+        let mut live = n;
+        while live > 0 {
+            if self.active.len() > 2 * live {
+                let announced = &self.announced;
+                self.active.retain(|&pid| announced[pid].is_some());
+            }
+            let decision = {
+                let view = RunView::new(&self.active, &self.announced, &self.steps, named);
+                adversary.decide(&view)
+            };
+            decisions += 1;
+            match decision {
+                Decision::Grant(pid) => {
+                    if pid.index() >= n || self.announced[pid].is_none() {
+                        return Err(ExecError::BadDecision { decision: format!("{decision:?}") });
+                    }
+                    self.steps[pid] += 1;
+                    total_steps += 1;
+                    if total_steps > step_budget {
+                        return Err(ExecError::StepBudgetExceeded { budget: step_budget });
+                    }
+                    match processes[pid.index()].step() {
+                        StepOutcome::Continue => {
+                            self.announced[pid] = Some(processes[pid.index()].announce());
+                        }
+                        StepOutcome::Done(name) => {
+                            self.names[pid] = name;
+                            self.status[pid] = Status::Named;
+                            named += 1;
+                            self.announced[pid] = None;
+                            live -= 1;
+                        }
+                        StepOutcome::GaveUp => {
+                            self.status[pid] = Status::GaveUp;
+                            self.announced[pid] = None;
+                            live -= 1;
+                        }
+                    }
+                }
+                Decision::Crash(pid) => {
+                    if pid.index() >= n || self.announced[pid].is_none() {
+                        return Err(ExecError::BadDecision { decision: format!("{decision:?}") });
+                    }
+                    self.status[pid] = Status::Crashed;
+                    self.announced[pid] = None;
+                    live -= 1;
+                }
+            }
+        }
+
+        Ok(self.outcome(decisions))
+    }
+
+    /// Unpacks the packed SoA state into the public [`RunOutcome`] shape.
+    fn outcome(&self, decisions: u64) -> RunOutcome {
+        RunOutcome {
+            names: self
+                .status
+                .iter()
+                .zip(self.names.iter())
+                .map(|(&s, &name)| (s == Status::Named).then_some(name))
+                .collect(),
+            steps: self.steps.clone(),
+            crashed: self.status.iter().map(|&s| s == Status::Crashed).collect(),
+            gave_up: self.status.iter().map(|&s| s == Status::GaveUp).collect(),
+            decisions,
+        }
+    }
+}
+
+/// Per-shard seed derivation: shard 0 keeps the run seed unchanged (so a
+/// single-shard execution consumes randomness exactly like the serial
+/// backends), later shards mix in a golden-ratio stride.
+pub fn shard_seed(seed: u64, shard: ShardId) -> u64 {
+    if shard.index() == 0 {
+        seed
+    } else {
+        seed ^ (shard.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// Decisions between coupling rounds — how often each shard publishes to
+/// the [`ShardCoupler`] ledger and refreshes its view of the other
+/// shards' named counts. Part of the execution semantics (a different
+/// cadence is a different schedule), so all backends use this one value.
+pub const DEFAULT_COUPLING_EVERY: u64 = 1024;
+
+/// The deterministic round ledger coupling shard executions.
+///
+/// Every shard publishes its local named-count at boundary `k` *before*
+/// waiting for the others' boundary-`k` values (publish-before-wait, so
+/// rounds cannot deadlock), and a shard that finishes its run marks
+/// itself finished — its final count answers every later round. Values
+/// are stored per round: a shard reading round `k` always sees the
+/// other shards' counts *at round `k`*, never "whatever they are up to
+/// by now", which is what makes the exchange a pure function of the
+/// round index.
+#[derive(Debug)]
+pub struct ShardCoupler {
+    state: Mutex<CouplerState>,
+    woken: Condvar,
+    shards: usize,
+}
+
+#[derive(Debug)]
+struct CouplerState {
+    /// `published[s][k]` — shard `s`'s local named count at boundary `k`.
+    published: Vec<Vec<usize>>,
+    /// Final named count of each finished shard.
+    finished: Vec<Option<usize>>,
+}
+
+impl ShardCoupler {
+    /// A ledger for `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            state: Mutex::new(CouplerState {
+                published: vec![Vec::new(); shards],
+                finished: vec![None; shards],
+            }),
+            woken: Condvar::new(),
+            shards,
+        }
+    }
+
+    /// Publishes `local_named` as `shard`'s boundary-`round` value, waits
+    /// until every other shard has either published the same round or
+    /// finished, and returns the sum of their counts at that round.
+    pub fn sync(&self, shard: ShardId, round: usize, local_named: usize) -> usize {
+        let mut st = self.state.lock().expect("coupler lock poisoned");
+        debug_assert_eq!(
+            st.published[shard.index()].len(),
+            round,
+            "shard {shard} must publish rounds in order"
+        );
+        st.published[shard.index()].push(local_named);
+        self.woken.notify_all();
+        let others_ready = |st: &CouplerState| {
+            (0..self.shards).all(|s| {
+                s == shard.index() || st.published[s].len() > round || st.finished[s].is_some()
+            })
+        };
+        while !others_ready(&st) {
+            st = self.woken.wait(st).expect("coupler lock poisoned");
+        }
+        (0..self.shards)
+            .filter(|&s| s != shard.index())
+            .map(|s| {
+                if st.published[s].len() > round {
+                    st.published[s][round]
+                } else {
+                    st.finished[s].expect("unfinished shard must have published this round")
+                }
+            })
+            .sum()
+    }
+
+    /// Marks `shard` finished with `final_named` named processes — the
+    /// value that answers every round the shard never reached. Must be
+    /// called on *every* exit path (including errors and panics; the
+    /// engine uses a drop guard), or waiting shards deadlock.
+    fn finish(&self, shard: ShardId, final_named: usize) {
+        let mut st = self.state.lock().expect("coupler lock poisoned");
+        st.finished[shard.index()] = Some(final_named);
+        self.woken.notify_all();
+    }
+}
+
+/// Ensures [`ShardCoupler::finish`] runs even if the shard body panics
+/// or errors, so sibling shards waiting on the ledger always unblock.
+struct FinishGuard<'c> {
+    coupler: &'c ShardCoupler,
+    shard: ShardId,
+    done: bool,
+}
+
+impl<'c> FinishGuard<'c> {
+    fn new(coupler: &'c ShardCoupler, shard: ShardId) -> Self {
+        Self { coupler, shard, done: false }
+    }
+
+    fn complete(mut self, final_named: usize) {
+        self.coupler.finish(self.shard, final_named);
+        self.done = true;
+    }
+}
+
+impl Drop for FinishGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.coupler.finish(self.shard, 0);
+        }
+    }
+}
+
+/// What [`run_sharded`] hands each shard body: its identity plus the
+/// hook to couple the shard's adversary to the global ledger.
+pub struct ShardContext<'c> {
+    coupler: &'c ShardCoupler,
+    shard: ShardId,
+    map: ShardMap,
+    every: u64,
+}
+
+impl<'c> ShardContext<'c> {
+    /// Which shard this context belongs to.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// Wraps the shard's adversary so its views carry global named
+    /// counts and the global [`ShardMap`], refreshed at each coupling
+    /// round. Every shard body must route its adversary through this —
+    /// it is the only legal cross-shard channel.
+    pub fn couple<A: Adversary>(self, inner: A) -> CoupledAdversary<'c, A> {
+        CoupledAdversary {
+            inner,
+            coupler: self.coupler,
+            shard: self.shard,
+            map: self.map,
+            every: self.every,
+            decisions: 0,
+            cached_remote: 0,
+        }
+    }
+}
+
+/// Adversary wrapper installed by [`ShardContext::couple`]: before the
+/// inner strategy decides, the local view is widened to the global one —
+/// `named` becomes local + remote (as of the last coupling round) and
+/// `shards` becomes the run's real partition. With `S = 1` the remote
+/// count is always zero and the map is [`ShardMap::single`], so the
+/// inner adversary sees byte-for-byte the view the serial dense backend
+/// would hand it.
+pub struct CoupledAdversary<'c, A> {
+    inner: A,
+    coupler: &'c ShardCoupler,
+    shard: ShardId,
+    map: ShardMap,
+    every: u64,
+    decisions: u64,
+    cached_remote: usize,
+}
+
+impl<A: Adversary> Adversary for CoupledAdversary<'_, A> {
+    fn decide(&mut self, view: &RunView<'_>) -> Decision {
+        if self.decisions % self.every == 0 {
+            let round = (self.decisions / self.every) as usize;
+            self.cached_remote = self.coupler.sync(self.shard, round, view.named);
+        }
+        self.decisions += 1;
+        let global = RunView {
+            active: view.active,
+            announced: view.announced,
+            steps: view.steps,
+            named: view.named + self.cached_remote,
+            shards: self.map,
+        };
+        self.inner.decide(&global)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// One shard's completed sub-run: its local [`RunOutcome`] (indexed by
+/// local pid) and the size `m` of its local name space.
+pub struct ShardRun {
+    /// The shard's local outcome; tables are indexed by local pid.
+    pub outcome: RunOutcome,
+    /// Name-space size of the sub-instance (local names are `< m`).
+    pub m: usize,
+}
+
+/// Runs one logical n-process execution as `S` coupled shard
+/// sub-instances and merges the results.
+///
+/// `run_shard(s, n_s, ctx)` must drive shard `s`'s `n_s`-process
+/// sub-instance to completion — building its processes and adversary
+/// itself (seed them with [`shard_seed`]), routing the adversary through
+/// [`ShardContext::couple`], and reporting the local name-space size `m`.
+/// Shards run on one scoped thread each (`S = 1` runs inline on the
+/// caller's thread); coupling happens every `every` decisions.
+///
+/// Returns the merged outcome plus the merged name-space size
+/// `m_total = Σ m_s`: shard `s`'s names are offset by `Σ_{s' < s} m_s'`,
+/// and all per-pid tables are scattered back to global pid order through
+/// the run's [`ShardMap`]. The merged outcome is a pure function of the
+/// seeds and `S` (see the module docs for the argument).
+///
+/// # Errors
+/// The first failing shard's [`ExecError`] (by shard index, so error
+/// selection is deterministic too).
+pub fn run_sharded<F>(
+    n: usize,
+    shards: usize,
+    every: u64,
+    run_shard: F,
+) -> Result<(RunOutcome, usize), ExecError>
+where
+    F: Fn(ShardId, usize, ShardContext<'_>) -> Result<ShardRun, ExecError> + Sync,
+{
+    assert!(shards >= 1, "a sharded run needs at least one shard");
+    assert!(every >= 1, "coupling cadence must be at least one decision");
+    let map = ShardMap::new(shards);
+    let coupler = ShardCoupler::new(shards);
+
+    let body = |s: ShardId| {
+        let ctx = ShardContext { coupler: &coupler, shard: s, map, every };
+        let guard = FinishGuard::new(&coupler, s);
+        let res = run_shard(s, map.shard_len(s, n), ctx);
+        guard.complete(res.as_ref().map(|r| r.outcome.named_count()).unwrap_or(0));
+        res
+    };
+
+    let results: Vec<Result<ShardRun, ExecError>> = if shards == 1 {
+        vec![body(ShardId::new(0))]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = map.shard_ids().map(|s| scope.spawn(move || body(s))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+                .collect()
+        })
+    };
+
+    let mut names: EntityVec<Pid, Option<usize>> = crate::entity_vec![None; n];
+    let mut steps: EntityVec<Pid, u64> = crate::entity_vec![0; n];
+    let mut crashed: EntityVec<Pid, bool> = crate::entity_vec![false; n];
+    let mut gave_up: EntityVec<Pid, bool> = crate::entity_vec![false; n];
+    let mut decisions = 0u64;
+    let mut name_offset = 0usize;
+    for (s, result) in results.into_iter().enumerate() {
+        let run = result?;
+        let s = ShardId::new(s);
+        let n_s = map.shard_len(s, n);
+        assert_eq!(run.outcome.names.len(), n_s, "shard {s} outcome must cover its {n_s} pids");
+        for l in (0..n_s).map(LocalIdx::new) {
+            let local = Pid::new(l.index());
+            let global = map.global_of(s, l);
+            names[global] = run.outcome.names[local].map(|name| name + name_offset);
+            steps[global] = run.outcome.steps[local];
+            crashed[global] = run.outcome.crashed[local];
+            gave_up[global] = run.outcome.gave_up[local];
+        }
+        decisions += run.outcome.decisions;
+        name_offset += run.m;
+    }
+    Ok((RunOutcome { names, steps, crashed, gave_up, decisions }, name_offset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{CrashAdversary, FairAdversary, RandomAdversary};
+    use crate::process::testutil::ScanProcess;
+    use crate::virtual_exec;
+    use rr_shmem::tas::AtomicTasArray;
+    use std::sync::Arc;
+
+    fn scan_processes(
+        n: usize,
+        m: usize,
+    ) -> (Vec<ScanProcess<AtomicTasArray>>, Arc<AtomicTasArray>) {
+        let mem = Arc::new(AtomicTasArray::new(m));
+        let procs =
+            (0..n).map(|pid| ScanProcess { pid, mem: Arc::clone(&mem), cursor: 0 }).collect();
+        (procs, mem)
+    }
+
+    #[test]
+    fn typed_run_matches_boxed_virtual_run_bit_for_bit() {
+        for seed in 0..4u64 {
+            let (mut typed, _m1) = scan_processes(24, 24);
+            let mut arena = Arena::new();
+            let dense = arena.run(&mut typed, &mut RandomAdversary::new(seed), 100_000).unwrap();
+
+            let (boxed, _m2) = scan_processes(24, 24);
+            let boxed: Vec<Box<dyn Process>> =
+                boxed.into_iter().map(|p| Box::new(p) as Box<dyn Process>).collect();
+            let virt = virtual_exec::run(boxed, &mut RandomAdversary::new(seed), 100_000).unwrap();
+
+            assert_eq!(dense.names, virt.names, "seed {seed}");
+            assert_eq!(dense.steps, virt.steps, "seed {seed}");
+            assert_eq!(dense.crashed, virt.crashed, "seed {seed}");
+            assert_eq!(dense.gave_up, virt.gave_up, "seed {seed}");
+            assert_eq!(dense.decisions, virt.decisions, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn arena_buffers_are_reused_across_runs_without_leakage() {
+        let mut arena = Arena::new();
+        // Big run first: buffers grow.
+        let (mut big, _m) = scan_processes(64, 64);
+        let out = arena.run(&mut big, &mut FairAdversary::default(), 100_000).unwrap();
+        out.verify_renaming(64).unwrap();
+        // Small run next: outcome must be sized to the small n, with no
+        // stale state from the big run.
+        let (mut small, _m) = scan_processes(5, 5);
+        let out = arena.run(&mut small, &mut FairAdversary::default(), 1_000).unwrap();
+        assert_eq!(out.names.len(), 5);
+        assert_eq!(out.steps.as_slice(), &[1, 2, 3, 4, 5]);
+        out.verify_renaming(5).unwrap();
+        // And a crashy run after that still accounts correctly.
+        let (mut procs, _m) = scan_processes(10, 10);
+        let mut adv = CrashAdversary::new(FairAdversary::default(), 0.5, 3, 7);
+        let out = arena.run(&mut procs, &mut adv, 100_000).unwrap();
+        assert_eq!(out.crashed.iter().filter(|&&c| c).count(), adv.crashes());
+        out.verify_renaming(10).unwrap();
+    }
+
+    #[test]
+    fn empty_slice_is_trivial() {
+        let mut arena = Arena::new();
+        let mut procs: Vec<ScanProcess<AtomicTasArray>> = Vec::new();
+        let out = arena.run(&mut procs, &mut FairAdversary::default(), 10).unwrap();
+        assert_eq!(out.decisions, 0);
+        assert!(out.names.is_empty());
+    }
+
+    #[test]
+    fn step_budget_enforced_in_arena() {
+        let (mut procs, _m) = scan_processes(4, 4);
+        let err = Arena::new().run(&mut procs, &mut FairAdversary::default(), 2).unwrap_err();
+        assert!(matches!(err, ExecError::StepBudgetExceeded { budget: 2 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "pid() == i")]
+    fn pid_layout_contract_enforced() {
+        let mem = Arc::new(AtomicTasArray::new(4));
+        let mut procs = vec![ScanProcess { pid: 3, mem, cursor: 0 }];
+        let _ = Arena::new().run(&mut procs, &mut FairAdversary::default(), 10);
+    }
+
+    #[test]
+    fn shard_seed_keeps_shard_zero_identity() {
+        assert_eq!(shard_seed(42, ShardId::new(0)), 42);
+        assert_ne!(shard_seed(42, ShardId::new(1)), 42);
+        assert_ne!(shard_seed(42, ShardId::new(1)), shard_seed(42, ShardId::new(2)));
+    }
+
+    /// Shard body driving a scan sub-instance: each shard gets its own
+    /// n_s-register memory, so m_s = n_s and m_total = n.
+    fn scan_shard(
+        seed: u64,
+    ) -> impl Fn(ShardId, usize, ShardContext<'_>) -> Result<ShardRun, ExecError> + Sync {
+        move |s, n_s, ctx| {
+            let (mut procs, _mem) = scan_processes(n_s, n_s);
+            let mut adv = ctx.couple(RandomAdversary::new(shard_seed(seed, s)));
+            let outcome = Arena::new().run(&mut procs, &mut adv, 1 << 20)?;
+            Ok(ShardRun { outcome, m: n_s })
+        }
+    }
+
+    #[test]
+    fn single_shard_is_bit_identical_to_serial_dense() {
+        for seed in 0..4u64 {
+            let (merged, m_total) = run_sharded(24, 1, 8, scan_shard(seed)).unwrap();
+            assert_eq!(m_total, 24);
+            let (mut procs, _mem) = scan_processes(24, 24);
+            let dense =
+                Arena::new().run(&mut procs, &mut RandomAdversary::new(seed), 1 << 20).unwrap();
+            assert_eq!(merged.names, dense.names, "seed {seed}");
+            assert_eq!(merged.steps, dense.steps, "seed {seed}");
+            assert_eq!(merged.crashed, dense.crashed, "seed {seed}");
+            assert_eq!(merged.gave_up, dense.gave_up, "seed {seed}");
+            assert_eq!(merged.decisions, dense.decisions, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn merged_run_renames_into_offset_disjoint_namespace() {
+        let (merged, m_total) = run_sharded(23, 3, 8, scan_shard(7)).unwrap();
+        assert_eq!(m_total, 23);
+        merged.verify_renaming(m_total).unwrap();
+        assert_eq!(merged.named_count(), 23);
+    }
+
+    #[test]
+    fn sharded_run_is_deterministic_across_invocations() {
+        let run = || {
+            let (out, m) = run_sharded(29, 4, 4, scan_shard(11)).unwrap();
+            (out.names, out.steps, out.crashed, out.gave_up, out.decisions, m)
+        };
+        // Repeated runs race their threads differently; outcomes must not.
+        let first = run();
+        for _ in 0..8 {
+            assert_eq!(run(), first);
+        }
+    }
+
+    #[test]
+    fn merge_preserves_per_shard_step_counts_exactly() {
+        // RandomAdversary never reads `named`, so each coupled shard run
+        // is step-for-step the standalone sub-instance run — the merge
+        // must preserve that exactly, scattered to global pid order.
+        let n = 22;
+        let shards = 3;
+        let seed = 5;
+        let (merged, _m) = run_sharded(n, shards, 4, scan_shard(seed)).unwrap();
+        let map = ShardMap::new(shards);
+        for s in map.shard_ids() {
+            let n_s = map.shard_len(s, n);
+            let (mut procs, _mem) = scan_processes(n_s, n_s);
+            let standalone = Arena::new()
+                .run(&mut procs, &mut RandomAdversary::new(shard_seed(seed, s)), 1 << 20)
+                .unwrap();
+            for l in (0..n_s).map(LocalIdx::new) {
+                let global = map.global_of(s, l);
+                assert_eq!(
+                    merged.steps[global],
+                    standalone.steps[Pid::new(l.index())],
+                    "shard {s} local {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failing_shard_propagates_error_without_deadlock() {
+        let err = run_sharded(16, 4, 2, |s, n_s, ctx| {
+            let budget = if s.index() == 2 { 1 } else { 1 << 20 };
+            let (mut procs, _mem) = scan_processes(n_s, n_s);
+            let mut adv = ctx.couple(RandomAdversary::new(shard_seed(3, s)));
+            let outcome = Arena::new().run(&mut procs, &mut adv, budget)?;
+            Ok(ShardRun { outcome, m: n_s })
+        })
+        .unwrap_err();
+        assert!(matches!(err, ExecError::StepBudgetExceeded { budget: 1 }));
+    }
+
+    #[test]
+    fn coupler_serves_per_round_values_to_stragglers() {
+        // Shard 0 races ahead publishing rounds 0..4, then shard 1 reads
+        // round 0 — it must see shard 0's round-0 value, not the latest.
+        let coupler = ShardCoupler::new(2);
+        std::thread::scope(|scope| {
+            let fast = scope.spawn(|| {
+                let mut remote = Vec::new();
+                for round in 0..4 {
+                    remote.push(coupler.sync(ShardId::new(0), round, round * 10));
+                }
+                coupler.finish(ShardId::new(0), 100);
+                remote
+            });
+            let slow = scope.spawn(|| {
+                let r0 = coupler.sync(ShardId::new(1), 0, 7);
+                let r1 = coupler.sync(ShardId::new(1), 1, 8);
+                let r2 = coupler.sync(ShardId::new(1), 2, 9);
+                coupler.finish(ShardId::new(1), 9);
+                (r0, r1, r2)
+            });
+            let fast_remote = fast.join().unwrap();
+            let (r0, r1, r2) = slow.join().unwrap();
+            assert_eq!(r0, 0, "round-0 value, not the latest");
+            assert_eq!(r1, 10);
+            assert_eq!(r2, 20);
+            // Shard 0's reads of shard 1: rounds 0..3 published (7, 8, 9);
+            // round 3 is past shard 1's last publish, so its finish value
+            // (also 9) stands in.
+            assert_eq!(fast_remote, vec![7, 8, 9, 9]);
+        });
+    }
+}

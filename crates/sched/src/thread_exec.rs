@@ -3,6 +3,7 @@
 //! machines are identical to the ones the virtual executor polls, so the
 //! numbers measure the same algorithm.
 
+use crate::ids::{EntityVec, Pid};
 use crate::process::{run_to_completion, Process};
 use crate::virtual_exec::RunOutcome;
 
@@ -23,13 +24,13 @@ pub fn run_threads(
     processes: Vec<Box<dyn Process + Send + '_>>,
     max_steps_per_process: u64,
 ) -> RunOutcome {
-    let n = processes.iter().map(|p| p.pid() + 1).max().unwrap_or(0);
-    let mut names: Vec<Option<usize>> = vec![None; n];
-    let mut steps: Vec<u64> = vec![0; n];
-    let mut gave_up = vec![false; n];
+    let n = processes.iter().map(|p| p.pid().index() + 1).max().unwrap_or(0);
+    let mut names: EntityVec<Pid, Option<usize>> = crate::entity_vec![None; n];
+    let mut steps: EntityVec<Pid, u64> = crate::entity_vec![0; n];
+    let mut gave_up: EntityVec<Pid, bool> = crate::entity_vec![false; n];
     // Every slot starts crash-equivalent (absent); joining a process's
     // thread marks its pid present.
-    let mut crashed = vec![true; n];
+    let mut crashed: EntityVec<Pid, bool> = crate::entity_vec![true; n];
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = processes
@@ -64,24 +65,30 @@ pub fn run_threads_bounded(
     max_steps_per_process: u64,
 ) -> RunOutcome {
     assert!(threads > 0);
-    let n = processes.iter().map(|p| p.pid() + 1).max().unwrap_or(0);
-    let mut names: Vec<Option<usize>> = vec![None; n];
-    let mut steps: Vec<u64> = vec![0; n];
-    let mut gave_up = vec![false; n];
+    let n = processes.iter().map(|p| p.pid().index() + 1).max().unwrap_or(0);
+    let mut names: EntityVec<Pid, Option<usize>> = crate::entity_vec![None; n];
+    let mut steps: EntityVec<Pid, u64> = crate::entity_vec![0; n];
+    let mut gave_up: EntityVec<Pid, bool> = crate::entity_vec![false; n];
     // Same crash-equivalent convention as [`run_threads`]: a slot stays
     // marked absent until some wave actually ran its pid.
-    let mut crashed = vec![true; n];
+    let mut crashed: EntityVec<Pid, bool> = crate::entity_vec![true; n];
 
-    let mut queue = processes;
-    while !queue.is_empty() {
-        let take = queue.len().min(threads);
-        let wave: Vec<_> = queue.drain(..take).collect();
+    // Consume the queue with a cursor (the amortized-scan idiom the
+    // replayers use): `drain(..take)` shifted every remaining element on
+    // every wave — O(n²/threads) element moves for large n — whereas the
+    // consuming iterator hands out each process exactly once.
+    let mut remaining = processes.into_iter();
+    loop {
+        let wave: Vec<_> = remaining.by_ref().take(threads).collect();
+        if wave.is_empty() {
+            break;
+        }
         // The merge is total over the wave's actual members: every pid
         // handed to the wave is copied back wholesale (names, gave_up,
         // *and* steps — the old name-or-gave-up filter silently dropped
         // the step counts of any process it skipped). The wave outcome's
         // own presence mask double-checks the accounting.
-        let wave_pids: Vec<usize> = wave.iter().map(|p| p.pid()).collect();
+        let wave_pids: Vec<Pid> = wave.iter().map(|p| p.pid()).collect();
         let out = run_threads(wave, max_steps_per_process);
         for &pid in &wave_pids {
             assert!(!out.crashed[pid], "wave member {pid} missing from its own wave outcome");
@@ -123,7 +130,7 @@ mod tests {
     fn bounded_waves_cover_all_processes() {
         let out = run_threads_bounded(scan_processes(20, 20), 4, 1_000);
         out.verify_renaming(20).unwrap();
-        assert_eq!(out.names.iter().filter(|n| n.is_some()).count(), 20);
+        assert_eq!(out.named_count(), 20);
     }
 
     #[test]
@@ -132,7 +139,7 @@ mod tests {
         out.verify_renaming(5).unwrap();
         // Sequential waves: pid 0 wins reg 0 in 1 step, pid 1 probes 0
         // then wins 1, etc.
-        assert_eq!(out.steps, vec![1, 2, 3, 4, 5]);
+        assert_eq!(out.steps.as_slice(), &[1, 2, 3, 4, 5]);
     }
 
     #[test]
@@ -164,10 +171,13 @@ mod tests {
         let out = run_threads(sparse_scans(4..8, 4), 1_000);
         assert_eq!(out.names.len(), 8);
         out.verify_renaming(4).unwrap();
-        assert!(out.crashed[..4].iter().all(|&c| c), "absent slots are crash-equivalent");
-        assert!(out.crashed[4..].iter().all(|&c| !c), "present pids never read crashed");
-        assert_eq!(out.survivors(), vec![4, 5, 6, 7]);
-        assert_eq!(out.names.iter().filter(|n| n.is_some()).count(), 4);
+        assert!(
+            out.crashed.as_slice()[..4].iter().all(|&c| c),
+            "absent slots are crash-equivalent"
+        );
+        assert!(out.crashed.as_slice()[4..].iter().all(|&c| !c), "present pids never read crashed");
+        assert_eq!(out.survivors(), (4..8).map(Pid::new).collect::<Vec<_>>());
+        assert_eq!(out.named_count(), 4);
     }
 
     #[test]
@@ -175,9 +185,9 @@ mod tests {
         let out = run_threads_bounded(sparse_scans(3..9, 6), 2, 1_000);
         assert_eq!(out.names.len(), 9);
         out.verify_renaming(6).unwrap();
-        assert!(out.crashed[..3].iter().all(|&c| c));
-        assert!(out.crashed[3..].iter().all(|&c| !c));
-        assert_eq!(out.names.iter().filter(|n| n.is_some()).count(), 6);
+        assert!(out.crashed.as_slice()[..3].iter().all(|&c| c));
+        assert!(out.crashed.as_slice()[3..].iter().all(|&c| !c));
+        assert_eq!(out.named_count(), 6);
     }
 
     /// Regression: the wave merge used to copy a process's results only
@@ -202,8 +212,8 @@ mod tests {
                 self.fuel -= 1;
                 crate::process::StepOutcome::Continue
             }
-            fn pid(&self) -> usize {
-                self.pid
+            fn pid(&self) -> Pid {
+                Pid::new(self.pid)
             }
         }
         let procs: Vec<Box<dyn Process + Send>> = (0..6)
@@ -213,7 +223,7 @@ mod tests {
         // Every spinner's steps are accounted: fuel Continues + the final
         // GaveUp step.
         let expect: Vec<u64> = (0..6).map(|pid| pid + 1).collect();
-        assert_eq!(out.steps, expect);
+        assert_eq!(out.steps.as_slice(), expect.as_slice());
         assert!(out.gave_up.iter().all(|&g| g));
         assert!(out.crashed.iter().all(|&c| !c));
     }

@@ -9,6 +9,7 @@
 //! exact, deterministic step counts.
 
 use crate::adversary::Adversary;
+use crate::ids::{EntityVec, Pid};
 use crate::process::Process;
 
 /// Why a run ended badly.
@@ -41,18 +42,19 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
-/// Outcome of a virtual run.
+/// Outcome of a virtual run. All per-process tables are dense and keyed
+/// by [`Pid`].
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
     /// `names[pid]` — the name acquired, or `None` if the process crashed.
-    pub names: Vec<Option<usize>>,
+    pub names: EntityVec<Pid, Option<usize>>,
     /// `steps[pid]` — shared-memory accesses performed.
-    pub steps: Vec<u64>,
+    pub steps: EntityVec<Pid, u64>,
     /// `crashed[pid]`.
-    pub crashed: Vec<bool>,
+    pub crashed: EntityVec<Pid, bool>,
     /// `gave_up[pid]` — the process halted unnamed of its own accord (the
     /// almost-tight protocols' legitimate "unnamed" outcome).
-    pub gave_up: Vec<bool>,
+    pub gave_up: EntityVec<Pid, bool>,
     /// Total scheduling decisions taken.
     pub decisions: u64,
 }
@@ -69,9 +71,14 @@ impl RunOutcome {
         self.steps.iter().sum()
     }
 
+    /// Number of processes that halted holding a name.
+    pub fn named_count(&self) -> usize {
+        self.names.iter().filter(|n| n.is_some()).count()
+    }
+
     /// Pids of surviving (non-crashed) processes.
-    pub fn survivors(&self) -> Vec<usize> {
-        (0..self.crashed.len()).filter(|&p| !self.crashed[p]).collect()
+    pub fn survivors(&self) -> Vec<Pid> {
+        self.crashed.iter_enumerated().filter(|&(_, &c)| !c).map(|(p, _)| p).collect()
     }
 
     /// Number of processes that gave up unnamed (the almost-tight
@@ -110,6 +117,7 @@ impl RunOutcome {
 ///
 /// ```
 /// use rr_sched::adversary::FairAdversary;
+/// use rr_sched::ids::Pid;
 /// use rr_sched::process::{Process, StepOutcome};
 /// use rr_shmem::Access;
 ///
@@ -121,7 +129,7 @@ impl RunOutcome {
 ///         if self.left == 0 { StepOutcome::Done(self.pid) }
 ///         else { self.left -= 1; StepOutcome::Continue }
 ///     }
-///     fn pid(&self) -> usize { self.pid }
+///     fn pid(&self) -> Pid { Pid::new(self.pid) }
 /// }
 ///
 /// let procs: Vec<Box<dyn Process>> = (0..4)
@@ -138,9 +146,9 @@ pub fn run<A: Adversary + ?Sized>(
 ) -> Result<RunOutcome, ExecError> {
     // The boxed compatibility shim: `Box<dyn Process>` is itself a
     // `Process`, so the flat arena core drives the boxed slice with the
-    // exact historical semantics (see `crate::dense` for the fast,
+    // exact historical semantics (see `crate::shard` for the fast,
     // monomorphized path algorithms opt into).
-    crate::dense::Arena::new().run(&mut processes, adversary, step_budget)
+    crate::shard::Arena::new().run(&mut processes, adversary, step_budget)
 }
 
 #[cfg(test)]
@@ -173,7 +181,7 @@ mod tests {
         // Scanning processes under round-robin: pid p wins register p
         // after p+1 probes... in fact steps are deterministic here.
         assert_eq!(out.step_complexity(), 8);
-        assert_eq!(out.names.iter().filter(|n| n.is_some()).count(), 8);
+        assert_eq!(out.named_count(), 8);
     }
 
     #[test]
@@ -232,10 +240,10 @@ mod tests {
     #[test]
     fn verify_catches_missing_name() {
         let out = RunOutcome {
-            names: vec![Some(0), None],
-            steps: vec![1, 1],
-            crashed: vec![false, false],
-            gave_up: vec![false; 2],
+            names: vec![Some(0), None].into(),
+            steps: vec![1, 1].into(),
+            crashed: vec![false, false].into(),
+            gave_up: vec![false; 2].into(),
             decisions: 2,
         };
         assert!(out.verify_renaming(2).unwrap_err().contains("no name"));
@@ -244,10 +252,10 @@ mod tests {
     #[test]
     fn verify_catches_duplicate() {
         let out = RunOutcome {
-            names: vec![Some(0), Some(0)],
-            steps: vec![1, 1],
-            crashed: vec![false, false],
-            gave_up: vec![false; 2],
+            names: vec![Some(0), Some(0)].into(),
+            steps: vec![1, 1].into(),
+            crashed: vec![false, false].into(),
+            gave_up: vec![false; 2].into(),
             decisions: 2,
         };
         assert!(out.verify_renaming(2).unwrap_err().contains("twice"));
@@ -256,10 +264,10 @@ mod tests {
     #[test]
     fn verify_catches_out_of_space() {
         let out = RunOutcome {
-            names: vec![Some(5)],
-            steps: vec![1],
-            crashed: vec![false],
-            gave_up: vec![false; 1],
+            names: vec![Some(5)].into(),
+            steps: vec![1].into(),
+            crashed: vec![false].into(),
+            gave_up: vec![false; 1].into(),
             decisions: 1,
         };
         assert!(out.verify_renaming(2).unwrap_err().contains("≥ m"));
@@ -268,14 +276,14 @@ mod tests {
     #[test]
     fn crashed_process_excused_from_completeness() {
         let out = RunOutcome {
-            names: vec![Some(0), None],
-            steps: vec![1, 4],
-            crashed: vec![false, true],
-            gave_up: vec![false; 2],
+            names: vec![Some(0), None].into(),
+            steps: vec![1, 4].into(),
+            crashed: vec![false, true].into(),
+            gave_up: vec![false; 2].into(),
             decisions: 5,
         };
         out.verify_renaming(2).unwrap();
-        assert_eq!(out.survivors(), vec![0]);
+        assert_eq!(out.survivors(), vec![Pid::new(0)]);
         assert_eq!(out.total_steps(), 5);
     }
 }
@@ -304,8 +312,8 @@ mod proptests {
             self.at += 1;
             o
         }
-        fn pid(&self) -> usize {
-            self.pid
+        fn pid(&self) -> Pid {
+            Pid::new(self.pid)
         }
     }
 
@@ -348,7 +356,8 @@ mod proptests {
                 _ => Box::new(CrashAdversary::new(FairAdversary::default(), 0.3, n / 2, seed)),
             };
             let out = run(procs, adv.as_mut(), 1 << 20).unwrap();
-            for (pid, &(tape_len, terminal)) in expected.iter().enumerate() {
+            for (i, &(tape_len, terminal)) in expected.iter().enumerate() {
+                let pid = Pid::new(i);
                 if out.crashed[pid] {
                     prop_assert!(out.names[pid].is_none());
                     prop_assert!(!out.gave_up[pid]);

@@ -16,7 +16,7 @@ fn run_once(algo: &dyn RenamingAlgorithm, n: usize, seed: u64) -> RunOutcome {
 }
 
 fn fingerprint(out: &RunOutcome) -> (Vec<Option<usize>>, Vec<u64>, u64) {
-    (out.names.clone(), out.steps.clone(), out.decisions)
+    (out.names.clone().into_vec(), out.steps.clone().into_vec(), out.decisions)
 }
 
 #[test]

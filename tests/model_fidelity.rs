@@ -10,7 +10,8 @@
 use randomized_renaming::baselines::{BitonicRenaming, UniformProbing};
 use randomized_renaming::renaming::traits::{Cor9, RenamingAlgorithm};
 use randomized_renaming::renaming::TightRenaming;
-use randomized_renaming::sched::adversary::{Adversary, Decision, FairAdversary, View};
+use randomized_renaming::sched::adversary::{Adversary, Decision, FairAdversary, RunView};
+use randomized_renaming::sched::ids::{pids, Pid};
 use randomized_renaming::sched::process::{Process, StepOutcome};
 use randomized_renaming::sched::virtual_exec::run;
 use randomized_renaming::shmem::Access;
@@ -40,7 +41,7 @@ impl Process for AnnounceChecker {
         self.inner.step()
     }
 
-    fn pid(&self) -> usize {
+    fn pid(&self) -> Pid {
         self.inner.pid()
     }
 }
@@ -70,11 +71,11 @@ fn announcements_are_stable_for_all_protocols() {
 /// can replay the record against the memory effects.
 struct Recorder {
     inner: FairAdversary,
-    granted: Mutex<Vec<(usize, Access)>>,
+    granted: Mutex<Vec<(Pid, Access)>>,
 }
 
 impl Adversary for Recorder {
-    fn decide(&mut self, view: &View<'_>) -> Decision {
+    fn decide(&mut self, view: &RunView<'_>) -> Decision {
         let d = self.inner.decide(view);
         if let Decision::Grant(pid) = d {
             self.granted.lock().unwrap().push((pid, view.announced[pid].unwrap()));
@@ -104,7 +105,7 @@ fn adversary_sees_the_coin_flips_that_actually_execute() {
     out.verify_renaming(m).unwrap();
 
     let granted = rec.granted.into_inner().unwrap();
-    for pid in 0..n {
+    for pid in pids(n) {
         let last_target = granted
             .iter()
             .rev()
@@ -132,7 +133,7 @@ fn step_counts_equal_grants() {
     let out = run(procs, &mut rec, algo.step_budget(n)).unwrap();
     let granted = rec.granted.into_inner().unwrap();
     assert_eq!(granted.len() as u64, out.total_steps());
-    for pid in 0..n {
+    for pid in pids(n) {
         let grants = granted.iter().filter(|(p, _)| *p == pid).count() as u64;
         assert_eq!(grants, out.steps[pid], "pid {pid}");
     }

@@ -26,7 +26,7 @@ fn threaded_audit(algo: &dyn RenamingAlgorithm, n: usize, threads: usize) {
                         let pid = p.pid();
                         let (name, _) = run_to_completion(p.as_mut(), 1 << 24);
                         let name = name.expect("full protocols name everyone");
-                        audit.claim(pid, name).expect("audit rejected a claim");
+                        audit.claim(pid.index(), name).expect("audit rejected a claim");
                     })
                 })
                 .collect();
