@@ -472,8 +472,7 @@ fn assemble(rows: Vec<SeedRow>) -> BatchStats {
 /// worker count as optional axes.
 ///
 /// Replaces the old `run_batch` / `run_batch_serial` /
-/// `run_batch_keyed` / `run_batch_backend` function family (which
-/// remain as deprecated shims over this type):
+/// `run_batch_keyed` / `run_batch_backend` function family:
 ///
 /// ```
 /// use rr_bench::runner::{BatchRun, ExecBackend};
@@ -603,103 +602,6 @@ impl<'a> BatchRun<'a> {
     }
 }
 
-/// Runs `algo` at size `n` across `seeds` seeds, one seed at a time.
-#[deprecated(note = "use BatchRun::new(algo, n).seeds(seeds).schedule(schedule).workers(1)")]
-pub fn run_batch_serial(
-    algo: &(dyn RenamingAlgorithm + Sync),
-    n: usize,
-    seeds: u64,
-    schedule: Schedule,
-) -> BatchStats {
-    BatchRun::new(algo, n)
-        .seeds(seeds)
-        .schedule(schedule)
-        .workers(1)
-        .stats()
-        .expect("every Schedule variant maps to a registered adversary key")
-}
-
-/// Runs `algo` at size `n` across `seeds` seeds, in parallel over seeds.
-#[deprecated(note = "use BatchRun::new(algo, n).seeds(seeds).schedule(schedule)")]
-pub fn run_batch(
-    algo: &(dyn RenamingAlgorithm + Sync),
-    n: usize,
-    seeds: u64,
-    schedule: Schedule,
-) -> BatchStats {
-    BatchRun::new(algo, n)
-        .seeds(seeds)
-        .schedule(schedule)
-        .stats()
-        .expect("every Schedule variant maps to a registered adversary key")
-}
-
-/// [`run_batch`] with an explicit worker count (≤ 1 runs serially).
-#[deprecated(note = "use BatchRun::new(algo, n).seeds(seeds).schedule(schedule).workers(workers)")]
-pub fn run_batch_with_threads(
-    algo: &(dyn RenamingAlgorithm + Sync),
-    n: usize,
-    seeds: u64,
-    schedule: Schedule,
-    workers: usize,
-) -> BatchStats {
-    BatchRun::new(algo, n)
-        .seeds(seeds)
-        .schedule(schedule)
-        .workers(workers)
-        .stats()
-        .expect("every Schedule variant maps to a registered adversary key")
-}
-
-/// Runs `algo` across seeds under the adversary named by a registry
-/// `key`.
-///
-/// # Errors
-/// Same conditions as [`BatchRun::run`].
-#[deprecated(note = "use BatchRun::new(algo, n).seeds(seeds).adversary(key)")]
-pub fn run_batch_keyed(
-    algo: &(dyn RenamingAlgorithm + Sync),
-    n: usize,
-    seeds: u64,
-    key: &str,
-) -> Result<BatchStats, String> {
-    BatchRun::new(algo, n).seeds(seeds).adversary(key).stats()
-}
-
-/// [`run_batch_keyed`] with an explicit worker count (≤ 1 runs
-/// serially).
-///
-/// # Errors
-/// Same conditions as [`BatchRun::run`].
-#[deprecated(note = "use BatchRun::new(algo, n).seeds(seeds).adversary(key).workers(workers)")]
-pub fn run_batch_keyed_with_threads(
-    algo: &(dyn RenamingAlgorithm + Sync),
-    n: usize,
-    seeds: u64,
-    key: &str,
-    workers: usize,
-) -> Result<BatchStats, String> {
-    BatchRun::new(algo, n).seeds(seeds).adversary(key).workers(workers).stats()
-}
-
-/// The backend-selectable batch entry point.
-///
-/// # Errors
-/// Same conditions as [`BatchRun::run`].
-#[deprecated(
-    note = "use BatchRun::new(algo, n).seeds(seeds).adversary(key).backend(backend).workers(workers)"
-)]
-pub fn run_batch_backend(
-    algo: &(dyn RenamingAlgorithm + Sync),
-    n: usize,
-    seeds: u64,
-    key: &str,
-    backend: ExecBackend,
-    workers: usize,
-) -> Result<(BatchStats, BatchTiming), String> {
-    BatchRun::new(algo, n).seeds(seeds).adversary(key).backend(backend).workers(workers).run()
-}
-
 /// The shared batch executor: farms seeds to scoped workers, building a
 /// fresh adversary per seed via `build_adv`, and re-assembles rows in
 /// seed order. Each worker owns one dense-backend [`Arena`] for its
@@ -754,7 +656,7 @@ fn run_batch_core(
     assemble(rows.into_iter().map(|r| r.expect("every seed claimed exactly once")).collect())
 }
 
-/// Worker-thread count for [`run_batch`]: `RR_RUNNER_THREADS` when set
+/// Worker-thread count for [`BatchRun`]: `RR_RUNNER_THREADS` when set
 /// to a positive integer, else the machine's available parallelism.
 pub fn runner_threads() -> usize {
     parse_threads(std::env::var("RR_RUNNER_THREADS").ok().as_deref())
@@ -773,7 +675,7 @@ fn parse_threads(raw: Option<&str>) -> usize {
 /// | knob | source | effect |
 /// |---|---|---|
 /// | `quick` | `--quick` CLI flag | shrink sweeps so CI finishes in seconds |
-/// | `threads` | `RR_RUNNER_THREADS` env (else available parallelism) | [`run_batch`] worker count |
+/// | `threads` | `RR_RUNNER_THREADS` env (else available parallelism) | [`BatchRun`] worker count |
 /// | `json_path` | `--json <path>` CLI flag | also write structured records (see `scenario::sink`) |
 /// | `backend` | `--backend <key>` CLI flag | execution core (`virtual` \| `dense` \| `threads:t=N`) |
 #[derive(Debug, Clone)]
@@ -1141,32 +1043,6 @@ mod tests {
         assert!(timing.wall_secs >= 0.0);
         assert!(timing.runs_per_sec() > 0.0);
         assert!(timing.steps_per_sec() > 0.0);
-    }
-
-    /// The deprecated function family must stay byte-equivalent to the
-    /// builder it now delegates to, until it is removed.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_batch_run() {
-        let algo = TightRenaming::calibrated(4);
-        let shim = run_batch_keyed(&algo, 64, 3, "random").unwrap();
-        let built = BatchRun::new(&algo, 64).seeds(3).adversary("random").stats().unwrap();
-        assert_eq!(shim.step_complexity, built.step_complexity);
-        assert_eq!(shim.total_steps, built.total_steps);
-
-        let shim = run_batch_serial(&algo, 64, 2, Schedule::Stall);
-        let built =
-            BatchRun::new(&algo, 64).seeds(2).schedule(Schedule::Stall).workers(1).stats().unwrap();
-        assert_eq!(shim.step_complexity, built.step_complexity);
-
-        let (shim, _) = run_batch_backend(&algo, 64, 2, "fair", ExecBackend::Dense, 2).unwrap();
-        let built = BatchRun::new(&algo, 64)
-            .seeds(2)
-            .backend(ExecBackend::Dense)
-            .workers(2)
-            .stats()
-            .unwrap();
-        assert_eq!(shim.step_complexity, built.step_complexity);
     }
 
     #[test]

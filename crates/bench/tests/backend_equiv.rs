@@ -4,7 +4,9 @@
 //! * `dense` must reproduce the `virtual` backend's [`BatchStats`]
 //!   **bit for bit** for every registry algorithm under every adversary
 //!   family the engine schedules deterministically — same announce
-//!   cadence, same tombstone compaction, same RNG consumption.
+//!   cadence, same observable slot roster (the packed bitmap's snapshot
+//!   reproduces the old tombstoned vector exactly), same RNG
+//!   consumption.
 //! * `shard:s=1` is the degenerate partition (one shard, identity
 //!   sub-seed, zero cross-shard traffic) and must likewise be
 //!   bit-identical to `dense` — and therefore to `virtual`.
@@ -89,7 +91,7 @@ fn shard_with_one_shard_matches_dense_bit_for_bit_for_every_algorithm() {
 #[test]
 fn dense_matches_virtual_under_adaptive_and_crash_adversaries() {
     let reg = registry();
-    for algo_key in ["tight-tau:c=4", "cor9", "uniform"] {
+    for algo_key in reg.keys() {
         let algo = reg.build(algo_key).unwrap();
         for adv_key in ["collisions", "stall", "crash:p=300,cap=25"] {
             let virt = batch(&algo, N, SEEDS, adv_key, ExecBackend::Virtual, 1);
@@ -108,7 +110,7 @@ fn dense_matches_virtual_under_adaptive_and_crash_adversaries() {
 #[test]
 fn shard_with_one_shard_matches_dense_under_adaptive_and_crash_adversaries() {
     let reg = registry();
-    for algo_key in ["tight-tau:c=4", "cor9", "uniform"] {
+    for algo_key in reg.keys() {
         let algo = reg.build(algo_key).unwrap();
         for adv_key in ["collisions", "stall", "crash:p=300,cap=25"] {
             let dense = batch(&algo, N, SEEDS, adv_key, ExecBackend::Dense, 1);

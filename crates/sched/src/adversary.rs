@@ -8,7 +8,16 @@
 //! active process's *announced* next access — announcements are made
 //! after the coin flip that chose the target register, so the adversary
 //! schedules with full knowledge of the randomness.
+//!
+//! The view is served from the executor's word-packed state
+//! ([`StatusBitmap`] for runnability, [`SlotSnapshot`] for the
+//! slot-numbered roster that rejection-sampling strategies index), so
+//! strategies that scan the runnable set do it word-at-a-time. Strategies
+//! that can commit to several grants from one view implement
+//! [`Adversary::decide_batch`] and the executor applies the whole batch
+//! without re-entering the dispatch loop.
 
+use crate::bits::{SlotSnapshot, StatusBitmap};
 use crate::ids::{EntityVec, Pid, ShardMap};
 use rand::rngs::ChaCha8Rng;
 use rand::{RngExt, SeedableRng};
@@ -19,12 +28,19 @@ use rr_shmem::Access;
 /// can ride along without breaking every strategy.
 #[derive(Debug)]
 pub struct RunView<'a> {
-    /// Sorted *superset* of the pids still running: the executor
-    /// tombstones halted pids and compacts lazily, so entries whose
-    /// `announced` slot is `None` are already done/crashed and must not
-    /// be granted. `announced[pid].is_some()` is the ground truth for
-    /// runnability.
-    pub active: &'a [Pid],
+    /// Packed per-process lifecycle state. `status.is_runnable(pid)` /
+    /// `announced[pid].is_some()` are interchangeable ground truths for
+    /// runnability; the word-wide scans ([`RunView::next_runnable`],
+    /// [`RunView::runnable`]) come from here.
+    pub status: &'a StatusBitmap,
+    /// The slot-numbered roster as of the executor's last compaction
+    /// point — a sorted *superset* of the runnable pids. Slots whose pid
+    /// is no longer runnable are stale and must not be granted;
+    /// strategies that sample slots by index re-check
+    /// [`RunView::is_runnable`]. (This reproduces, observationally, the
+    /// tombstoned `active` vector earlier revisions exposed, so seeded
+    /// RNG streams replay bit-identically.)
+    pub slots: &'a SlotSnapshot,
     /// `announced[pid]` — the access each runnable process will perform
     /// next (`None` for finished/crashed processes).
     pub announced: &'a EntityVec<Pid, Option<Access>>,
@@ -43,18 +59,52 @@ impl<'a> RunView<'a> {
     /// An unsharded view — the common case for every serial executor and
     /// for tests.
     pub fn new(
-        active: &'a [Pid],
+        status: &'a StatusBitmap,
+        slots: &'a SlotSnapshot,
         announced: &'a EntityVec<Pid, Option<Access>>,
         steps: &'a EntityVec<Pid, u64>,
         named: usize,
     ) -> Self {
-        Self { active, announced, steps, named, shards: ShardMap::single() }
+        Self { status, slots, announced, steps, named, shards: ShardMap::single() }
+    }
+
+    /// Whether `pid` is still runnable (one load + mask).
+    #[inline]
+    pub fn is_runnable(&self, pid: Pid) -> bool {
+        self.status.is_runnable(pid)
+    }
+
+    /// The first runnable pid with index ≥ `from`, scanned
+    /// word-at-a-time.
+    #[inline]
+    pub fn next_runnable(&self, from: usize) -> Option<Pid> {
+        self.status.next_runnable(from)
+    }
+
+    /// All runnable pids, ascending.
+    pub fn runnable(&self) -> crate::bits::RunnableIter<'a> {
+        self.status.runnable()
+    }
+
+    /// Number of runnable pids.
+    pub fn runnable_count(&self) -> usize {
+        self.status.runnable_count()
+    }
+
+    /// Number of slots in the roster (≥ the runnable count; the excess
+    /// is stale slots awaiting the executor's next compaction).
+    #[inline]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The pid in roster slot `i`. May be stale — re-check
+    /// [`RunView::is_runnable`] before granting.
+    #[inline]
+    pub fn slot(&self, i: usize) -> Pid {
+        self.slots.select(i)
     }
 }
-
-/// Pre-redesign name of [`RunView`].
-#[deprecated(note = "renamed to RunView; decide() now takes one context struct")]
-pub type View<'a> = RunView<'a>;
 
 /// One scheduling decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,8 +117,27 @@ pub enum Decision {
 
 /// An adaptive adversary strategy.
 pub trait Adversary {
-    /// Chooses the next decision. `view.active` is non-empty.
+    /// Chooses the next decision. The view has at least one runnable
+    /// process.
     fn decide(&mut self, view: &RunView<'_>) -> Decision;
+
+    /// Appends up to `max` decisions to `out` from one view — the
+    /// macro-step hook: the executor applies the whole batch without
+    /// re-entering the dispatch loop.
+    ///
+    /// **Contract:** an override must emit *exactly* the decisions that
+    /// `max` sequential [`Adversary::decide`] calls would have made
+    /// (possibly fewer, never zero), accounting for the fact that the
+    /// view is not refreshed mid-batch: each granted pid is granted at
+    /// most once per batch, since a grantee may halt on its step.
+    /// Strategies whose next decision depends on mid-batch state (e.g.
+    /// rejection samplers, whose RNG stream depends on each draw's
+    /// runnability at decision time) must keep this default, which
+    /// batches nothing.
+    fn decide_batch(&mut self, view: &RunView<'_>, out: &mut Vec<Decision>, max: usize) {
+        let _ = max;
+        out.push(self.decide(view));
+    }
 
     /// Strategy name for experiment tables.
     fn name(&self) -> &'static str;
@@ -81,54 +150,64 @@ impl<A: Adversary + ?Sized> Adversary for Box<A> {
         (**self).decide(view)
     }
 
+    fn decide_batch(&mut self, view: &RunView<'_>, out: &mut Vec<Decision>, max: usize) {
+        (**self).decide_batch(view, out, max)
+    }
+
     fn name(&self) -> &'static str {
         (**self).name()
     }
 }
 
 /// Round-robin over active processes — the "benign" schedule.
+///
+/// The whole strategy is one word-scan: grant the first runnable pid at
+/// or after the cursor, wrapping once past the end. Because its choices
+/// depend only on *which pids are runnable* — not on slots, steps, or
+/// randomness — fair can batch: from one view it commits to a strictly
+/// ascending run of grants ([`Adversary::decide_batch`]), which is
+/// provably what sequential `decide` calls would have granted (the
+/// runnable set only shrinks mid-batch, and only by a grantee halting on
+/// its own step, which never affects a *later*, strictly greater pid's
+/// runnability at its grant time).
 #[derive(Debug, Default)]
 pub struct FairAdversary {
     cursor: usize,
-    /// Cached guess for the index of the first `active` entry ≥ cursor.
-    /// Round-robin advances through `active` almost sequentially, so the
-    /// guess is usually exact; it is *validated* against the sorted
-    /// vector before use (two adjacent reads) and falls back to binary
-    /// search when the executor's lazy compaction shifted the entries.
-    /// Pure optimization: the granted sequence is identical either way,
-    /// but at n = 2²⁰ the per-decision `partition_point` over an 8 MB
-    /// vector was a measurable fraction of whole-run wall clock.
-    hint: usize,
 }
 
 impl Adversary for FairAdversary {
     fn decide(&mut self, view: &RunView<'_>) -> Decision {
-        let active = view.active;
-        let len = active.len();
-        // Index of the first active entry ≥ cursor: the validated hint,
-        // or a binary search when the hint is stale.
-        let start = if self.hint <= len
-            && (self.hint == 0 || active[self.hint - 1].index() < self.cursor)
-            && (self.hint == len || active[self.hint].index() >= self.cursor)
-        {
-            self.hint
-        } else {
-            active.partition_point(|&p| p.index() < self.cursor)
-        };
-        // Grant the first runnable pid at or after the cursor, skipping
-        // tombstones (amortized O(1): each tombstone is skipped at most
-        // once per round-robin lap between compactions).
-        let (offset, pid) = active[start..]
-            .iter()
-            .chain(active[..start].iter())
-            .copied()
-            .enumerate()
-            .find(|&(_, p)| view.announced[p].is_some())
+        let pid = view
+            .next_runnable(self.cursor)
+            .or_else(|| view.next_runnable(0))
             .expect("decide() requires at least one runnable process");
-        let index = if start + offset < len { start + offset } else { start + offset - len };
         self.cursor = pid.index() + 1;
-        self.hint = index + 1;
         Decision::Grant(pid)
+    }
+
+    fn decide_batch(&mut self, view: &RunView<'_>, out: &mut Vec<Decision>, max: usize) {
+        // Strictly ascending grants only: no wrap inside a batch, so no
+        // pid is granted twice from one (unrefreshed) view.
+        let start = out.len();
+        let mut from = self.cursor;
+        while out.len() - start < max {
+            match view.next_runnable(from) {
+                Some(pid) => {
+                    out.push(Decision::Grant(pid));
+                    from = pid.index() + 1;
+                }
+                None => break,
+            }
+        }
+        if out.len() == start {
+            // Cursor past every runnable pid: wrap, as decide() would,
+            // but commit to just the one grant.
+            let pid =
+                view.next_runnable(0).expect("decide() requires at least one runnable process");
+            out.push(Decision::Grant(pid));
+            from = pid.index() + 1;
+        }
+        self.cursor = from;
     }
 
     fn name(&self) -> &'static str {
@@ -137,6 +216,13 @@ impl Adversary for FairAdversary {
 }
 
 /// Uniformly random schedule.
+///
+/// Keeps the default single-decision [`Adversary::decide_batch`] on
+/// purpose: each RNG draw's accept/reject depends on the sampled pid's
+/// runnability *at that decision*, so batching draws against a stale view
+/// would change the consumed RNG stream whenever a grantee halts
+/// mid-batch — breaking bit-identity with the recorded baselines. The
+/// view does not permit batching this strategy.
 #[derive(Debug)]
 pub struct RandomAdversary {
     rng: ChaCha8Rng,
@@ -151,12 +237,12 @@ impl RandomAdversary {
 
 impl Adversary for RandomAdversary {
     fn decide(&mut self, view: &RunView<'_>) -> Decision {
-        // Rejection-sample past tombstones (< 50% of the vector by the
+        // Rejection-sample past stale slots (< 50% of the roster by the
         // executor's compaction policy, so ≤ 2 tries expected).
         loop {
-            let i = self.rng.random_range(0..view.active.len());
-            let pid = view.active[i];
-            if view.announced[pid].is_some() {
+            let i = self.rng.random_range(0..view.slot_count());
+            let pid = view.slot(i);
+            if view.is_runnable(pid) {
                 return Decision::Grant(pid);
             }
         }
@@ -186,10 +272,11 @@ impl Adversary for CollisionMaximizer {
                 return Decision::Grant(pid);
             }
         }
-        // Group active pids by announced target; pick the biggest group.
+        // Group runnable pids by announced target; pick the biggest
+        // group.
         let mut groups: std::collections::HashMap<(u32, usize), Vec<Pid>> =
             std::collections::HashMap::new();
-        for &pid in view.active {
+        for pid in view.runnable() {
             if let Some(acc) = view.announced[pid] {
                 let key = match acc {
                     Access::Tas { array, index } => (array, index),
@@ -233,7 +320,7 @@ impl StallWinners {
 
 impl Adversary for StallWinners {
     fn decide(&mut self, view: &RunView<'_>) -> Decision {
-        for &pid in view.active {
+        for pid in view.runnable() {
             if let Some(acc) = view.announced[pid] {
                 if !(self.probe)(&acc) {
                     return Decision::Grant(pid);
@@ -242,12 +329,7 @@ impl Adversary for StallWinners {
         }
         // Everyone would win; grant the first runnable (some progress is
         // forced — an adversary cannot block all processes forever).
-        let pid = view
-            .active
-            .iter()
-            .copied()
-            .find(|&p| view.announced[p].is_some())
-            .expect("decide() requires at least one runnable process");
+        let pid = view.next_runnable(0).expect("decide() requires at least one runnable process");
         Decision::Grant(pid)
     }
 
@@ -267,6 +349,10 @@ impl std::fmt::Debug for StallWinners {
 /// probability `p` — the cruelest moment, since the process may have
 /// already been admitted somewhere. Total crashes capped by `budget`
 /// (crashing everyone would make renaming vacuous).
+///
+/// Keeps the default single-decision [`Adversary::decide_batch`]: the
+/// crash scan (and its RNG draws) must run against a fresh view before
+/// *every* decision, exactly as the recorded baselines did.
 #[derive(Debug)]
 pub struct CrashAdversary<A> {
     inner: A,
@@ -292,8 +378,11 @@ impl<A: Adversary> CrashAdversary<A> {
 
 impl<A: Adversary> Adversary for CrashAdversary<A> {
     fn decide(&mut self, view: &RunView<'_>) -> Decision {
-        if self.crashed < self.budget && view.active.len() > 1 {
-            for &pid in view.active {
+        // Guard on the roster length (not the runnable count): this is
+        // the byte the recorded baselines observed, and it only errs on
+        // the side of crashing less near the end of a run.
+        if self.crashed < self.budget && view.slot_count() > 1 {
+            for pid in view.runnable() {
                 let winning = view.announced[pid].is_some_and(|a| a.is_winning_kind());
                 if winning && self.rng.random_bool(self.p) {
                     self.crashed += 1;
@@ -309,18 +398,49 @@ impl<A: Adversary> Adversary for CrashAdversary<A> {
     }
 }
 
+/// Owns the packed state a [`RunView`] borrows — for unit tests and
+/// microbenches that drive an adversary without a full executor.
+///
+/// Built from the announcement table alone: pids with an announced
+/// access are runnable, the rest are marked halted, and the slot roster
+/// is captured *after* marking (so `slot_count() == runnable_count()`;
+/// tests that need stale slots build the pieces by hand).
+#[derive(Debug)]
+pub struct ViewFixture {
+    status: StatusBitmap,
+    slots: SlotSnapshot,
+    announced: EntityVec<Pid, Option<Access>>,
+    steps: EntityVec<Pid, u64>,
+    named: usize,
+}
+
+impl ViewFixture {
+    /// A fixture where exactly the `Some` entries of `announced` are
+    /// runnable.
+    pub fn new(announced: EntityVec<Pid, Option<Access>>) -> Self {
+        let n = announced.len();
+        let mut status = StatusBitmap::new();
+        status.reset(n);
+        for (pid, ann) in announced.iter_enumerated() {
+            if ann.is_none() {
+                status.set(pid, crate::bits::Status::GaveUp);
+            }
+        }
+        let mut slots = SlotSnapshot::new();
+        slots.capture(&status);
+        Self { status, slots, announced, steps: vec![0u64; n].into(), named: 0 }
+    }
+
+    /// A borrowed view over the fixture's state.
+    pub fn view(&self) -> RunView<'_> {
+        RunView::new(&self.status, &self.slots, &self.announced, &self.steps, self.named)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::pids;
-
-    fn view<'a>(
-        active: &'a [Pid],
-        announced: &'a EntityVec<Pid, Option<Access>>,
-        steps: &'a EntityVec<Pid, u64>,
-    ) -> RunView<'a> {
-        RunView::new(active, announced, steps, 0)
-    }
+    use crate::bits::Status;
 
     fn grant(d: Decision) -> usize {
         match d {
@@ -331,55 +451,100 @@ mod tests {
 
     #[test]
     fn fair_is_round_robin() {
-        let active: Vec<Pid> = pids(3).collect();
-        let ann: EntityVec<Pid, _> = crate::entity_vec![Some(Access::Local); 3];
-        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 3];
+        let fx = ViewFixture::new(crate::entity_vec![Some(Access::Local); 3]);
         let mut adv = FairAdversary::default();
-        let picks: Vec<_> =
-            (0..6).map(|_| grant(adv.decide(&view(&active, &ann, &steps)))).collect();
+        let picks: Vec<_> = (0..6).map(|_| grant(adv.decide(&fx.view()))).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
 
     #[test]
     fn fair_skips_inactive() {
-        let ann: EntityVec<Pid, _> = crate::entity_vec![Some(Access::Local); 5];
-        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 5];
+        let fx = ViewFixture::new(crate::entity_vec![
+            None,
+            Some(Access::Local),
+            None,
+            Some(Access::Local),
+            None,
+        ]);
         let mut adv = FairAdversary::default();
-        let active = [Pid::new(1), Pid::new(3)];
-        let p1 = adv.decide(&view(&active, &ann, &steps));
-        let p2 = adv.decide(&view(&active, &ann, &steps));
-        let p3 = adv.decide(&view(&active, &ann, &steps));
+        let p1 = adv.decide(&fx.view());
+        let p2 = adv.decide(&fx.view());
+        let p3 = adv.decide(&fx.view());
         assert_eq!(p1, Decision::Grant(Pid::new(1)));
         assert_eq!(p2, Decision::Grant(Pid::new(3)));
         assert_eq!(p3, Decision::Grant(Pid::new(1)));
     }
 
     #[test]
+    fn fair_batch_matches_sequential_decides() {
+        // Against an unchanging view, a batch must be a prefix of what
+        // sequential decide() calls produce — including the wrap, which
+        // only ever happens as a batch of one.
+        let fx = ViewFixture::new(crate::entity_vec![Some(Access::Local); 5]);
+        let mut sequential = FairAdversary::default();
+        let expect: Vec<_> = (0..8).map(|_| sequential.decide(&fx.view())).collect();
+
+        let mut batched = FairAdversary::default();
+        let mut got = Vec::new();
+        while got.len() < 8 {
+            let want = 8 - got.len();
+            batched.decide_batch(&fx.view(), &mut got, want);
+        }
+        assert_eq!(got, expect);
+        // First batch runs to the end of pid space (5 grants), the wrap
+        // is its own single-grant batch.
+        let mut first = Vec::new();
+        FairAdversary::default().decide_batch(&fx.view(), &mut first, 8);
+        assert_eq!(first.len(), 5);
+    }
+
+    #[test]
     fn random_is_deterministic_given_seed() {
-        let active: Vec<Pid> = pids(10).collect();
-        let ann: EntityVec<Pid, _> = crate::entity_vec![Some(Access::Local); 10];
-        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 10];
+        let fx = ViewFixture::new(crate::entity_vec![Some(Access::Local); 10]);
         let run = |seed| {
             let mut adv = RandomAdversary::new(seed);
-            (0..20).map(|_| grant(adv.decide(&view(&active, &ann, &steps)))).collect::<Vec<_>>()
+            (0..20).map(|_| grant(adv.decide(&fx.view()))).collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
     }
 
     #[test]
+    fn random_rejects_stale_slots() {
+        // Roster captured while all 4 pids ran; pid 1 has since halted.
+        // Sampling must reject slot 1 and re-draw, never granting it.
+        let mut status = StatusBitmap::new();
+        status.reset(4);
+        let mut slots = SlotSnapshot::new();
+        slots.capture(&status);
+        status.set(Pid::new(1), Status::Named);
+        let announced: EntityVec<Pid, Option<Access>> = crate::entity_vec![
+            Some(Access::Local),
+            None,
+            Some(Access::Local),
+            Some(Access::Local),
+        ];
+        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 4];
+        let view = RunView::new(&status, &slots, &announced, &steps, 0);
+        assert_eq!(view.slot_count(), 4);
+        assert_eq!(view.runnable_count(), 3);
+        let mut adv = RandomAdversary::new(3);
+        for _ in 0..50 {
+            assert_ne!(grant(adv.decide(&view)), 1);
+        }
+    }
+
+    #[test]
     fn collision_maximizer_groups_by_target() {
         // pids 0,2 target register 5; pid 1 targets register 9.
-        let active: Vec<Pid> = pids(3).collect();
-        let ann: EntityVec<Pid, _> = crate::entity_vec![
+        let fx = ViewFixture::new(crate::entity_vec![
             Some(Access::Tas { array: 0, index: 5 }),
             Some(Access::Tas { array: 0, index: 9 }),
             Some(Access::Tas { array: 0, index: 5 }),
-        ];
-        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 3];
+        ]);
         let mut adv = CollisionMaximizer::default();
-        let first = grant(adv.decide(&view(&active, &ann, &steps)));
-        let second = grant(adv.decide(&view(&active, &ann, &steps)));
+        let first = grant(adv.decide(&fx.view()));
+        let second = grant(adv.decide(&fx.view()));
         let granted = [first, second];
         // Both members of the largest group come before pid 1.
         assert!(granted.contains(&0) && granted.contains(&2), "granted {granted:?}");
@@ -387,40 +552,33 @@ mod tests {
 
     #[test]
     fn stall_winners_prefers_losers() {
-        let active: Vec<Pid> = pids(2).collect();
-        let ann: EntityVec<Pid, _> = crate::entity_vec![
+        let fx = ViewFixture::new(crate::entity_vec![
             Some(Access::Tas { array: 0, index: 0 }), // would win
             Some(Access::Tas { array: 0, index: 1 }), // would lose
-        ];
-        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 2];
+        ]);
         let mut adv = StallWinners::new(Box::new(|a: &Access| a.index() == Some(0)));
-        assert_eq!(adv.decide(&view(&active, &ann, &steps)), Decision::Grant(Pid::new(1)));
+        assert_eq!(adv.decide(&fx.view()), Decision::Grant(Pid::new(1)));
     }
 
     #[test]
     fn stall_winners_grants_when_all_win() {
-        let active = [Pid::new(3), Pid::new(4)];
-        let ann: EntityVec<Pid, _> = {
+        let fx = ViewFixture::new({
             let mut v = vec![None; 5];
             v[3] = Some(Access::Tas { array: 0, index: 0 });
             v[4] = Some(Access::Tas { array: 0, index: 1 });
             v.into()
-        };
-        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 5];
+        });
         let mut adv = StallWinners::new(Box::new(|_| true));
-        assert_eq!(adv.decide(&view(&active, &ann, &steps)), Decision::Grant(Pid::new(3)));
+        assert_eq!(adv.decide(&fx.view()), Decision::Grant(Pid::new(3)));
     }
 
     #[test]
     fn crash_adversary_respects_budget() {
-        let active: Vec<Pid> = pids(10).collect();
-        let ann: EntityVec<Pid, _> =
-            crate::entity_vec![Some(Access::Tas { array: 0, index: 0 }); 10];
-        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 10];
+        let fx = ViewFixture::new(crate::entity_vec![Some(Access::Tas { array: 0, index: 0 }); 10]);
         let mut adv = CrashAdversary::new(FairAdversary::default(), 1.0, 3, 1);
         let mut crashes = 0;
         for _ in 0..50 {
-            if let Decision::Crash(_) = adv.decide(&view(&active, &ann, &steps)) {
+            if let Decision::Crash(_) = adv.decide(&fx.view()) {
                 crashes += 1;
             }
         }
@@ -430,17 +588,15 @@ mod tests {
 
     #[test]
     fn crash_adversary_never_crashes_last_process() {
-        let active = [Pid::new(5)];
-        let ann: EntityVec<Pid, _> = {
+        let fx = ViewFixture::new({
             let mut v = vec![None; 6];
             v[5] = Some(Access::Tas { array: 0, index: 0 });
             v.into()
-        };
-        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 6];
+        });
         let mut adv = CrashAdversary::new(FairAdversary::default(), 1.0, 100, 1);
         for _ in 0..10 {
             assert!(matches!(
-                adv.decide(&view(&active, &ann, &steps)),
+                adv.decide(&fx.view()),
                 Decision::Grant(p) if p == Pid::new(5)
             ));
         }
@@ -448,23 +604,17 @@ mod tests {
 
     #[test]
     fn crash_zero_probability_never_crashes() {
-        let active: Vec<Pid> = pids(4).collect();
-        let ann: EntityVec<Pid, _> =
-            crate::entity_vec![Some(Access::Tas { array: 0, index: 0 }); 4];
-        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 4];
+        let fx = ViewFixture::new(crate::entity_vec![Some(Access::Tas { array: 0, index: 0 }); 4]);
         let mut adv = CrashAdversary::new(FairAdversary::default(), 0.0, 100, 1);
         for _ in 0..20 {
-            assert!(matches!(adv.decide(&view(&active, &ann, &steps)), Decision::Grant(_)));
+            assert!(matches!(adv.decide(&fx.view()), Decision::Grant(_)));
         }
     }
 
     #[test]
     fn view_defaults_to_a_single_shard() {
-        let active: Vec<Pid> = pids(2).collect();
-        let ann: EntityVec<Pid, _> = crate::entity_vec![Some(Access::Local); 2];
-        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 2];
-        let v = RunView::new(&active, &ann, &steps, 0);
-        assert_eq!(v.shards, ShardMap::single());
+        let fx = ViewFixture::new(crate::entity_vec![Some(Access::Local); 2]);
+        assert_eq!(fx.view().shards, ShardMap::single());
     }
 
     #[test]

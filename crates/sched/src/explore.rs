@@ -47,57 +47,21 @@ use rand::{RngCore, RngExt, SeedableRng};
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
 
-/// Runnable pids in `view`, ascending (`active` is a sorted superset
-/// with tombstones; `announced[pid].is_some()` is the ground truth).
-fn runnable<'a>(view: &'a RunView<'_>) -> impl Iterator<Item = Pid> + 'a {
-    view.active.iter().copied().filter(|&p| view.announced[p].is_some())
-}
-
 fn at_least_two_runnable(view: &RunView<'_>) -> bool {
-    runnable(view).nth(1).is_some()
+    view.runnable().nth(1).is_some()
 }
 
-/// Amortized-O(1) "first runnable pid" for the canonical fallback
-/// schedules. A halted pid never becomes runnable again, so the leading
-/// tombstone run of `active` only ever grows between the executor's
-/// compactions — the cursor skips it once instead of re-scanning it on
-/// every decision (a naive scan is O(dead prefix) per decision, which
-/// made serial-ish replays at n = 2¹⁴ quadratic). Compactions are
-/// detected by the length change and reset the cursor; the returned pid
-/// is **identical** to a from-zero scan by the tombstone invariant.
-#[derive(Debug, Clone, Default)]
-struct RunnableCursor {
-    dead_prefix: usize,
-    last_len: usize,
+/// First runnable pid — the canonical fallback schedule's choice, one
+/// word-scan over the view's status bitmap.
+fn first_runnable(view: &RunView<'_>) -> Pid {
+    view.next_runnable(0).expect("decide() requires at least one runnable process")
 }
 
-impl RunnableCursor {
-    fn first(&mut self, view: &RunView<'_>) -> Pid {
-        if view.active.len() != self.last_len {
-            self.dead_prefix = 0;
-            self.last_len = view.active.len();
-        }
-        while let Some(&pid) = view.active.get(self.dead_prefix) {
-            if view.announced[pid].is_some() {
-                return pid;
-            }
-            self.dead_prefix += 1;
-        }
-        unreachable!("decide() requires at least one runnable process");
-    }
-
-    /// The nearest runnable pid at or after `want`, wrapping to the
-    /// overall first — how the tolerant replayers redirect a decision
-    /// that names a halted pid. `active` is sorted, so the ≥ `want`
-    /// suffix is found by binary search rather than a front scan.
-    fn redirect(&mut self, view: &RunView<'_>, want: Pid) -> Pid {
-        let start = view.active.partition_point(|&p| p < want);
-        view.active[start..]
-            .iter()
-            .copied()
-            .find(|&p| view.announced[p].is_some())
-            .unwrap_or_else(|| self.first(view))
-    }
+/// The nearest runnable pid at or after `want`, wrapping to the overall
+/// first — how the tolerant replayers redirect a decision that names a
+/// halted pid.
+fn redirect(view: &RunView<'_>, want: Pid) -> Pid {
+    view.next_runnable(want.index()).unwrap_or_else(|| first_runnable(view))
 }
 
 /// The canonical choice list at one decision point: grant each runnable
@@ -106,7 +70,7 @@ impl RunnableCursor {
 /// always yield identical lists, which is what makes digit prefixes a
 /// stable addressing scheme for schedules.
 fn choices(view: &RunView<'_>, crashes_left: usize) -> Vec<Decision> {
-    let grants: Vec<Pid> = runnable(view).collect();
+    let grants: Vec<Pid> = view.runnable().collect();
     let mut out: Vec<Decision> = grants.iter().map(|&p| Decision::Grant(p)).collect();
     if crashes_left > 0 && grants.len() > 1 {
         out.extend(grants.iter().map(|&p| Decision::Crash(p)));
@@ -135,7 +99,6 @@ pub struct GuidedAdversary {
     /// `(digit, arity)` per decision within the horizon.
     trace: Vec<(u32, u32)>,
     decisions: Vec<Decision>,
-    cursor: RunnableCursor,
 }
 
 impl GuidedAdversary {
@@ -149,7 +112,6 @@ impl GuidedAdversary {
             clamp,
             trace: Vec::new(),
             decisions: Vec::new(),
-            cursor: RunnableCursor::default(),
         }
     }
 
@@ -178,7 +140,7 @@ impl Adversary for GuidedAdversary {
             self.trace.push((digit as u32, cs.len() as u32));
             d
         } else {
-            Decision::Grant(self.cursor.first(view))
+            Decision::Grant(first_runnable(view))
         };
         self.at += 1;
         if let Decision::Crash(_) = d {
@@ -386,13 +348,12 @@ impl ExhaustiveExplorer {
 pub struct TolerantReplay {
     tape: Tape,
     at: usize,
-    cursor: RunnableCursor,
 }
 
 impl TolerantReplay {
     /// Replays `tape` from the start.
     pub fn new(tape: Tape) -> Self {
-        Self { tape, at: 0, cursor: RunnableCursor::default() }
+        Self { tape, at: 0 }
     }
 }
 
@@ -401,11 +362,11 @@ impl Adversary for TolerantReplay {
         let want = self.tape.decisions().get(self.at).copied();
         self.at += 1;
         match want {
-            Some(Decision::Grant(p)) => Decision::Grant(self.cursor.redirect(view, p)),
+            Some(Decision::Grant(p)) => Decision::Grant(redirect(view, p)),
             Some(Decision::Crash(p)) if at_least_two_runnable(view) => {
-                Decision::Crash(self.cursor.redirect(view, p))
+                Decision::Crash(redirect(view, p))
             }
-            _ => Decision::Grant(self.cursor.first(view)),
+            _ => Decision::Grant(first_runnable(view)),
         }
     }
 
@@ -467,7 +428,6 @@ pub struct MutatingReplay {
     strength: f64,
     rng: ChaCha8Rng,
     decisions: Vec<Decision>,
-    cursor: RunnableCursor,
 }
 
 impl MutatingReplay {
@@ -484,7 +444,6 @@ impl MutatingReplay {
             strength: strength_permille as f64 / 1000.0,
             rng: ChaCha8Rng::seed_from_u64(seed),
             decisions: Vec::new(),
-            cursor: RunnableCursor::default(),
         }
     }
 
@@ -499,23 +458,23 @@ impl Adversary for MutatingReplay {
         let want = self.base.decisions().get(self.at).copied();
         self.at += 1;
         let d = if self.strength > 0.0 && self.rng.random_bool(self.strength) {
-            // Perturb: a uniformly random runnable pid
-            // (rejection-sampled over the tombstoned `active` vector,
-            // like RandomAdversary).
+            // Perturb: a uniformly random runnable pid (rejection-sampled
+            // over the stale-slot roster, like RandomAdversary — same RNG
+            // consumption as the historical tombstoned-vector sampling).
             loop {
-                let i = self.rng.random_range(0..view.active.len());
-                let pid = view.active[i];
-                if view.announced[pid].is_some() {
+                let i = self.rng.random_range(0..view.slot_count());
+                let pid = view.slot(i);
+                if view.is_runnable(pid) {
                     break Decision::Grant(pid);
                 }
             }
         } else {
             match want {
-                Some(Decision::Grant(p)) => Decision::Grant(self.cursor.redirect(view, p)),
+                Some(Decision::Grant(p)) => Decision::Grant(redirect(view, p)),
                 Some(Decision::Crash(p)) if at_least_two_runnable(view) => {
-                    Decision::Crash(self.cursor.redirect(view, p))
+                    Decision::Crash(redirect(view, p))
                 }
-                _ => Decision::Grant(self.cursor.first(view)),
+                _ => Decision::Grant(first_runnable(view)),
             }
         };
         self.decisions.push(d);

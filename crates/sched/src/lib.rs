@@ -14,7 +14,10 @@
 //!   adversary-scheduled run in the workspace executes this loop;
 //!   [`dense`] remains as a re-export shim for the arena's old path.
 //!   All pid-indexed tables are typed [`ids::EntityVec`]s keyed by
-//!   [`ids::Pid`].
+//!   [`ids::Pid`]; per-process lifecycle state is word-packed in
+//!   [`bits`] ([`bits::StatusBitmap`]) so the runnable set is scanned
+//!   word-at-a-time and adversary decisions apply in macro-step
+//!   batches.
 //! * [`virtual_exec`] — the boxed compatibility shim over the arena:
 //!   single-threaded, adversary-in-the-loop, exact step counts,
 //!   deterministic. This is the executor API that realizes the paper's
@@ -44,6 +47,7 @@
 //! ```
 
 pub mod adversary;
+pub mod bits;
 pub mod dense;
 pub mod explore;
 pub mod ids;
@@ -54,12 +58,11 @@ pub mod shard;
 pub mod thread_exec;
 pub mod virtual_exec;
 
-#[allow(deprecated)]
-pub use adversary::View;
 pub use adversary::{
     Adversary, CollisionMaximizer, CrashAdversary, Decision, FairAdversary, RandomAdversary,
-    RunView, StallWinners,
+    RunView, StallWinners, ViewFixture,
 };
+pub use bits::{SlotSnapshot, Status, StatusBitmap};
 pub use explore::{
     interleaving_signature, shrink_tape, Counterexample, ExhaustiveExplorer, ExploreReport,
     FuzzExplorer, FuzzReport, GuidedAdversary, MutatingReplay, SharedExplorer, SharedFuzzer,

@@ -293,16 +293,8 @@ pub fn standard() -> &'static AdversaryRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adversary::{Decision, RunView};
-    use crate::ids::{pids, EntityVec, Pid};
-
-    fn probe_view<'a>(
-        active: &'a [Pid],
-        announced: &'a EntityVec<Pid, Option<Access>>,
-        steps: &'a EntityVec<Pid, u64>,
-    ) -> RunView<'a> {
-        RunView::new(active, announced, steps, 0)
-    }
+    use crate::adversary::{Decision, ViewFixture};
+    use crate::ids::Pid;
 
     #[test]
     fn parse_key_grammar() {
@@ -367,14 +359,11 @@ mod tests {
     /// starts the walk over from the first schedule.
     #[test]
     fn prepared_explore_builder_walks_the_schedule_tree() {
-        let active: Vec<Pid> = pids(2).collect();
-        let ann: EntityVec<Pid, Option<Access>> = crate::entity_vec![Some(Access::Local); 2];
-        let steps: EntityVec<Pid, u64> = crate::entity_vec![0u64; 2];
-        let first_grant =
-            |adv: &mut Box<dyn Adversary>| match adv.decide(&probe_view(&active, &ann, &steps)) {
-                Decision::Grant(p) => p,
-                d => panic!("unexpected {d:?}"),
-            };
+        let fx = ViewFixture::new(crate::entity_vec![Some(Access::Local); 2]);
+        let first_grant = |adv: &mut Box<dyn Adversary>| match adv.decide(&fx.view()) {
+            Decision::Grant(p) => p,
+            d => panic!("unexpected {d:?}"),
+        };
         let builder = standard().prepare("explore:depth=2").unwrap();
         let mut first = builder(2, 0);
         assert_eq!(
@@ -398,28 +387,23 @@ mod tests {
     fn crash_key_matches_manual_construction() {
         // The registry and a hand-built CrashAdversary must make the same
         // decisions given the same seed — single source of truth.
-        let active: Vec<Pid> = pids(8).collect();
-        let ann: EntityVec<Pid, Option<Access>> =
-            crate::entity_vec![Some(Access::Tas { array: 0, index: 0 }); 8];
-        let steps: EntityVec<Pid, u64> = crate::entity_vec![0u64; 8];
+        let fx = ViewFixture::new(crate::entity_vec![Some(Access::Tas { array: 0, index: 0 }); 8]);
         let mut from_key = standard().build("crash:p=500,cap=50", 8, 9).unwrap();
         let mut manual = CrashAdversary::new(FairAdversary::default(), 0.5, 4, 9);
         for _ in 0..32 {
-            let a = from_key.decide(&probe_view(&active, &ann, &steps));
-            let b = manual.decide(&probe_view(&active, &ann, &steps));
+            let a = from_key.decide(&fx.view());
+            let b = manual.decide(&fx.view());
             assert_eq!(a, b);
         }
     }
 
     #[test]
     fn stall_prefers_non_winning_kinds() {
-        let active: Vec<Pid> = pids(2).collect();
-        let ann: EntityVec<Pid, Option<Access>> = crate::entity_vec![
+        let fx = ViewFixture::new(crate::entity_vec![
             Some(Access::Tas { array: 0, index: 0 }),
             Some(Access::Read { array: 0, index: 0 }),
-        ];
-        let steps: EntityVec<Pid, u64> = crate::entity_vec![0u64; 2];
+        ]);
         let mut adv = standard().build("stall", 2, 0).unwrap();
-        assert_eq!(adv.decide(&probe_view(&active, &ann, &steps)), Decision::Grant(Pid::new(1)));
+        assert_eq!(adv.decide(&fx.view()), Decision::Grant(Pid::new(1)));
     }
 }

@@ -103,6 +103,14 @@ impl<A: Adversary> Adversary for RecordingAdversary<A> {
         d
     }
 
+    fn decide_batch(&mut self, view: &RunView<'_>, out: &mut Vec<Decision>, max: usize) {
+        // Forward the inner strategy's batching (recording must not
+        // change the schedule) and capture whatever it appended.
+        let start = out.len();
+        self.inner.decide_batch(view, out, max);
+        self.tape.decisions.extend_from_slice(&out[start..]);
+    }
+
     fn name(&self) -> &'static str {
         "recording"
     }

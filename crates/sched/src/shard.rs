@@ -29,34 +29,36 @@
 //! dense backend.
 //!
 //! **Scheduling semantics of [`Arena::run`] are bit-identical to the
-//! historical executor by construction** — same announce cadence, same
-//! tombstoned `active` vector with the same lazy-compaction threshold,
-//! same [`RunView`] handed to the adversary before every decision. An
-//! adversary cannot tell which backend is driving it, so step counts,
-//! crash patterns and RNG consumption all reproduce exactly.
+//! historical executor by construction** — same announce cadence, and a
+//! [`RunView`] served from word-packed state
+//! ([`crate::bits::StatusBitmap`]) whose observable surface reproduces
+//! the historical tombstoned `active` vector exactly: the
+//! [`crate::bits::SlotSnapshot`] roster is recaptured under the same
+//! lazy-compaction threshold, so `slot_count()`/`slot(i)` return the
+//! same bytes `active.len()`/`active[i]` did, and word-at-a-time
+//! runnable scans enumerate the same sorted runnable set the old
+//! tombstone-filtering walks did. Adversary decisions are applied in
+//! *macro-step batches* ([`Adversary::decide_batch`]): strategies that
+//! can commit to several grants from one view (fair) hand the executor
+//! a straight-line run of process segments to execute without
+//! re-entering the dispatch loop, and every other strategy defaults to
+//! one decision per view. An adversary cannot tell which backend is
+//! driving it, so step counts, crash patterns and RNG consumption all
+//! reproduce exactly.
 
 use crate::adversary::{Adversary, Decision, RunView};
+use crate::bits::{SlotSnapshot, Status, StatusBitmap};
 use crate::ids::{EntityVec, LocalIdx, Pid, ShardId, ShardMap};
 use crate::process::{Process, StepOutcome};
 use crate::virtual_exec::{ExecError, RunOutcome};
 use rr_shmem::Access;
 use std::sync::{Condvar, Mutex};
 
-/// Packed per-process lifecycle state — one byte per pid, the
-/// struct-of-arrays replacement for `names: Vec<Option<usize>>` +
-/// `crashed: Vec<bool>` + `gave_up: Vec<bool>` during a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[repr(u8)]
-enum Status {
-    /// Still taking steps.
-    Running = 0,
-    /// Halted holding a name (in `Arena::names`).
-    Named = 1,
-    /// Halted unnamed of its own accord.
-    GaveUp = 2,
-    /// Crashed by the adversary.
-    Crashed = 3,
-}
+/// Decisions requested from the adversary per dispatch — one runnable
+/// word's worth. Strategies that cannot batch ignore it (their default
+/// [`Adversary::decide_batch`] emits exactly one decision), so this is a
+/// ceiling on the macro-step length, not part of the schedule semantics.
+const DECISION_BATCH: usize = 32;
 
 /// Reusable execution scratch: the allocation-free (after warm-up) arena
 /// every backend's runs execute in.
@@ -92,8 +94,8 @@ enum Status {
 #[derive(Debug, Default)]
 pub struct Arena {
     announced: EntityVec<Pid, Option<Access>>,
-    active: Vec<Pid>,
-    status: EntityVec<Pid, Status>,
+    status: StatusBitmap,
+    slots: SlotSnapshot,
     steps: EntityVec<Pid, u64>,
     names: EntityVec<Pid, usize>,
 }
@@ -107,10 +109,10 @@ impl Arena {
     fn reset(&mut self, n: usize) {
         self.announced.clear();
         self.announced.resize(n, None);
-        self.active.clear();
-        self.active.extend(crate::ids::pids(n));
-        self.status.clear();
-        self.status.resize(n, Status::Running);
+        self.status.reset(n);
+        // Initial roster = all n pids, like the historical `active`
+        // vector's `0..n` fill.
+        self.slots.capture(&self.status);
         self.steps.clear();
         self.steps.resize(n, 0);
         self.names.clear();
@@ -154,60 +156,79 @@ impl Arena {
             self.announced[Pid::new(i)] = Some(p.announce());
         }
 
-        // `active` uses tombstones: halted pids stay in the vector (their
-        // `announced` slot is `None`) until more than half are dead, then
-        // one O(len) compaction reclaims them — amortized O(1) per halt.
-        // The `RunView` contract reflects this: `active` is a sorted
-        // superset of the runnable pids; `announced[pid].is_some()` is
-        // the ground truth. This policy is observable (RandomAdversary
-        // rejection-samples over it), so it must never drift from the
-        // historical executor's.
+        // The slot roster keeps stale entries: halted pids stay in the
+        // captured snapshot until more than half the slots are dead,
+        // then one O(n/64) recapture reclaims them. The `RunView`
+        // contract reflects this: `slots` is a sorted superset of the
+        // runnable pids; the status bitmap (≡ `announced[pid].is_some()`)
+        // is the ground truth. The recapture threshold is observable
+        // (RandomAdversary rejection-samples over the roster), so it
+        // must never drift from the historical executor's tombstone
+        // compaction policy. The trigger is checked per *batch*, which
+        // matches the historical per-decision check because every
+        // strategy that reads the roster batches one decision per view.
+        //
+        // Each batch is a macro-step: the adversary commits to up to
+        // `DECISION_BATCH` decisions from one view, and the straight-line
+        // process segments run back to back without re-entering the
+        // dispatch loop.
         let mut live = n;
+        let mut batch: Vec<Decision> = Vec::with_capacity(DECISION_BATCH);
         while live > 0 {
-            if self.active.len() > 2 * live {
-                let announced = &self.announced;
-                self.active.retain(|&pid| announced[pid].is_some());
+            if self.slots.len() > 2 * live {
+                self.slots.capture(&self.status);
             }
-            let decision = {
-                let view = RunView::new(&self.active, &self.announced, &self.steps, named);
-                adversary.decide(&view)
-            };
-            decisions += 1;
-            match decision {
-                Decision::Grant(pid) => {
-                    if pid.index() >= n || self.announced[pid].is_none() {
-                        return Err(ExecError::BadDecision { decision: format!("{decision:?}") });
-                    }
-                    self.steps[pid] += 1;
-                    total_steps += 1;
-                    if total_steps > step_budget {
-                        return Err(ExecError::StepBudgetExceeded { budget: step_budget });
-                    }
-                    match processes[pid.index()].step() {
-                        StepOutcome::Continue => {
-                            self.announced[pid] = Some(processes[pid.index()].announce());
+            batch.clear();
+            {
+                let view =
+                    RunView::new(&self.status, &self.slots, &self.announced, &self.steps, named);
+                adversary.decide_batch(&view, &mut batch, DECISION_BATCH);
+            }
+            if batch.is_empty() {
+                return Err(ExecError::BadDecision { decision: "empty decision batch".into() });
+            }
+            for &decision in &batch {
+                decisions += 1;
+                match decision {
+                    Decision::Grant(pid) => {
+                        if pid.index() >= n || self.announced[pid].is_none() {
+                            return Err(ExecError::BadDecision {
+                                decision: format!("{decision:?}"),
+                            });
                         }
-                        StepOutcome::Done(name) => {
-                            self.names[pid] = name;
-                            self.status[pid] = Status::Named;
-                            named += 1;
-                            self.announced[pid] = None;
-                            live -= 1;
+                        self.steps[pid] += 1;
+                        total_steps += 1;
+                        if total_steps > step_budget {
+                            return Err(ExecError::StepBudgetExceeded { budget: step_budget });
                         }
-                        StepOutcome::GaveUp => {
-                            self.status[pid] = Status::GaveUp;
-                            self.announced[pid] = None;
-                            live -= 1;
+                        match processes[pid.index()].step() {
+                            StepOutcome::Continue => {
+                                self.announced[pid] = Some(processes[pid.index()].announce());
+                            }
+                            StepOutcome::Done(name) => {
+                                self.names[pid] = name;
+                                self.status.set(pid, Status::Named);
+                                named += 1;
+                                self.announced[pid] = None;
+                                live -= 1;
+                            }
+                            StepOutcome::GaveUp => {
+                                self.status.set(pid, Status::GaveUp);
+                                self.announced[pid] = None;
+                                live -= 1;
+                            }
                         }
                     }
-                }
-                Decision::Crash(pid) => {
-                    if pid.index() >= n || self.announced[pid].is_none() {
-                        return Err(ExecError::BadDecision { decision: format!("{decision:?}") });
+                    Decision::Crash(pid) => {
+                        if pid.index() >= n || self.announced[pid].is_none() {
+                            return Err(ExecError::BadDecision {
+                                decision: format!("{decision:?}"),
+                            });
+                        }
+                        self.status.set(pid, Status::Crashed);
+                        self.announced[pid] = None;
+                        live -= 1;
                     }
-                    self.status[pid] = Status::Crashed;
-                    self.announced[pid] = None;
-                    live -= 1;
                 }
             }
         }
@@ -215,18 +236,17 @@ impl Arena {
         Ok(self.outcome(decisions))
     }
 
-    /// Unpacks the packed SoA state into the public [`RunOutcome`] shape.
+    /// Unpacks the packed bitmap state into the public [`RunOutcome`]
+    /// shape.
     fn outcome(&self, decisions: u64) -> RunOutcome {
+        let pids = || (0..self.status.len()).map(Pid::new);
         RunOutcome {
-            names: self
-                .status
-                .iter()
-                .zip(self.names.iter())
-                .map(|(&s, &name)| (s == Status::Named).then_some(name))
+            names: pids()
+                .map(|p| (self.status.get(p) == Status::Named).then(|| self.names[p]))
                 .collect(),
             steps: self.steps.clone(),
-            crashed: self.status.iter().map(|&s| s == Status::Crashed).collect(),
-            gave_up: self.status.iter().map(|&s| s == Status::GaveUp).collect(),
+            crashed: pids().map(|p| self.status.get(p) == Status::Crashed).collect(),
+            gave_up: pids().map(|p| self.status.get(p) == Status::GaveUp).collect(),
             decisions,
         }
     }
@@ -406,21 +426,48 @@ pub struct CoupledAdversary<'c, A> {
     cached_remote: usize,
 }
 
-impl<A: Adversary> Adversary for CoupledAdversary<'_, A> {
-    fn decide(&mut self, view: &RunView<'_>) -> Decision {
+impl<A: Adversary> CoupledAdversary<'_, A> {
+    /// Publishes + refreshes the remote named-count if the next decision
+    /// sits on a coupling boundary.
+    fn sync_if_due(&mut self, local_named: usize) {
         if self.decisions % self.every == 0 {
             let round = (self.decisions / self.every) as usize;
-            self.cached_remote = self.coupler.sync(self.shard, round, view.named);
+            self.cached_remote = self.coupler.sync(self.shard, round, local_named);
         }
-        self.decisions += 1;
-        let global = RunView {
-            active: view.active,
+    }
+
+    /// The local view widened to the global one: `named` becomes local +
+    /// remote (as of the last coupling round), `shards` the real map.
+    fn widen<'v>(&self, view: &RunView<'v>) -> RunView<'v> {
+        RunView {
+            status: view.status,
+            slots: view.slots,
             announced: view.announced,
             steps: view.steps,
             named: view.named + self.cached_remote,
             shards: self.map,
-        };
-        self.inner.decide(&global)
+        }
+    }
+}
+
+impl<A: Adversary> Adversary for CoupledAdversary<'_, A> {
+    fn decide(&mut self, view: &RunView<'_>) -> Decision {
+        self.sync_if_due(view.named);
+        self.decisions += 1;
+        self.inner.decide(&self.widen(view))
+    }
+
+    fn decide_batch(&mut self, view: &RunView<'_>, out: &mut Vec<Decision>, max: usize) {
+        self.sync_if_due(view.named);
+        // Cap the batch at the next coupling boundary, so a batch never
+        // straddles one: the boundary decision is always the first of
+        // its batch and syncs against the fresh view it decides from —
+        // exactly the single-stepped cadence.
+        let cap = (self.every - self.decisions % self.every) as usize;
+        let global = self.widen(view);
+        let start = out.len();
+        self.inner.decide_batch(&global, out, max.min(cap));
+        self.decisions += (out.len() - start) as u64;
     }
 
     fn name(&self) -> &'static str {
@@ -598,6 +645,42 @@ mod tests {
         let mem = Arc::new(AtomicTasArray::new(4));
         let mut procs = vec![ScanProcess { pid: 3, mem, cursor: 0 }];
         let _ = Arena::new().run(&mut procs, &mut FairAdversary::default(), 10);
+    }
+
+    /// Inherits the default one-decision `decide_batch`, disabling the
+    /// inner strategy's batching without touching its choices.
+    struct SingleStep<A>(A);
+
+    impl<A: Adversary> Adversary for SingleStep<A> {
+        fn decide(&mut self, view: &RunView<'_>) -> Decision {
+            self.0.decide(view)
+        }
+
+        fn name(&self) -> &'static str {
+            self.0.name()
+        }
+    }
+
+    #[test]
+    fn batched_fair_is_bit_identical_to_single_stepped_fair() {
+        // Sizes straddling the 32-lane and 64-bit word boundaries, so
+        // ragged tails and multi-word scans are all exercised.
+        for n in [1usize, 5, 24, 31, 32, 33, 64, 65, 130] {
+            let (mut procs, _m) = scan_processes(n, n);
+            let batched =
+                Arena::new().run(&mut procs, &mut FairAdversary::default(), 1 << 20).unwrap();
+
+            let (mut procs, _m) = scan_processes(n, n);
+            let single = Arena::new()
+                .run(&mut procs, &mut SingleStep(FairAdversary::default()), 1 << 20)
+                .unwrap();
+
+            assert_eq!(batched.names, single.names, "n {n}");
+            assert_eq!(batched.steps, single.steps, "n {n}");
+            assert_eq!(batched.crashed, single.crashed, "n {n}");
+            assert_eq!(batched.gave_up, single.gave_up, "n {n}");
+            assert_eq!(batched.decisions, single.decisions, "n {n}");
+        }
     }
 
     #[test]
