@@ -24,6 +24,7 @@
 //! assert!(upper_tail(w.mean(), 0.5) < 0.21);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ballsbins;

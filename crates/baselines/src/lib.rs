@@ -27,6 +27,8 @@
 //! assert!(reg.keys().len() >= 13, "paper protocols + every baseline");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod aks_model;
 pub mod counter;
 pub mod linear;

@@ -55,6 +55,9 @@
 //! assert!(render_to_string(spec).starts_with("=== DOC: crate doctest ==="));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod listing;
+pub mod modelcheck;
 pub mod runner;
 pub mod scenario;

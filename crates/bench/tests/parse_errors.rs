@@ -131,3 +131,71 @@ fn backend_round_trip_still_accepts_the_valid_grammar() {
     assert_eq!(ExecBackend::parse(" dense ").unwrap(), ExecBackend::Dense);
     assert_eq!(ExecBackend::parse("shard:s=4").unwrap(), ExecBackend::Shard { s: 4 });
 }
+
+#[test]
+fn model_scenario_registry_lists_every_key_on_unknown_names() {
+    assert_eq!(
+        rr_bench::modelcheck::scenario_by_key("deadlock").unwrap_err(),
+        "unknown model scenario `deadlock` (known: collect, tas, tas-collide, tau, tau-collide, \
+         tau-quota)"
+    );
+}
+
+#[test]
+fn lint_allowlist_errors_name_the_offending_line() {
+    use rr_lint::{Allowlist, Rule};
+    assert_eq!(
+        Allowlist::parse("bogus crates/x/src/lib.rs why").unwrap_err(),
+        "allowlist line 1: unknown rule `bogus` (known: hash-iter, raw-pid-index, thread-spawn, \
+         unsafe-comment, wall-clock)"
+    );
+    assert_eq!(
+        Allowlist::parse("# fine\nhash-iter\n").unwrap_err(),
+        "allowlist line 2: want `rule path reason…`, got `hash-iter`"
+    );
+    assert_eq!(
+        Allowlist::parse("wall-clock crates/x/src/lib.rs").unwrap_err(),
+        "allowlist line 1: entry for `crates/x/src/lib.rs` needs a reason"
+    );
+    assert_eq!(
+        Rule::from_key("hash-map").unwrap_err(),
+        "unknown rule `hash-map` (known: hash-iter, raw-pid-index, thread-spawn, unsafe-comment, \
+         wall-clock)"
+    );
+}
+
+#[test]
+fn new_cli_binaries_exit_2_on_unknown_flags() {
+    // Same convention as every exp_* binary: unknown argument → exit 2
+    // with a one-line hint on stderr; never a panic, never exit 1
+    // (which means real violations / non-linearizable traces).
+    for (exe, name) in [
+        (env!("CARGO_BIN_EXE_exp_model"), "exp_model"),
+        (env!("CARGO_BIN_EXE_exp_lint"), "exp_lint"),
+    ] {
+        let out =
+            std::process::Command::new(exe).arg("--frobnicate").output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{name} must exit 2 on unknown flags");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(stderr.trim(), format!("{name}: unknown argument `--frobnicate` (see --help)"));
+    }
+}
+
+#[test]
+fn exp_lint_reports_allowlist_parse_failures_as_usage_errors() {
+    let dir = std::env::temp_dir().join("rr_lint_badallow_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bad = dir.join("ALLOW.txt");
+    std::fs::write(&bad, "nonsense-rule a b\n").expect("write allowlist");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_exp_lint"))
+        .args(["--allowlist"])
+        .arg(&bad)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "bad allowlist is a usage error, not a lint failure");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("allowlist line 1: unknown rule `nonsense-rule`"),
+        "stderr was: {stderr}"
+    );
+}

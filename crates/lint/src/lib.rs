@@ -1,0 +1,722 @@
+//! # rr-lint — hand-rolled source-level determinism lint
+//!
+//! The reproduction's headline property is determinism: identical
+//! `(seed, configuration)` must yield identical schedules, step counts
+//! and records on every machine. The hazards that silently break that
+//! property are lexical — an iterated `HashMap`, a wall-clock read in a
+//! record path, a raw `usize` pid index bypassing `rr_sched::ids`, an
+//! ad-hoc `thread::spawn` outside the sanctioned backends — so this
+//! crate scans the workspace **source** for them, in the same vendored
+//! zero-dependency spirit as the offline `rand`/`criterion`/`proptest`
+//! stubs and the hand-rolled JSON elsewhere in the tree.
+//!
+//! Five rules (see [`Rule`]):
+//!
+//! * `hash-iter` — `HashMap`/`HashSet` in deterministic crates:
+//!   iteration order is randomized per process, so any use must be
+//!   reviewed (insert-only membership tests are fine — that is what
+//!   the allowlist records).
+//! * `wall-clock` — `Instant`/`SystemTime` outside the timing module
+//!   ([`TIMING_MODULES`]): wall-clock belongs in throughput rows that
+//!   golden tests mask, never in deterministic outputs.
+//! * `raw-pid-index` — `container[x.index()]`: indexing a plain slice
+//!   with a typed id's raw `usize` bypasses the `rr_sched::ids`
+//!   typed-index layer the sharded engine is built on.
+//! * `thread-spawn` — `thread::spawn`/`thread::scope` outside the
+//!   approved execution backends ([`THREAD_MODULES`]): stray threads
+//!   are schedule nondeterminism by construction.
+//! * `unsafe-comment` — an `unsafe` token without a nearby
+//!   `// SAFETY:` comment. (Today the workspace is `unsafe`-free and
+//!   every crate carries `#![forbid(unsafe_code)]`; this rule is the
+//!   tripwire for the day that changes.)
+//!
+//! Test code is exempt wholesale: `tests/`, `benches/` and `examples/`
+//! directories are skipped, and `#[cfg(test)]` blocks are masked out
+//! before the rules run. Everything else needs an explicit entry in
+//! the committed allowlist file (`LINT_ALLOW.txt`), each with a
+//! reviewed reason — and entries that no longer match anything fail
+//! the lint too, so the allowlist can only shrink with the code.
+//!
+//! ```
+//! use rr_lint::{scan_source, Rule};
+//!
+//! let vs = scan_source("crates/demo/src/lib.rs", "use std::collections::HashMap;\n");
+//! assert_eq!(vs.len(), 1);
+//! assert_eq!(vs[0].rule, Rule::HashIter);
+//!
+//! // Comments, strings and #[cfg(test)] blocks never fire:
+//! assert!(scan_source("crates/demo/src/lib.rs", "// a HashMap in prose\n").is_empty());
+//! assert!(scan_source(
+//!     "crates/demo/src/lib.rs",
+//!     "#[cfg(test)]\nmod tests { use std::time::Instant; }\n",
+//! )
+//! .is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::path::Path;
+
+/// Modules sanctioned to read wall clocks: the batch timing layer
+/// whose output lands only in throughput records that every golden
+/// test masks.
+pub const TIMING_MODULES: &[&str] = &["crates/bench/src/runner.rs"];
+
+/// Modules sanctioned to spawn threads: the execution backends (real
+/// threads, sharded arenas, the model checker's cooperative scheduler)
+/// and the batch runner's worker pool.
+pub const THREAD_MODULES: &[&str] = &[
+    "crates/sched/src/thread_exec.rs",
+    "crates/sched/src/shard.rs",
+    "crates/sched/src/model.rs",
+    "crates/bench/src/runner.rs",
+];
+
+/// A determinism-hazard rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `HashMap`/`HashSet` in a deterministic crate.
+    HashIter,
+    /// `Instant`/`SystemTime` outside [`TIMING_MODULES`].
+    WallClock,
+    /// `container[x.index()]` raw pid indexing bypassing `rr_sched::ids`.
+    RawPidIndex,
+    /// `thread::spawn`/`thread::scope` outside [`THREAD_MODULES`].
+    ThreadSpawn,
+    /// `unsafe` without a nearby `// SAFETY:` comment.
+    UnsafeComment,
+}
+
+impl Rule {
+    /// All rules, key-ascending.
+    pub const ALL: [Rule; 5] = [
+        Rule::HashIter,
+        Rule::RawPidIndex,
+        Rule::ThreadSpawn,
+        Rule::UnsafeComment,
+        Rule::WallClock,
+    ];
+
+    /// The stable key used in allowlist entries and listings.
+    pub fn key(self) -> &'static str {
+        match self {
+            Rule::HashIter => "hash-iter",
+            Rule::WallClock => "wall-clock",
+            Rule::RawPidIndex => "raw-pid-index",
+            Rule::ThreadSpawn => "thread-spawn",
+            Rule::UnsafeComment => "unsafe-comment",
+        }
+    }
+
+    /// One-line description for listings.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::HashIter => "HashMap/HashSet iteration order is nondeterministic",
+            Rule::WallClock => "wall-clock reads outside the timing-whitelisted modules",
+            Rule::RawPidIndex => "raw usize pid indexing bypasses rr_sched::ids",
+            Rule::ThreadSpawn => "thread spawns outside the approved execution backends",
+            Rule::UnsafeComment => "unsafe block without a // SAFETY: comment",
+        }
+    }
+
+    /// Parses an allowlist rule key.
+    ///
+    /// # Errors
+    /// Returns the known keys on an unknown one.
+    pub fn from_key(key: &str) -> Result<Self, String> {
+        Rule::ALL.into_iter().find(|r| r.key() == key).ok_or_else(|| {
+            let known: Vec<&str> = Rule::ALL.iter().map(|r| r.key()).collect();
+            format!("unknown rule `{key}` (known: {})", known.join(", "))
+        })
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// One rule firing at one source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.excerpt)
+    }
+}
+
+/// Replaces comments and string/char literals with spaces, preserving
+/// line structure, so lexical rules never fire inside prose or quoted
+/// patterns. Handles line and nested block comments, escaped strings,
+/// raw strings (`r"…"`, `r#"…"#`), and char literals vs lifetimes.
+fn mask_code(source: &str) -> String {
+    let b: Vec<char> = source.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let n = b.len();
+    let keep = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < n {
+        let c = b[i];
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                out.push(keep(b[i]));
+                i += 1;
+            }
+        } else if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            out.push(' ');
+            out.push(' ');
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(keep(b[i]));
+                    i += 1;
+                }
+            }
+        } else if c == 'r'
+            && i + 1 < n
+            && (b[i + 1] == '"' || b[i + 1] == '#')
+            && (i == 0 || !b[i - 1].is_alphanumeric() && b[i - 1] != '_')
+        {
+            // Raw string r"…" / r#"…"# / r##"…"## …
+            let mut j = i + 1;
+            let mut hashes = 0;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' {
+                out.extend(std::iter::repeat_n(' ', hashes + 2));
+                i = j + 1;
+                'raw: while i < n {
+                    if b[i] == '"' {
+                        let mut k = i + 1;
+                        let mut seen = 0;
+                        while k < n && seen < hashes && b[k] == '#' {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            out.extend(std::iter::repeat_n(' ', k - i));
+                            i = k;
+                            break 'raw;
+                        }
+                    }
+                    out.push(keep(b[i]));
+                    i += 1;
+                }
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        } else if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(keep(b[i + 1]));
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(keep(b[i]));
+                    i += 1;
+                }
+            }
+        } else if c == '\'' {
+            // Char literal or lifetime. A literal closes with ' after
+            // one (possibly escaped) char; otherwise it is a lifetime.
+            if i + 2 < n && b[i + 1] == '\\' {
+                out.push(' ');
+                out.push(' ');
+                i += 2;
+                while i < n && b[i] != '\'' {
+                    out.push(keep(b[i]));
+                    i += 1;
+                }
+                if i < n {
+                    out.push(' ');
+                    i += 1;
+                }
+            } else if i + 2 < n && b[i + 2] == '\'' {
+                out.push(' ');
+                out.push(' ');
+                out.push(' ');
+                i += 3;
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Blanks every `#[cfg(test)]`-gated region of already-masked code:
+/// from the attribute through the matching close brace of the item it
+/// gates (or through the `;` of a braceless item).
+fn mask_cfg_test(masked: &str) -> String {
+    let b: Vec<char> = masked.chars().collect();
+    let mut out = b.clone();
+    let text: String = masked.to_string();
+    let needle = "cfg(test)";
+    let mut search_from = 0;
+    while let Some(found) = text[search_from..].find(needle) {
+        let start = search_from + found;
+        search_from = start + needle.len();
+        // Walk back to the `#` of the attribute, if present.
+        let mut attr_start = start;
+        while attr_start > 0 && b[attr_start - 1] != '#' && !b[attr_start - 1].is_alphanumeric() {
+            attr_start -= 1;
+        }
+        if attr_start > 0 && b[attr_start - 1] == '#' {
+            attr_start -= 1;
+        }
+        // Blank from the attribute to the end of the gated item.
+        let mut i = start + needle.len();
+        let n = b.len();
+        let mut depth = 0usize;
+        let mut entered = false;
+        while i < n {
+            match b[i] {
+                '{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if entered && depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                ';' if !entered => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        for c in out.iter_mut().take(i).skip(attr_start) {
+            if *c != '\n' {
+                *c = ' ';
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+fn has_word(line: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = line[from..].find(word) {
+        let start = from + at;
+        let end = start + word.len();
+        let pre_ok = start == 0
+            || !line[..start].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let post_ok = !line[end..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Paths the scanner skips entirely: vendored crates, build output,
+/// and test-only trees.
+fn skipped(path: &str) -> bool {
+    path.contains("crates/vendor/")
+        || path.contains("/target/")
+        || path.starts_with("target/")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+}
+
+/// Scans one file's source and returns every rule firing, line by
+/// line. `path` is the workspace-relative path (forward slashes); it
+/// scopes the per-module whitelists and the test-tree exemption.
+pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
+    if skipped(path) {
+        return Vec::new();
+    }
+    let masked = mask_cfg_test(&mask_code(source));
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let mut out = Vec::new();
+    for (idx, line) in masked.lines().enumerate() {
+        let lineno = idx + 1;
+        let mut fire = |rule: Rule| {
+            out.push(Violation {
+                rule,
+                path: path.to_string(),
+                line: lineno,
+                excerpt: raw_lines.get(idx).map_or(String::new(), |l| l.trim().to_string()),
+            });
+        };
+        if has_word(line, "HashMap") || has_word(line, "HashSet") {
+            fire(Rule::HashIter);
+        }
+        if (has_word(line, "Instant") || has_word(line, "SystemTime"))
+            && !TIMING_MODULES.contains(&path)
+        {
+            fire(Rule::WallClock);
+        }
+        if line.contains(".index()]") {
+            fire(Rule::RawPidIndex);
+        }
+        if (line.contains("thread::spawn") || line.contains("thread::scope"))
+            && !THREAD_MODULES.contains(&path)
+        {
+            fire(Rule::ThreadSpawn);
+        }
+        if has_word(line, "unsafe") {
+            let near_safety = (idx.saturating_sub(3)..=idx)
+                .any(|i| raw_lines.get(i).is_some_and(|l| l.contains("SAFETY:")));
+            if !near_safety {
+                fire(Rule::UnsafeComment);
+            }
+        }
+    }
+    out
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for
+/// deterministic reports.
+fn walk(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> Result<(), String> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read {}: {e}", dir.display()))?
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("read {}: {e}", dir.display()))?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans the whole workspace rooted at `root`: `src/` and every
+/// `crates/*/src/` (vendored crates and test trees excluded).
+///
+/// # Errors
+/// Returns a message on an unreadable directory or file.
+pub fn scan_workspace(root: &Path) -> Result<Vec<Violation>, String> {
+    let mut files = Vec::new();
+    let src = root.join("src");
+    if src.is_dir() {
+        walk(&src, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<_> = std::fs::read_dir(&crates)
+            .map_err(|e| format!("read {}: {e}", crates.display()))?
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("read {}: {e}", crates.display()))?;
+        members.sort_by_key(|e| e.path());
+        for member in members {
+            let member_src = member.path().join("src");
+            if member_src.is_dir() {
+                walk(&member_src, &mut files)?;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        if skipped(&rel) {
+            continue;
+        }
+        let source =
+            std::fs::read_to_string(&file).map_err(|e| format!("read {}: {e}", file.display()))?;
+        out.extend(scan_source(&rel, &source));
+    }
+    Ok(out)
+}
+
+/// Lists every `.rs` file in the tree — *including* vendored crates,
+/// tests and benches — whose masked source contains an `unsafe` token.
+/// The workspace policy is `#![forbid(unsafe_code)]` everywhere, so
+/// the companion inventory test pins this to the empty list; any
+/// future exception must be added there (and `SAFETY:`-commented to
+/// satisfy the `unsafe-comment` rule).
+///
+/// # Errors
+/// Returns a message on an unreadable directory or file.
+pub fn unsafe_inventory(root: &Path) -> Result<Vec<String>, String> {
+    fn walk_all(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> Result<(), String> {
+        let mut entries: Vec<_> = std::fs::read_dir(dir)
+            .map_err(|e| format!("read {}: {e}", dir.display()))?
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("read {}: {e}", dir.display()))?;
+        entries.sort_by_key(|e| e.path());
+        for entry in entries {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                walk_all(&path, out)?;
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+        Ok(())
+    }
+    let mut files = Vec::new();
+    walk_all(root, &mut files)?;
+    let mut out = Vec::new();
+    for file in files {
+        let source =
+            std::fs::read_to_string(&file).map_err(|e| format!("read {}: {e}", file.display()))?;
+        if mask_code(&source).lines().any(|l| has_word(l, "unsafe")) {
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(out)
+}
+
+/// One reviewed exception: this rule may fire in this file, for this
+/// reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// The rule being excepted.
+    pub rule: Rule,
+    /// Workspace-relative path the exception covers.
+    pub path: String,
+    /// Why the exception is sound (mandatory — that is the review).
+    pub reason: String,
+    /// 1-based line in the allowlist file.
+    pub line: usize,
+}
+
+/// The committed allowlist: every non-test determinism hazard the
+/// workspace knowingly contains, with its reviewed justification.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses the `rule path reason…` line format (`#` comments and
+    /// blank lines ignored).
+    ///
+    /// # Errors
+    /// Returns a message naming the offending line on an unknown rule,
+    /// a malformed entry, or a missing reason.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = idx + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let (Some(rule_key), Some(path)) = (parts.next(), parts.next()) else {
+                return Err(format!(
+                    "allowlist line {lineno}: want `rule path reason…`, got `{line}`"
+                ));
+            };
+            let rule =
+                Rule::from_key(rule_key).map_err(|e| format!("allowlist line {lineno}: {e}"))?;
+            let reason = parts.next().unwrap_or("").trim().to_string();
+            if reason.is_empty() {
+                return Err(format!("allowlist line {lineno}: entry for `{path}` needs a reason"));
+            }
+            entries.push(AllowEntry { rule, path: path.to_string(), reason, line: lineno });
+        }
+        Ok(Self { entries })
+    }
+
+    /// Loads and parses an allowlist file.
+    ///
+    /// # Errors
+    /// Returns a message on a missing/unreadable file or a parse error.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("read allowlist {}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+
+    /// The parsed entries, file order.
+    pub fn entries(&self) -> &[AllowEntry] {
+        &self.entries
+    }
+}
+
+/// The result of filtering a scan through an allowlist.
+#[derive(Debug, Clone)]
+pub struct LintOutcome {
+    /// Violations not covered by any allowlist entry — failures.
+    pub violations: Vec<Violation>,
+    /// Allowlist entries that matched nothing — also failures (the
+    /// hazard they excused is gone, so the entry must go too).
+    pub stale: Vec<AllowEntry>,
+    /// Violations suppressed by a matching entry.
+    pub suppressed: usize,
+}
+
+impl LintOutcome {
+    /// True when the workspace is clean: nothing fired un-excused and
+    /// no entry is stale.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Filters `violations` through `allow`: a violation is suppressed by
+/// an entry with the same rule and path; entries suppressing nothing
+/// are reported stale.
+pub fn apply(violations: Vec<Violation>, allow: &Allowlist) -> LintOutcome {
+    let mut used = vec![false; allow.entries.len()];
+    let mut remaining = Vec::new();
+    let mut suppressed = 0;
+    for v in violations {
+        match allow.entries.iter().position(|e| e.rule == v.rule && e.path == v.path) {
+            Some(i) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => remaining.push(v),
+        }
+    }
+    let stale =
+        allow.entries.iter().zip(&used).filter(|(_, &u)| !u).map(|(e, _)| e.clone()).collect();
+    LintOutcome { violations: remaining, stale, suppressed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_strips_comments_strings_and_chars() {
+        let src = "let a = \"HashMap\"; // HashMap here\nlet b = 'x'; /* Instant */ let c: &'static str = r#\"SystemTime\"#;\n";
+        let masked = mask_code(src);
+        assert!(!masked.contains("HashMap"));
+        assert!(!masked.contains("Instant"));
+        assert!(!masked.contains("SystemTime"));
+        assert!(masked.contains("let b ="));
+        assert!(masked.contains("&'static str"), "lifetimes survive masking");
+        assert_eq!(masked.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_blanked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\nfn after() {}\n";
+        let masked = mask_cfg_test(&mask_code(src));
+        assert!(!masked.contains("HashMap"));
+        assert!(masked.contains("fn prod"));
+        assert!(masked.contains("fn after"));
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item() {
+        let src = "#[cfg(test)]\nuse std::collections::HashSet;\nuse std::vec::Vec;\n";
+        let masked = mask_cfg_test(&mask_code(src));
+        assert!(!masked.contains("HashSet"));
+        assert!(masked.contains("std::vec::Vec"));
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        assert!(has_word("use std::collections::HashMap;", "HashMap"));
+        assert!(!has_word("struct MyHashMapLike;", "HashMap"));
+        assert!(!has_word("let unsafely = 1;", "unsafe"));
+    }
+
+    #[test]
+    fn allowlist_round_trip_and_errors() {
+        let a = Allowlist::parse(
+            "# comment\n\nhash-iter crates/x/src/lib.rs membership-only set, never iterated\n",
+        )
+        .unwrap();
+        assert_eq!(a.entries().len(), 1);
+        assert_eq!(a.entries()[0].rule, Rule::HashIter);
+        assert_eq!(a.entries()[0].path, "crates/x/src/lib.rs");
+
+        assert_eq!(
+            Allowlist::parse("bogus-rule crates/x/src/lib.rs why").unwrap_err(),
+            "allowlist line 1: unknown rule `bogus-rule` (known: hash-iter, raw-pid-index, \
+             thread-spawn, unsafe-comment, wall-clock)"
+        );
+        assert_eq!(
+            Allowlist::parse("\nhash-iter\n").unwrap_err(),
+            "allowlist line 2: want `rule path reason…`, got `hash-iter`"
+        );
+        assert_eq!(
+            Allowlist::parse("hash-iter crates/x/src/lib.rs  ").unwrap_err(),
+            "allowlist line 1: entry for `crates/x/src/lib.rs` needs a reason"
+        );
+    }
+
+    #[test]
+    fn apply_suppresses_and_reports_stale() {
+        let vs = scan_source("crates/x/src/lib.rs", "use std::collections::HashMap;\n");
+        let allow = Allowlist::parse(
+            "hash-iter crates/x/src/lib.rs reviewed\nwall-clock crates/y/src/lib.rs stale one\n",
+        )
+        .unwrap();
+        let out = apply(vs, &allow);
+        assert!(out.violations.is_empty());
+        assert_eq!(out.suppressed, 1);
+        assert_eq!(out.stale.len(), 1);
+        assert_eq!(out.stale[0].path, "crates/y/src/lib.rs");
+        assert!(!out.clean());
+    }
+
+    #[test]
+    fn test_trees_are_skipped() {
+        assert!(scan_source("crates/x/tests/a.rs", "use std::collections::HashMap;").is_empty());
+        assert!(scan_source("crates/x/benches/a.rs", "thread::spawn(|| {});").is_empty());
+        assert!(scan_source("crates/vendor/rand/src/lib.rs", "unsafe {}").is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Fixture tests: every lint rule fires on a minimal violating
+//! snippet, stays silent on the compliant variant, and the committed
+//! workspace + allowlist pair is clean end to end.
+
+use rr_lint::{
+    apply, scan_source, scan_workspace, Allowlist, Rule, THREAD_MODULES, TIMING_MODULES,
+};
+use std::path::Path;
+
+const PROD: &str = "crates/fixture/src/lib.rs";
+
+fn rules_at(path: &str, src: &str) -> Vec<(Rule, usize)> {
+    scan_source(path, src).into_iter().map(|v| (v.rule, v.line)).collect()
+}
+
+#[test]
+fn hash_iter_fires_on_map_and_set() {
+    assert_eq!(
+        rules_at(PROD, "use std::collections::HashMap;\nlet s = HashSet::new();\n"),
+        vec![(Rule::HashIter, 1), (Rule::HashIter, 2)]
+    );
+    assert!(rules_at(PROD, "use std::collections::BTreeMap;\n").is_empty());
+}
+
+#[test]
+fn wall_clock_fires_outside_timing_modules() {
+    let src = "let t = std::time::Instant::now();\nlet s = SystemTime::now();\n";
+    assert_eq!(rules_at(PROD, src), vec![(Rule::WallClock, 1), (Rule::WallClock, 2)]);
+    // The sanctioned timing module is exempt by construction.
+    for module in TIMING_MODULES {
+        assert!(rules_at(module, src).is_empty(), "{module} should be whitelisted");
+    }
+}
+
+#[test]
+fn raw_pid_index_fires_on_bracketed_index_call() {
+    assert_eq!(rules_at(PROD, "let x = names[pid.index()];\n"), vec![(Rule::RawPidIndex, 1)]);
+    // Typed indexing and bare .index() arithmetic are fine.
+    assert!(rules_at(PROD, "let x = names[pid];\nlet y = pid.index() + 1;\n").is_empty());
+}
+
+#[test]
+fn thread_spawn_fires_outside_backends() {
+    let src = "std::thread::spawn(|| {});\nthread::scope(|s| {});\n";
+    assert_eq!(rules_at(PROD, src), vec![(Rule::ThreadSpawn, 1), (Rule::ThreadSpawn, 2)]);
+    for module in THREAD_MODULES {
+        assert!(rules_at(module, src).is_empty(), "{module} should be whitelisted");
+    }
+}
+
+#[test]
+fn unsafe_requires_nearby_safety_comment() {
+    assert_eq!(
+        rules_at(PROD, "fn f() {\n    unsafe { danger() }\n}\n"),
+        vec![(Rule::UnsafeComment, 2)]
+    );
+    let commented =
+        "fn f() {\n    // SAFETY: fixture — bounds checked above.\n    unsafe { danger() }\n}\n";
+    assert!(rules_at(PROD, commented).is_empty());
+}
+
+#[test]
+fn comments_strings_and_test_code_never_fire() {
+    let src = "\
+// a HashMap and thread::spawn in prose
+let pat = \"Instant\";
+const RAW: &str = r#\"SystemTime unsafe\"#;
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+    fn t() { std::thread::spawn(|| {}); }
+}
+";
+    assert!(rules_at(PROD, src).is_empty());
+}
+
+#[test]
+fn workspace_with_committed_allowlist_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let allow = Allowlist::load(&root.join("LINT_ALLOW.txt")).expect("allowlist parses");
+    let violations = scan_workspace(&root).expect("workspace scans");
+    assert!(!violations.is_empty(), "scanner should see the known allowlisted hazards");
+    let out = apply(violations, &allow);
+    assert!(
+        out.clean(),
+        "workspace lint not clean:\nviolations: {:#?}\nstale: {:#?}",
+        out.violations,
+        out.stale
+    );
+    // No stale entries means every entry suppressed at least one firing.
+    assert!(out.suppressed >= allow.entries().len());
+}

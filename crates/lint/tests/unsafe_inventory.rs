@@ -1,0 +1,57 @@
+//! Pins the workspace `unsafe` inventory to the empty list.
+//!
+//! Every crate in the tree — production, vendored and the umbrella —
+//! carries `#![forbid(unsafe_code)]`, so no `.rs` file anywhere
+//! (including tests, benches and vendor stubs) may contain an `unsafe`
+//! token outside comments and strings. Growing this list is an
+//! explicit, reviewed act: add the file here AND give the block a
+//! `// SAFETY:` comment (the `unsafe-comment` lint rule enforces the
+//! latter for production code).
+
+use std::path::Path;
+
+/// Files allowed to contain `unsafe`. Deliberately empty.
+const ALLOWED_UNSAFE_FILES: &[&str] = &[];
+
+#[test]
+fn workspace_unsafe_inventory_is_pinned() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let inventory = rr_lint::unsafe_inventory(&root).expect("tree scans");
+    assert_eq!(
+        inventory, ALLOWED_UNSAFE_FILES,
+        "unsafe token(s) appeared outside the pinned inventory"
+    );
+}
+
+#[test]
+fn every_workspace_crate_forbids_unsafe_code() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut roots = vec![root.join("src/lib.rs")];
+    let mut members: Vec<_> = std::fs::read_dir(root.join("crates"))
+        .expect("crates dir")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    members.sort();
+    for member in members {
+        if member.file_name().is_some_and(|n| n == "vendor") {
+            let mut vendored: Vec<_> = std::fs::read_dir(&member)
+                .expect("vendor dir")
+                .map(|e| e.expect("entry").path())
+                .filter(|p| p.is_dir())
+                .collect();
+            vendored.sort();
+            roots.extend(vendored.into_iter().map(|p| p.join("src/lib.rs")));
+        } else if member.is_dir() {
+            roots.push(member.join("src/lib.rs"));
+        }
+    }
+    for lib in roots {
+        let text =
+            std::fs::read_to_string(&lib).unwrap_or_else(|e| panic!("read {}: {e}", lib.display()));
+        assert!(
+            text.contains("#![forbid(unsafe_code)]"),
+            "{} lacks #![forbid(unsafe_code)]",
+            lib.display()
+        );
+    }
+}

@@ -36,6 +36,8 @@
 //! assert!(m > n && m < n + n / 2, "m = {m}");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod aagw;
 pub mod adaptive;
 pub mod longlived;

@@ -33,6 +33,8 @@
 //! assert!(report.to_markdown().contains("# Reproduction report"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod claims;
 pub mod cross;
 pub mod records;

@@ -181,12 +181,85 @@ pub struct ExploreReport {
     pub counterexample: Option<Counterexample>,
 }
 
+/// The digit-prefix odometer at the heart of every exhaustive DFS in
+/// this workspace: it holds the prefix addressing the next unvisited
+/// leaf of a decision tree, and [`Odometer::record`] backtracks from a
+/// finished descent's `(digit, arity)` branch trace by incrementing the
+/// deepest digit that still has untried siblings.
+///
+/// Stateless re-execution makes this a complete enumeration: as long as
+/// the tree is deterministic (identical prefixes observe identical
+/// arities), every leaf is visited exactly once. Both
+/// [`ExhaustiveExplorer`] (schedule trees) and `rr_sched::model`
+/// (atomic-interleaving trees) drive their searches through this one
+/// struct.
+#[derive(Debug, Default)]
+pub struct Odometer {
+    prefix: Vec<usize>,
+    exhausted: bool,
+    visited: u64,
+    restarts: u64,
+}
+
+impl Odometer {
+    /// A fresh odometer at the all-zeros prefix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The digit prefix addressing the next unvisited leaf, or `None`
+    /// once the tree is exhausted.
+    pub fn prefix(&self) -> Option<&[usize]> {
+        if self.exhausted {
+            None
+        } else {
+            Some(&self.prefix)
+        }
+    }
+
+    /// Complete descents recorded so far.
+    pub fn visited(&self) -> u64 {
+        self.visited
+    }
+
+    /// Whether the whole tree has been visited.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Times the DFS wrapped around after exhaustion.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Restarts from the first leaf (statistics are kept).
+    pub fn restart(&mut self) {
+        self.prefix.clear();
+        self.exhausted = false;
+        self.restarts += 1;
+    }
+
+    /// Consumes a finished descent's `(digit, arity)` branch trace and
+    /// backtracks to the next unvisited leaf.
+    pub fn record(&mut self, trace: &[(u32, u32)]) {
+        self.visited += 1;
+        match trace.iter().rposition(|&(digit, arity)| digit + 1 < arity) {
+            None => self.exhausted = true,
+            Some(i) => {
+                self.prefix.clear();
+                self.prefix.extend(trace[..i].iter().map(|&(d, _)| d as usize));
+                self.prefix.push(trace[i].0 as usize + 1);
+            }
+        }
+    }
+}
+
 /// Bounded exhaustive DFS over the schedule tree.
 ///
 /// Branch points are the first `depth` scheduling decisions of a run;
 /// at each, every runnable pid can be granted (and, with a `crashes`
-/// budget, crashed). The explorer enumerates digit sequences
-/// odometer-style: run with the current prefix, then increment the
+/// budget, crashed). The explorer enumerates digit sequences via
+/// [`Odometer`]: run with the current prefix, then increment the
 /// deepest digit that has untried siblings. For a deterministic
 /// workload this visits **every** schedule of the bounded tree exactly
 /// once.
@@ -222,10 +295,7 @@ pub struct ExploreReport {
 pub struct ExhaustiveExplorer {
     depth: usize,
     crash_budget: usize,
-    prefix: Vec<usize>,
-    exhausted: bool,
-    visited: u64,
-    restarts: u64,
+    odo: Odometer,
 }
 
 impl ExhaustiveExplorer {
@@ -236,55 +306,43 @@ impl ExhaustiveExplorer {
     /// Panics when `depth == 0` (an unbranched tree is not a search).
     pub fn new(depth: usize, crash_budget: usize) -> Self {
         assert!(depth >= 1, "explore needs depth ≥ 1");
-        Self { depth, crash_budget, prefix: Vec::new(), exhausted: false, visited: 0, restarts: 0 }
+        Self { depth, crash_budget, odo: Odometer::new() }
     }
 
     /// Complete schedules executed so far.
     pub fn visited(&self) -> u64 {
-        self.visited
+        self.odo.visited()
     }
 
     /// Whether the whole bounded tree has been visited.
     pub fn exhausted(&self) -> bool {
-        self.exhausted
+        self.odo.exhausted()
     }
 
     /// Times the DFS wrapped around after exhaustion (see
     /// [`SharedExplorer`]).
     pub fn restarts(&self) -> u64 {
-        self.restarts
+        self.odo.restarts()
     }
 
     /// Restarts the DFS from the first schedule (statistics are kept).
     pub fn restart(&mut self) {
-        self.prefix.clear();
-        self.exhausted = false;
-        self.restarts += 1;
+        self.odo.restart();
     }
 
     /// The adversary for the next unvisited schedule, or `None` once the
     /// tree is exhausted. Feed the finished adversary back through
     /// [`ExhaustiveExplorer::record`] to advance the search.
     pub fn next_adversary(&self) -> Option<GuidedAdversary> {
-        if self.exhausted {
-            return None;
-        }
-        Some(GuidedAdversary::new(self.prefix.clone(), self.depth, self.crash_budget, false))
+        let prefix = self.odo.prefix()?.to_vec();
+        Some(GuidedAdversary::new(prefix, self.depth, self.crash_budget, false))
     }
 
     /// Consumes a finished run's branch trace and backtracks to the next
     /// unvisited schedule (odometer increment on the deepest digit with
     /// untried siblings).
     pub fn record(&mut self, finished: &GuidedAdversary) {
-        self.visited += 1;
-        match finished.trace.iter().rposition(|&(digit, arity)| digit + 1 < arity) {
-            None => self.exhausted = true,
-            Some(i) => {
-                self.prefix.clear();
-                self.prefix.extend(finished.trace[..i].iter().map(|&(d, _)| d as usize));
-                self.prefix.push(finished.trace[i].0 as usize + 1);
-            }
-        }
+        self.odo.record(&finished.trace);
     }
 
     /// Drives the whole bounded search: runs schedules until the tree is
@@ -301,7 +359,7 @@ impl ExhaustiveExplorer {
         mut run_one: impl FnMut(&mut dyn Adversary) -> Result<RunOutcome, String>,
     ) -> ExploreReport {
         let mut worst_steps = 0u64;
-        while !self.exhausted && self.visited < limit {
+        while !self.exhausted() && self.visited() < limit {
             let mut adv = self.next_adversary().expect("not exhausted");
             match run_one(&mut adv) {
                 Ok(out) => {
@@ -319,8 +377,8 @@ impl ExhaustiveExplorer {
                         run_one(&mut TolerantReplay::new(t.clone())).is_err()
                     });
                     return ExploreReport {
-                        schedules: self.visited,
-                        exhausted: self.exhausted,
+                        schedules: self.visited(),
+                        exhausted: self.exhausted(),
                         worst_steps,
                         counterexample: Some(Counterexample { tape, reason }),
                     };
@@ -328,8 +386,8 @@ impl ExhaustiveExplorer {
             }
         }
         ExploreReport {
-            schedules: self.visited,
-            exhausted: self.exhausted,
+            schedules: self.visited(),
+            exhausted: self.exhausted(),
             worst_steps,
             counterexample: None,
         }

@@ -46,11 +46,14 @@
 //! assert!(!adversary.name().is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod adversary;
 pub mod bits;
 pub mod dense;
 pub mod explore;
 pub mod ids;
+pub mod model;
 pub mod process;
 pub mod registry;
 pub mod replay;
@@ -65,10 +68,11 @@ pub use adversary::{
 pub use bits::{SlotSnapshot, Status, StatusBitmap};
 pub use explore::{
     interleaving_signature, shrink_tape, Counterexample, ExhaustiveExplorer, ExploreReport,
-    FuzzExplorer, FuzzReport, GuidedAdversary, MutatingReplay, SharedExplorer, SharedFuzzer,
-    TolerantReplay,
+    FuzzExplorer, FuzzReport, GuidedAdversary, MutatingReplay, Odometer, SharedExplorer,
+    SharedFuzzer, TolerantReplay,
 };
 pub use ids::{EntityVec, LocalIdx, Pid, ShardId, ShardMap};
+pub use model::{ModelReport, ModelRun, ModelTrace, TracedWord};
 pub use process::{run_to_completion, Process, StepOutcome};
 pub use registry::{AdversaryBuilder, AdversaryRegistry, ParsedKey};
 pub use replay::{RecordingAdversary, ReplayAdversary, Tape};

@@ -1,0 +1,787 @@
+//! A vendored mini-loom: exhaustive interleaving checking for the
+//! lock-free core.
+//!
+//! The schedule-space explorer ([`crate::explore`]) quantifies over all
+//! *protocol-level* schedules, but below it sit two lock-free
+//! primitives — `ConcurrentTauRegister`'s one-CAS bitmap and
+//! [`AtomicTasArray`](rr_shmem::tas::AtomicTasArray)'s fetch-or words —
+//! whose correctness claims live at the *atomic-instruction* level.
+//! This module checks them there:
+//!
+//! * [`TracedWord`] implements
+//!   [`AtomicWord`], so the production
+//!   structs instantiate with it unchanged (`AtomicTasArray<TracedWord>`,
+//!   `ConcurrentTauRegister<TracedWord>`). Every load/store/CAS/fetch-or
+//!   becomes a **visibility event**: the calling thread parks until the
+//!   model scheduler grants exactly that operation.
+//! * [`check`] runs a scenario (a set of closures over shared traced
+//!   state plus an outcome checker) under **every** interleaving of its
+//!   atomic operations, enumerating schedules with the same
+//!   [`Odometer`] DFS as the schedule explorer, pruned by DPOR-style
+//!   *sleep sets*: after a branch explores thread `t`, `t` sleeps in
+//!   the sibling subtrees until some dependent operation (same atomic,
+//!   at least one write) executes. Sleep sets prune only re-orderings
+//!   of independent (commuting) operations, so every Mazurkiewicz trace
+//!   — and hence every distinct outcome — is still visited.
+//! * A failing interleaving (checker rejection or a panic inside a
+//!   model thread) is minimized across the whole bounded search —
+//!   fewest context switches, then fewest events — and rendered by
+//!   [`ModelTrace::to_text`] in the same compact one-token-per-step
+//!   spirit as [`Tape::to_text`](crate::replay::Tape::to_text).
+//!
+//! # Scope and bounds
+//!
+//! The model is **sequentially consistent**: it explores all
+//! interleavings of whole atomic operations, not weak-memory
+//! reorderings. For this workspace that is the right contract — every
+//! checked primitive synchronizes exclusively through `Acquire`/
+//! `Release`/`AcqRel` RMWs on the traced words themselves, and claims
+//! (linearizability against a sequential oracle) are interleaving
+//! properties. Threads must be lock-free and finite: a model thread may
+//! only block inside a traced operation, and the explorer re-executes
+//! the scenario once per schedule, so scenarios must stay small (2–4
+//! threads, a handful of events each — exactly the bounded regime where
+//! exhaustive certificates are meaningful). Spurious CAS-weak failure
+//! is not modelled: `TracedWord::compare_exchange_weak` fails only on
+//! value mismatch, which keeps the tree finite and matches every
+//! caller's retry loop semantics.
+
+use crate::explore::Odometer;
+use rr_shmem::atomics::AtomicWord;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Model-checked alias for the shim, mirroring `std::sync::atomic`
+/// naming: `model::AtomicU64` is the instrumented drop-in for the
+/// production word.
+pub type AtomicU64 = TracedWord;
+
+/// What kind of visibility event an operation is, for dependence
+/// analysis: two events conflict iff they touch the same atomic and at
+/// least one of them writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Atomic load.
+    Load,
+    /// Atomic store.
+    Store,
+    /// Atomic read-modify-write (CAS, fetch-or, fetch-add).
+    Rmw,
+}
+
+/// A pending or executed atomic operation on one traced word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Op {
+    atomic: usize,
+    kind: OpKind,
+}
+
+impl Op {
+    /// Dependence in the DPOR sense: same atomic, not both loads.
+    fn depends(self, other: Op) -> bool {
+        self.atomic == other.atomic && !(self.kind == OpKind::Load && other.kind == OpKind::Load)
+    }
+}
+
+/// One executed visibility event, for trace rendering.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Model thread index that executed the operation.
+    pub thread: usize,
+    /// Traced-word index (creation order within the scenario).
+    pub atomic: usize,
+    /// Rendered operation, e.g. `load=3` or `cas 0->1`.
+    pub label: String,
+}
+
+/// A minimal failing interleaving with the reason it fails.
+#[derive(Debug, Clone)]
+pub struct ModelTrace {
+    /// The events of the failing execution, in schedule order.
+    pub events: Vec<Event>,
+    /// Checker rejection message or thread panic payload.
+    pub reason: String,
+}
+
+impl ModelTrace {
+    /// Number of scheduler context switches in the event sequence.
+    pub fn context_switches(&self) -> usize {
+        self.events.windows(2).filter(|w| w[0].thread != w[1].thread).count()
+    }
+
+    /// Compact rendering, one token per event, space-joined — the
+    /// interleaving-level sibling of `Tape::to_text`:
+    /// `t0:a0.cas 0->1 t1:a0.load=1 …`.
+    pub fn to_text(&self) -> String {
+        self.events
+            .iter()
+            .map(|e| format!("t{}:a{}.{}", e.thread, e.atomic, e.label))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// What a bounded exhaustive interleaving search found.
+#[derive(Debug)]
+pub struct ModelReport {
+    /// Distinct interleavings executed and checked (one representative
+    /// per Mazurkiewicz trace; sleep-set-pruned duplicates excluded).
+    pub interleavings: u64,
+    /// Redundant executions cut short by sleep-set pruning.
+    pub pruned: u64,
+    /// Whether the whole interleaving tree was visited (false only when
+    /// the `limit` was hit).
+    pub exhausted: bool,
+    /// Interleavings whose outcome failed the checker (or panicked).
+    pub failures: u64,
+    /// The minimal failing trace over the whole search, if any.
+    pub counterexample: Option<ModelTrace>,
+}
+
+impl ModelReport {
+    /// True when every explored interleaving passed the checker.
+    pub fn passed(&self) -> bool {
+        self.failures == 0
+    }
+}
+
+/// One scenario execution: the model threads to interleave and the
+/// outcome checker to run once they all finish.
+///
+/// Shared state is whatever the closures capture — typically `Arc`
+/// clones of structs instantiated over [`TracedWord`] inside the
+/// scenario builder passed to [`check`].
+pub struct ModelRun<R> {
+    threads: Vec<Box<dyn FnOnce() -> R + Send + 'static>>,
+    check: CheckFn<R>,
+}
+
+/// The outcome checker a [`ModelRun`] carries: per-thread results in,
+/// `Err(reason)` out on a non-linearizable (or otherwise wrong) outcome.
+type CheckFn<R> = Box<dyn FnOnce(&[R]) -> Result<(), String>>;
+
+impl<R> ModelRun<R> {
+    /// A scenario over `threads`, validated by `check` against the
+    /// per-thread results (indexed by thread) after all threads finish.
+    ///
+    /// # Panics
+    /// Panics on zero threads or more than [`MAX_THREADS`].
+    pub fn new(
+        threads: Vec<Box<dyn FnOnce() -> R + Send + 'static>>,
+        check: impl FnOnce(&[R]) -> Result<(), String> + 'static,
+    ) -> Self {
+        assert!(!threads.is_empty(), "model run needs at least one thread");
+        assert!(
+            threads.len() <= MAX_THREADS,
+            "model run capped at {MAX_THREADS} threads (got {})",
+            threads.len()
+        );
+        Self { threads, check: Box::new(check) }
+    }
+}
+
+/// Hard cap on model threads — sleep and enabled sets are word-wide
+/// bitmasks, and exhaustive exploration beyond a handful of threads is
+/// meaningless anyway.
+pub const MAX_THREADS: usize = 16;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadState {
+    /// Executing thread-local code (or not started yet).
+    Running,
+    /// Parked at an atomic op, waiting for a grant.
+    Pending(Op),
+    /// Granted; will perform its op and go back to Running.
+    Granted,
+    /// Closure returned (or panicked).
+    Finished,
+}
+
+#[derive(Debug)]
+struct ExecInner {
+    states: Vec<ThreadState>,
+    events: Vec<Event>,
+    atomics: usize,
+}
+
+/// Shared scheduler state for one execution: the parent grants one
+/// pending operation at a time; threads park on the condvar.
+#[derive(Debug)]
+struct ExecState {
+    inner: Mutex<ExecInner>,
+    cv: Condvar,
+}
+
+impl ExecState {
+    fn new(threads: usize) -> Self {
+        Self {
+            inner: Mutex::new(ExecInner {
+                states: vec![ThreadState::Running; threads],
+                events: Vec::new(),
+                atomics: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// The ambient model context of the current OS thread: which execution
+/// it belongs to and which model thread it is (`None` for the
+/// scheduler's own thread, whose accesses apply directly).
+#[derive(Clone)]
+struct Ctx {
+    exec: Arc<ExecState>,
+    tid: Option<usize>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn current_ctx() -> Option<Ctx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Sets the thread-local context for the duration of the guard.
+struct CtxGuard;
+
+impl CtxGuard {
+    fn set(ctx: Ctx) -> Self {
+        CURRENT.with(|c| *c.borrow_mut() = Some(ctx));
+        CtxGuard
+    }
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = None);
+    }
+}
+
+/// The instrumented atomic word: a drop-in
+/// [`AtomicWord`] whose every operation
+/// is a schedulable visibility event.
+///
+/// Created inside a [`check`] scenario builder it registers with the
+/// current execution and parks the calling model thread at each
+/// operation; created (or used) outside any model context — e.g. by the
+/// outcome checker after the threads joined — operations apply
+/// directly. Values live behind a `Mutex<u64>` (never contended: the
+/// scheduler admits one thread at a time), keeping the whole model
+/// checker `forbid(unsafe_code)`-clean.
+#[derive(Debug)]
+pub struct TracedWord {
+    id: usize,
+    cell: Mutex<u64>,
+}
+
+impl TracedWord {
+    fn op(&self, kind: OpKind, apply: impl FnOnce(&mut u64) -> String) -> u64 {
+        let scheduled = current_ctx().and_then(|ctx| ctx.tid.map(|tid| (ctx.exec, tid)));
+        match scheduled {
+            Some((exec, tid)) => {
+                let op = Op { atomic: self.id, kind };
+                // Park until the scheduler grants exactly this op.
+                {
+                    let mut g = exec.inner.lock().expect("model lock");
+                    g.states[tid] = ThreadState::Pending(op);
+                    exec.cv.notify_all();
+                    while g.states[tid] != ThreadState::Granted {
+                        g = exec.cv.wait(g).expect("model lock");
+                    }
+                    g.states[tid] = ThreadState::Running;
+                }
+                // Granted: this is the only admitted thread until it
+                // parks again, so the operation is atomic by schedule.
+                let mut v = self.cell.lock().expect("model cell");
+                let before = *v;
+                let label = apply(&mut v);
+                drop(v);
+                let mut g = exec.inner.lock().expect("model lock");
+                g.events.push(Event { thread: tid, atomic: self.id, label });
+                before
+            }
+            None => {
+                let mut v = self.cell.lock().expect("model cell");
+                let before = *v;
+                apply(&mut v);
+                before
+            }
+        }
+    }
+}
+
+impl Default for TracedWord {
+    fn default() -> Self {
+        <Self as AtomicWord>::new(0)
+    }
+}
+
+impl AtomicWord for TracedWord {
+    fn new(value: u64) -> Self {
+        let id = match current_ctx() {
+            Some(ctx) => {
+                let mut g = ctx.exec.inner.lock().expect("model lock");
+                let id = g.atomics;
+                g.atomics += 1;
+                id
+            }
+            None => usize::MAX,
+        };
+        Self { id, cell: Mutex::new(value) }
+    }
+
+    fn load(&self, _order: Ordering) -> u64 {
+        self.op(OpKind::Load, |v| format!("load={v}"))
+    }
+
+    fn store(&self, value: u64, _order: Ordering) {
+        self.op(OpKind::Store, |v| {
+            *v = value;
+            format!("store={value}")
+        });
+    }
+
+    fn compare_exchange_weak(
+        &self,
+        current: u64,
+        new: u64,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<u64, u64> {
+        let before = self.op(OpKind::Rmw, |v| {
+            if *v == current {
+                *v = new;
+                format!("cas {current}->{new}")
+            } else {
+                format!("cas!{current} saw={v}")
+            }
+        });
+        if before == current {
+            Ok(before)
+        } else {
+            Err(before)
+        }
+    }
+
+    fn fetch_or(&self, value: u64, _order: Ordering) -> u64 {
+        self.op(OpKind::Rmw, |v| {
+            *v |= value;
+            format!("or {value:#x}->{v:#x}")
+        })
+    }
+
+    fn fetch_add(&self, value: u64, _order: Ordering) -> u64 {
+        self.op(OpKind::Rmw, |v| {
+            *v = v.wrapping_add(value);
+            format!("add {value}->{v}")
+        })
+    }
+
+    fn unsync_mut(&mut self) -> &mut u64 {
+        self.cell.get_mut().expect("model cell")
+    }
+}
+
+/// Per-execution outcome fed back to the explorer.
+struct ExecOutcome {
+    trace: Vec<(u32, u32)>,
+    events: Vec<Event>,
+    pruned: bool,
+    failure: Option<String>,
+}
+
+/// Runs one execution of `run` under the digit `prefix`, with sleep-set
+/// bookkeeping. Returns the branch trace (for the odometer), the event
+/// log, and the failure reason if any.
+fn execute<R: Send + 'static>(
+    run: ModelRun<R>,
+    exec: Arc<ExecState>,
+    prefix: &[usize],
+) -> ExecOutcome {
+    let n = run.threads.len();
+    let handles: Vec<_> = run
+        .threads
+        .into_iter()
+        .enumerate()
+        .map(|(tid, f)| {
+            let exec = Arc::clone(&exec);
+            std::thread::spawn(move || {
+                let _guard = CtxGuard::set(Ctx { exec: Arc::clone(&exec), tid: Some(tid) });
+                let result = catch_unwind(AssertUnwindSafe(f));
+                let mut g = exec.inner.lock().expect("model lock");
+                g.states[tid] = ThreadState::Finished;
+                exec.cv.notify_all();
+                drop(g);
+                result
+            })
+        })
+        .collect();
+
+    let mut trace: Vec<(u32, u32)> = Vec::new();
+    let mut sleep: u16 = 0; // bit per sleeping model thread
+    let mut pruned = false;
+    let mut at = 0usize;
+    loop {
+        // Wait until every thread is parked at an op or finished.
+        let (enabled, pending): (u16, Vec<Option<Op>>) = {
+            let mut g = exec.inner.lock().expect("model lock");
+            loop {
+                let quiescent = g
+                    .states
+                    .iter()
+                    .all(|s| matches!(s, ThreadState::Pending(_) | ThreadState::Finished));
+                if quiescent {
+                    break;
+                }
+                g = exec.cv.wait(g).expect("model lock");
+            }
+            let mut enabled = 0u16;
+            let pending = g
+                .states
+                .iter()
+                .enumerate()
+                .map(|(i, s)| match s {
+                    ThreadState::Pending(op) => {
+                        enabled |= 1 << i;
+                        Some(*op)
+                    }
+                    _ => None,
+                })
+                .collect();
+            (enabled, pending)
+        };
+        if enabled == 0 {
+            break; // all finished
+        }
+
+        let chosen = if pruned {
+            // Redundant subtree: drain canonically without branching.
+            enabled.trailing_zeros() as usize
+        } else {
+            let explorable: Vec<usize> =
+                (0..n).filter(|&t| enabled & (1 << t) != 0 && sleep & (1 << t) == 0).collect();
+            if explorable.is_empty() {
+                // Every enabled thread sleeps: all continuations are
+                // re-orderings already covered in sibling subtrees.
+                pruned = true;
+                enabled.trailing_zeros() as usize
+            } else {
+                let digit = prefix.get(at).copied().unwrap_or(0);
+                assert!(
+                    digit < explorable.len(),
+                    "interleaving tree changed shape at decision {at}: digit {digit} of {} \
+                     choices (model scenarios must be deterministic)",
+                    explorable.len()
+                );
+                trace.push((digit as u32, explorable.len() as u32));
+                at += 1;
+                let chosen = explorable[digit];
+                // Sleep-set maintenance: earlier siblings at this node
+                // go to sleep in this subtree; executing a dependent op
+                // wakes a sleeper.
+                for &t in &explorable[..digit] {
+                    sleep |= 1 << t;
+                }
+                let chosen_op = pending[chosen].expect("enabled implies pending");
+                for (t, p) in pending.iter().enumerate().take(n) {
+                    if sleep & (1 << t) != 0 {
+                        let op = p.expect("sleeping implies pending");
+                        if op.depends(chosen_op) {
+                            sleep &= !(1 << t);
+                        }
+                    }
+                }
+                chosen
+            }
+        };
+
+        let mut g = exec.inner.lock().expect("model lock");
+        g.states[chosen] = ThreadState::Granted;
+        exec.cv.notify_all();
+    }
+
+    let mut results = Vec::with_capacity(n);
+    let mut failure = None;
+    for (tid, h) in handles.into_iter().enumerate() {
+        match h.join().expect("model thread") {
+            Ok(r) => results.push(r),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                failure.get_or_insert(format!("thread {tid} panicked: {msg}"));
+            }
+        }
+    }
+    if failure.is_none() && results.len() == n {
+        failure = (run.check)(&results).err();
+    }
+    let events = std::mem::take(&mut exec.inner.lock().expect("model lock").events);
+    ExecOutcome { trace, events, pruned, failure }
+}
+
+/// Exhaustively explores every interleaving of the scenario's atomic
+/// operations (up to `limit` executions) and checks each outcome.
+///
+/// `scenario` is called once per execution and must build the same
+/// deterministic [`ModelRun`] every time — fresh traced state, fresh
+/// closures; the only varying input is the schedule. The search keeps
+/// the **minimal** failing trace (fewest context switches, then fewest
+/// events) across all failures rather than stopping at the first.
+///
+/// ```
+/// use rr_sched::model::{check, ModelRun, TracedWord};
+/// use rr_shmem::atomics::AtomicWord;
+/// use rr_shmem::tas::{AtomicTasArray, TasMemory};
+/// use std::sync::Arc;
+///
+/// // Three contenders TAS the same register: exactly one may win,
+/// // under every one of the 3! orderings.
+/// let report = check(1_000, || {
+///     let arr = Arc::new(AtomicTasArray::<TracedWord>::with_atomics(1));
+///     let threads = (0..3)
+///         .map(|_| {
+///             let arr = Arc::clone(&arr);
+///             Box::new(move || arr.tas(0)) as Box<dyn FnOnce() -> bool + Send>
+///         })
+///         .collect();
+///     ModelRun::new(threads, |wins: &[bool]| {
+///         let w = wins.iter().filter(|&&b| b).count();
+///         if w == 1 { Ok(()) } else { Err(format!("{w} winners")) }
+///     })
+/// });
+/// assert!(report.passed());
+/// assert!(report.exhausted);
+/// assert_eq!(report.interleavings, 6);
+/// ```
+pub fn check<R: Send + 'static>(
+    limit: u64,
+    mut scenario: impl FnMut() -> ModelRun<R>,
+) -> ModelReport {
+    let mut odo = Odometer::new();
+    let mut pruned_total = 0u64;
+    let mut counted = 0u64;
+    let mut failures = 0u64;
+    let mut best: Option<ModelTrace> = None;
+    while counted + pruned_total < limit {
+        let Some(prefix) = odo.prefix() else { break };
+        let prefix = prefix.to_vec();
+        let exec = Arc::new(ExecState::new(0));
+        // Build the scenario under a schedulerless context so traced
+        // words created by the builder get deterministic ids.
+        let run = {
+            let _guard = CtxGuard::set(Ctx { exec: Arc::clone(&exec), tid: None });
+            scenario()
+        };
+        let n = run.threads.len();
+        let atomics = exec.inner.lock().expect("model lock").atomics;
+        let exec = Arc::new(ExecState::new(n));
+        exec.inner.lock().expect("model lock").atomics = atomics;
+        let out = execute(run, exec, &prefix);
+        odo.record(&out.trace);
+        if out.pruned {
+            pruned_total += 1;
+            continue;
+        }
+        counted += 1;
+        if let Some(reason) = out.failure {
+            failures += 1;
+            let candidate = ModelTrace { events: out.events, reason };
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    (candidate.context_switches(), candidate.events.len())
+                        < (b.context_switches(), b.events.len())
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+    }
+    ModelReport {
+        interleavings: counted,
+        pruned: pruned_total,
+        exhausted: odo.exhausted(),
+        failures,
+        counterexample: best,
+    }
+}
+
+/// Enumerates all permutations of `0..k` (Heap's algorithm), returning
+/// `true` as soon as `ok` accepts one — the building block for
+/// linearizability checks: an outcome is linearizable iff **some**
+/// sequential order of the completed operations reproduces it against
+/// the sequential oracle.
+///
+/// # Panics
+/// Panics when `k > 8` (8! = 40320 is already generous for model-scale
+/// histories).
+pub fn any_permutation(k: usize, mut ok: impl FnMut(&[usize]) -> bool) -> bool {
+    assert!(k <= 8, "permutation check capped at 8 operations (got {k})");
+    let mut items: Vec<usize> = (0..k).collect();
+    // Heap's algorithm, iterative.
+    let mut c = vec![0usize; k];
+    if ok(&items) {
+        return true;
+    }
+    let mut i = 0;
+    while i < k {
+        if c[i] < i {
+            if i % 2 == 0 {
+                items.swap(0, i);
+            } else {
+                items.swap(c[i], i);
+            }
+            if ok(&items) {
+                return true;
+            }
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_shmem::tas::{AtomicTasArray, TasMemory};
+
+    fn tas_scenario(contenders: usize, slots: usize) -> ModelRun<bool> {
+        let arr = Arc::new(AtomicTasArray::<TracedWord>::with_atomics(slots));
+        let check_arr = Arc::clone(&arr);
+        let threads = (0..contenders)
+            .map(|i| {
+                let arr = Arc::clone(&arr);
+                Box::new(move || arr.tas(i % slots)) as Box<dyn FnOnce() -> bool + Send>
+            })
+            .collect();
+        ModelRun::new(threads, move |wins: &[bool]| {
+            let winners = wins.iter().filter(|&&w| w).count();
+            if winners == slots.min(wins.len()) && check_arr.count_set() == slots.min(wins.len()) {
+                Ok(())
+            } else {
+                Err(format!("{winners} winners over {slots} slots"))
+            }
+        })
+    }
+
+    #[test]
+    fn two_contenders_two_interleavings() {
+        let report = check(100, || tas_scenario(2, 1));
+        assert!(report.passed(), "{:?}", report.counterexample);
+        assert!(report.exhausted);
+        // Both ops hit the same word: fully dependent, no pruning.
+        assert_eq!(report.interleavings, 2);
+        assert_eq!(report.pruned, 0);
+    }
+
+    #[test]
+    fn independent_ops_prune_to_one_trace() {
+        // Two threads TAS *different words* (slots 0 and 64 land in
+        // different u64s): the two orders commute, so sleep sets leave
+        // a single representative.
+        let report = check(100, || {
+            let arr = Arc::new(AtomicTasArray::<TracedWord>::with_atomics(65));
+            let a = Arc::clone(&arr);
+            let b = Arc::clone(&arr);
+            ModelRun::new(
+                vec![Box::new(move || a.tas(0)), Box::new(move || b.tas(64))],
+                |wins: &[bool]| {
+                    if wins == [true, true] {
+                        Ok(())
+                    } else {
+                        Err(format!("{wins:?}"))
+                    }
+                },
+            )
+        });
+        assert!(report.passed(), "{:?}", report.counterexample);
+        assert!(report.exhausted);
+        assert_eq!(report.interleavings, 1);
+        assert_eq!(report.pruned, 1);
+    }
+
+    #[test]
+    fn limit_stops_exploration() {
+        let report = check(1, || tas_scenario(2, 1));
+        assert!(!report.exhausted);
+        assert_eq!(report.interleavings + report.pruned, 1);
+    }
+
+    #[test]
+    fn broken_checker_failure_is_minimal_and_rendered() {
+        // Deliberately reject everything: the minimal trace must be the
+        // zero-context-switch canonical schedule, rendered compactly.
+        let report = check(100, || {
+            let arr = Arc::new(AtomicTasArray::<TracedWord>::with_atomics(1));
+            let a = Arc::clone(&arr);
+            let b = Arc::clone(&arr);
+            ModelRun::new(
+                vec![
+                    Box::new(move || a.tas(0)) as Box<dyn FnOnce() -> bool + Send>,
+                    Box::new(move || b.tas(0)),
+                ],
+                |_: &[bool]| Err("always wrong".into()),
+            )
+        });
+        assert_eq!(report.failures, report.interleavings);
+        let trace = report.counterexample.expect("failing trace");
+        assert_eq!(trace.reason, "always wrong");
+        assert_eq!(trace.context_switches(), 1);
+        assert_eq!(trace.to_text(), "t0:a0.or 0x1->0x1 t1:a0.or 0x1->0x1");
+    }
+
+    #[test]
+    fn model_thread_panic_is_a_counterexample() {
+        let report = check(100, || {
+            ModelRun::new(
+                vec![Box::new(|| {
+                    let w = TracedWord::new(0);
+                    w.store(1, Ordering::SeqCst);
+                    panic!("boom");
+                }) as Box<dyn FnOnce() + Send>],
+                |_: &[()]| Ok(()),
+            )
+        });
+        assert_eq!(report.failures, report.interleavings);
+        let trace = report.counterexample.expect("failing trace");
+        assert!(trace.reason.contains("thread 0 panicked: boom"), "{}", trace.reason);
+    }
+
+    #[test]
+    fn permutations_enumerate_exactly() {
+        let mut seen = Vec::new();
+        assert!(!any_permutation(3, |p| {
+            seen.push(p.to_vec());
+            false
+        }));
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 6);
+        assert!(any_permutation(3, |p| p == [2, 0, 1]));
+    }
+
+    #[test]
+    fn traced_word_works_standalone() {
+        // Outside any model context every op applies directly.
+        let w = TracedWord::new(7);
+        assert_eq!(w.load(Ordering::Acquire), 7);
+        w.store(3, Ordering::Release);
+        assert_eq!(w.fetch_add(2, Ordering::Relaxed), 3);
+        assert_eq!(w.fetch_or(8, Ordering::AcqRel), 5);
+        assert_eq!(w.compare_exchange_weak(13, 1, Ordering::AcqRel, Ordering::Acquire), Ok(13));
+        assert_eq!(w.compare_exchange_weak(13, 1, Ordering::AcqRel, Ordering::Acquire), Err(1));
+        let mut w = w;
+        assert_eq!(*w.unsync_mut(), 1);
+    }
+}

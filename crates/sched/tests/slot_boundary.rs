@@ -1,0 +1,113 @@
+//! Pins [`SlotSnapshot`] behavior at the exact `len() > 2 · live`
+//! lazy-compaction boundary the executor uses (see the recapture
+//! trigger in `shard.rs`).
+//!
+//! The threshold is observable — `RandomAdversary` rejection-samples
+//! slot indices, so a recapture one decision early or late changes the
+//! RNG stream and every schedule after it. These tests freeze the
+//! boundary semantics on both sides: at `len == 2 · live` the roster
+//! must stay stale (halted pids still occupy slots), and at
+//! `len == 2 · live + 1` a recapture must compact to exactly the
+//! runnable set.
+
+use rr_sched::{Pid, SlotSnapshot, Status, StatusBitmap};
+
+/// Replicates the executor's per-batch trigger.
+fn maybe_recapture(slots: &mut SlotSnapshot, status: &StatusBitmap, live: usize) -> bool {
+    if slots.len() > 2 * live {
+        slots.capture(status);
+        true
+    } else {
+        false
+    }
+}
+
+fn pids(slots: &SlotSnapshot) -> Vec<usize> {
+    slots.iter().map(Pid::index).collect()
+}
+
+#[test]
+fn at_exactly_two_x_live_the_roster_stays_stale() {
+    let n = 8;
+    let mut status = StatusBitmap::new();
+    status.reset(n);
+    let mut slots = SlotSnapshot::new();
+    slots.capture(&status);
+    assert_eq!(slots.len(), n);
+
+    // Halt half: live = 4, len = 8 = 2·live — NOT strictly greater, so
+    // the executor would not recapture and every stale slot survives.
+    for i in [1, 3, 4, 6] {
+        status.set(Pid::new(i), Status::GaveUp);
+    }
+    let live = status.runnable_count();
+    assert_eq!(live, 4);
+    assert!(!maybe_recapture(&mut slots, &status, live));
+    assert_eq!(slots.len(), 8, "len == 2·live must keep the stale roster");
+    assert_eq!(pids(&slots), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    // select() still rank-indexes the capture-time set, halted or not:
+    assert_eq!(slots.select(3), Pid::new(3));
+    assert!(!status.is_runnable(slots.select(3)), "stale slots may point at halted pids");
+}
+
+#[test]
+fn one_past_the_boundary_recaptures_to_the_runnable_set() {
+    let n = 8;
+    let mut status = StatusBitmap::new();
+    status.reset(n);
+    let mut slots = SlotSnapshot::new();
+    slots.capture(&status);
+    for i in [1, 3, 4, 6] {
+        status.set(Pid::new(i), Status::GaveUp);
+    }
+    // One more halt: live = 3, len = 8 > 6 — recapture compacts.
+    status.set(Pid::new(0), Status::Crashed);
+    let live = status.runnable_count();
+    assert_eq!(live, 3);
+    assert!(maybe_recapture(&mut slots, &status, live));
+    assert_eq!(slots.len(), 3);
+    assert_eq!(pids(&slots), vec![2, 5, 7], "recapture keeps exactly the runnable pids, sorted");
+    assert_eq!(slots.select(0), Pid::new(2));
+    assert_eq!(slots.select(2), Pid::new(7));
+}
+
+#[test]
+fn boundary_holds_across_word_boundaries() {
+    // 130 pids span three 64-bit runnable words; halt everything except
+    // three survivors placed in different words, crossing the boundary
+    // exactly as in the small case.
+    let n = 130;
+    let mut status = StatusBitmap::new();
+    status.reset(n);
+    let mut slots = SlotSnapshot::new();
+    slots.capture(&status);
+    assert_eq!(slots.len(), n);
+
+    let survivors = [5usize, 70, 129];
+    for i in 0..n {
+        if !survivors.contains(&i) {
+            status.set(Pid::new(i), Status::GaveUp);
+        }
+    }
+    let live = status.runnable_count();
+    assert_eq!(live, 3);
+
+    // Stale read just before the executor's check would fire: slot i is
+    // still pid i.
+    assert_eq!(slots.select(69), Pid::new(69));
+    assert_eq!(slots.select(129), Pid::new(129));
+
+    assert!(maybe_recapture(&mut slots, &status, live));
+    assert_eq!(slots.len(), 3);
+    assert_eq!(pids(&slots), vec![5, 70, 129]);
+}
+
+#[test]
+#[should_panic(expected = "slot 3 out of range 3")]
+fn select_past_len_panics_with_the_pinned_message() {
+    let mut status = StatusBitmap::new();
+    status.reset(3);
+    let mut slots = SlotSnapshot::new();
+    slots.capture(&status);
+    let _ = slots.select(3);
+}

@@ -1,0 +1,140 @@
+//! The `Atomics` abstraction: one word-wide atomic interface with two
+//! instantiations.
+//!
+//! The lock-free core ([`AtomicTasArray`](crate::tas::AtomicTasArray),
+//! `rr-tau`'s `ConcurrentTauRegister`) is generic over [`AtomicWord`]
+//! with `std::sync::atomic::AtomicU64` as the default type parameter:
+//!
+//! * **Production** uses the default — every trait method is an
+//!   `#[inline]` delegation to the corresponding `AtomicU64` intrinsic,
+//!   so monomorphization erases the abstraction completely. The pinned
+//!   step-total CI gate and the byte-identical `BENCH_backends.json`
+//!   snapshot verify that the refactor changed no observable schedule.
+//! * **Model checking** instantiates the same structs with
+//!   `rr_sched::model::TracedWord`, which parks the calling thread at
+//!   every load/store/RMW until a scheduler grants it — turning each
+//!   shared-memory access into an explicit interleaving point that an
+//!   exhaustive explorer can enumerate.
+//!
+//! The trait exposes exactly the operations the core primitives use
+//! (load, store, CAS-weak, fetch-or, fetch-add, and exclusive-access
+//! reset); orderings are passed through verbatim so the production
+//! instantiation keeps today's `Acquire`/`Release` discipline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A 64-bit atomic word: the single abstraction point between the
+/// production atomics and the model checker's instrumented ones.
+///
+/// Implementations must make each method atomic with respect to every
+/// other method on the same value. `Debug`, `Send`, `Sync` and
+/// `Default` mirror what `std::sync::atomic::AtomicU64` provides so
+/// generic containers derive cleanly.
+pub trait AtomicWord: std::fmt::Debug + Default + Send + Sync + Sized + 'static {
+    /// A word initialized to `value`.
+    fn new(value: u64) -> Self;
+
+    /// Atomic load.
+    fn load(&self, order: Ordering) -> u64;
+
+    /// Atomic store.
+    fn store(&self, value: u64, order: Ordering);
+
+    /// Atomic weak compare-exchange: `Ok(previous)` on success,
+    /// `Err(actual)` on failure (which may be spurious, like the `std`
+    /// operation — callers loop).
+    fn compare_exchange_weak(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64>;
+
+    /// Atomic fetch-or; returns the previous value.
+    fn fetch_or(&self, value: u64, order: Ordering) -> u64;
+
+    /// Atomic fetch-add (wrapping); returns the previous value.
+    fn fetch_add(&self, value: u64, order: Ordering) -> u64;
+
+    /// Exclusive-access view of the value (no synchronization needed —
+    /// the `&mut` proves no concurrent access exists). Mirrors
+    /// `AtomicU64::get_mut`.
+    fn unsync_mut(&mut self) -> &mut u64;
+}
+
+impl AtomicWord for AtomicU64 {
+    #[inline]
+    fn new(value: u64) -> Self {
+        AtomicU64::new(value)
+    }
+
+    #[inline]
+    fn load(&self, order: Ordering) -> u64 {
+        AtomicU64::load(self, order)
+    }
+
+    #[inline]
+    fn store(&self, value: u64, order: Ordering) {
+        AtomicU64::store(self, value, order);
+    }
+
+    #[inline]
+    fn compare_exchange_weak(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        AtomicU64::compare_exchange_weak(self, current, new, success, failure)
+    }
+
+    #[inline]
+    fn fetch_or(&self, value: u64, order: Ordering) -> u64 {
+        AtomicU64::fetch_or(self, value, order)
+    }
+
+    #[inline]
+    fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+        AtomicU64::fetch_add(self, value, order)
+    }
+
+    #[inline]
+    fn unsync_mut(&mut self) -> &mut u64 {
+        self.get_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<W: AtomicWord>() {
+        let w = W::new(5);
+        assert_eq!(w.load(Ordering::Acquire), 5);
+        w.store(9, Ordering::Release);
+        assert_eq!(w.fetch_or(0b10, Ordering::AcqRel), 9);
+        assert_eq!(w.fetch_add(1, Ordering::Relaxed), 11);
+        let mut w = w;
+        assert_eq!(*w.unsync_mut(), 12);
+        *w.unsync_mut() = 0;
+        // CAS-weak may fail spuriously; loop like real callers do.
+        loop {
+            match w.compare_exchange_weak(0, 7, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(prev) => {
+                    assert_eq!(prev, 0);
+                    break;
+                }
+                Err(actual) => assert_eq!(actual, 0),
+            }
+        }
+        assert_eq!(w.load(Ordering::Acquire), 7);
+        assert_eq!(W::default().load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn std_atomic_u64_implements_the_contract() {
+        exercise::<AtomicU64>();
+    }
+}

@@ -39,12 +39,16 @@
 //! assert_eq!(names.count_set(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub mod atomics;
 pub mod intent;
 pub mod namespace;
 pub mod rng;
 pub mod stats;
 pub mod tas;
 
+pub use atomics::AtomicWord;
 pub use intent::Access;
 pub use namespace::{AuditError, NameSpaceAudit};
 pub use rng::ProcessRng;

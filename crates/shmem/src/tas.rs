@@ -7,6 +7,7 @@
 //! atomic read-modify-write — the `AtomicUsize` CAS fit called out in the
 //! reproduction brief.
 
+use crate::atomics::AtomicWord;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A fixed-size array of single-bit test-and-set registers.
@@ -40,12 +41,18 @@ pub trait TasMemory: Sync {
     }
 }
 
-/// Bit-packed lock-free TAS array: 64 registers per `AtomicU64`.
+/// Bit-packed lock-free TAS array: 64 registers per atomic word.
 ///
 /// `tas` is one `fetch_or(bit, AcqRel)`; the caller won iff the bit was
 /// clear in the returned previous value. `AcqRel` gives the winner a
 /// happens-before edge to every later reader that observes the bit set,
 /// which is all the synchronization the renaming protocols require.
+///
+/// Generic over the [`AtomicWord`] instantiation: the `AtomicU64`
+/// default is the production array (every call site that writes
+/// `AtomicTasArray` unqualified gets exactly the pre-abstraction
+/// codegen), while the model checker instantiates the same struct with
+/// its instrumented word to enumerate interleavings of `tas` calls.
 ///
 /// ```
 /// use rr_shmem::tas::{AtomicTasArray, TasMemory};
@@ -56,16 +63,26 @@ pub trait TasMemory: Sync {
 /// assert_eq!(names.count_set(), 1);
 /// ```
 #[derive(Debug)]
-pub struct AtomicTasArray {
-    words: Box<[AtomicU64]>,
+pub struct AtomicTasArray<W: AtomicWord = AtomicU64> {
+    words: Box<[W]>,
     len: usize,
 }
 
 impl AtomicTasArray {
-    /// Creates an array of `len` unset registers.
+    /// Creates a production (`AtomicU64`) array of `len` unset
+    /// registers. Defined on the default instantiation so plain
+    /// `AtomicTasArray::new(..)` call sites infer `W = AtomicU64`.
     pub fn new(len: usize) -> Self {
+        Self::with_atomics(len)
+    }
+}
+
+impl<W: AtomicWord> AtomicTasArray<W> {
+    /// Creates an array of `len` unset registers over any
+    /// [`AtomicWord`] instantiation (the model checker's entry point).
+    pub fn with_atomics(len: usize) -> Self {
         let n_words = len.div_ceil(64);
-        let words = (0..n_words).map(|_| AtomicU64::new(0)).collect();
+        let words = (0..n_words).map(|_| W::new(0)).collect();
         Self { words, len }
     }
 
@@ -73,7 +90,7 @@ impl AtomicTasArray {
     /// cannot race with concurrent `tas` calls by construction.
     pub fn reset(&mut self) {
         for w in self.words.iter_mut() {
-            *w.get_mut() = 0;
+            *w.unsync_mut() = 0;
         }
     }
 
@@ -101,7 +118,7 @@ impl AtomicTasArray {
     }
 }
 
-impl TasMemory for AtomicTasArray {
+impl<W: AtomicWord> TasMemory for AtomicTasArray<W> {
     #[inline]
     fn len(&self) -> usize {
         self.len

@@ -29,6 +29,7 @@
 //! step counts are unchanged by the front-end representation.
 
 use crate::device::MAX_WIDTH;
+use rr_shmem::atomics::AtomicWord;
 use rr_shmem::tas::{AtomicTasArray, TasMemory};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -37,43 +38,52 @@ use std::sync::Arc;
 ///
 /// Cloning the handle is cheap (`Arc` internally); all clones address the
 /// same hardware.
-#[derive(Debug, Clone)]
-pub struct ConcurrentTauRegister {
-    inner: Arc<Inner>,
+///
+/// Generic over the [`AtomicWord`] instantiation of its state word and
+/// name-slot array: production code uses the `AtomicU64` default (the
+/// unqualified `ConcurrentTauRegister` type, identical codegen to the
+/// pre-abstraction register), while `rr_sched::model` instantiates the
+/// same struct with an instrumented word so every load/CAS/TAS becomes
+/// a schedulable event in an exhaustive interleaving search.
+#[derive(Debug)]
+pub struct ConcurrentTauRegister<W: AtomicWord = AtomicU64> {
+    inner: Arc<Inner<W>>,
+}
+
+// Manual impl: `#[derive(Clone)]` would demand `W: Clone`, but the
+// handle only clones the `Arc`.
+impl<W: AtomicWord> Clone for ConcurrentTauRegister<W> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
 }
 
 #[derive(Debug)]
-struct Inner {
+struct Inner<W: AtomicWord> {
     /// The confirmed bit map — the device's `out_reg` (== `in_reg`
     /// between cycles). Single source of truth, updated by CAS.
-    state: AtomicU64,
-    /// Clock cycles executed (one per answered request).
+    state: W,
+    /// Clock cycles executed (one per answered request). Plain `std`
+    /// atomic even under instrumentation: it is observability metadata,
+    /// not checked state, and modelling it would double every
+    /// interleaving point for no verification value.
     cycles: AtomicU64,
     width: u32,
     tau: u32,
-    slots: AtomicTasArray,
+    slots: AtomicTasArray<W>,
     base_name: usize,
 }
 
 impl ConcurrentTauRegister {
-    /// A register handing out names `base_name .. base_name + tau`.
+    /// A production (`AtomicU64`) register handing out names
+    /// `base_name .. base_name + tau`. Defined on the default
+    /// instantiation so plain `ConcurrentTauRegister::new(..)` call
+    /// sites infer `W = AtomicU64`.
     ///
     /// # Panics
     /// Panics if `width == 0`, `width > 64` or `tau > width`.
     pub fn new(width: u32, tau: u32, base_name: usize) -> Self {
-        assert!(width > 0, "device needs at least one bit");
-        assert!(width <= MAX_WIDTH, "device width {width} exceeds one machine word");
-        assert!(tau <= width, "threshold τ={tau} exceeds width {width}");
-        Self {
-            inner: Arc::new(Inner {
-                state: AtomicU64::new(0),
-                cycles: AtomicU64::new(0),
-                width,
-                tau,
-                slots: AtomicTasArray::new(tau as usize),
-                base_name,
-            }),
-        }
+        Self::with_atomics(width, tau, base_name)
     }
 
     /// The paper's `(log n)`-register for population `n`: `2·⌈log₂ n⌉`
@@ -83,6 +93,29 @@ impl ConcurrentTauRegister {
     pub fn log_register(n: usize, base_name: usize) -> Self {
         let device = crate::device::CountingDevice::log_register(n);
         Self::new(device.width(), device.tau(), base_name)
+    }
+}
+
+impl<W: AtomicWord> ConcurrentTauRegister<W> {
+    /// A register over any [`AtomicWord`] instantiation (the model
+    /// checker's entry point).
+    ///
+    /// # Panics
+    /// Panics if `width == 0`, `width > 64` or `tau > width`.
+    pub fn with_atomics(width: u32, tau: u32, base_name: usize) -> Self {
+        assert!(width > 0, "device needs at least one bit");
+        assert!(width <= MAX_WIDTH, "device width {width} exceeds one machine word");
+        assert!(tau <= width, "threshold τ={tau} exceeds width {width}");
+        Self {
+            inner: Arc::new(Inner {
+                state: W::new(0),
+                cycles: AtomicU64::new(0),
+                width,
+                tau,
+                slots: AtomicTasArray::with_atomics(tau as usize),
+                base_name,
+            }),
+        }
     }
 
     /// Number of device TAS bits.

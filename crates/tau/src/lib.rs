@@ -30,6 +30,8 @@
 //! assert!(device.confirmed_count() <= device.tau());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod concurrent;
 pub mod device;
 pub mod register;

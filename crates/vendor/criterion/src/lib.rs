@@ -12,6 +12,8 @@
 //! body exactly once and reports `ok`, matching real criterion's smoke
 //! mode; CI uses that to keep the bench surface compiling *and* running.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Benchmark driver handed to each registered group function.

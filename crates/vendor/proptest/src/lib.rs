@@ -15,6 +15,8 @@
 //!   reproduce exactly across runs and machines. Set `PROPTEST_CASES`
 //!   to override the default case count.
 
+#![forbid(unsafe_code)]
+
 pub mod arbitrary;
 pub mod collection;
 pub mod strategy;

@@ -15,6 +15,8 @@
 //! workspace only relies on determinism and stream independence, both of
 //! which hold.
 
+#![forbid(unsafe_code)]
+
 pub mod rngs;
 
 mod uniform;

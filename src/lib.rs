@@ -22,6 +22,8 @@
 //! assert_eq!(out.gave_up_count(), 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use rr_analysis as analysis;
 pub use rr_baselines as baselines;
 pub use rr_renaming as renaming;
