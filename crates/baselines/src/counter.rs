@@ -62,6 +62,12 @@ impl RenamingAlgorithm for FetchAddRenaming {
         Instance { processes: rr_renaming::traits::boxed(self.build(n)), m: n, n }
     }
 
+    /// Deterministic: no randomness is drawn, so every RNG backend is
+    /// trivially supported (the mode is irrelevant, not refused).
+    fn instantiate_rng(&self, n: usize, seed: u64, _rng: rr_shmem::rng::RngMode) -> Instance {
+        self.instantiate(n, seed)
+    }
+
     fn run_dense(
         &self,
         n: usize,

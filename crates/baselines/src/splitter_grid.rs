@@ -227,6 +227,12 @@ impl RenamingAlgorithm for SplitterGrid {
         Instance { processes: rr_renaming::traits::boxed(self.build(n)), m: self.m(n), n }
     }
 
+    /// Deterministic: no randomness is drawn, so every RNG backend is
+    /// trivially supported (the mode is irrelevant, not refused).
+    fn instantiate_rng(&self, n: usize, seed: u64, _rng: rr_shmem::rng::RngMode) -> Instance {
+        self.instantiate(n, seed)
+    }
+
     fn step_budget(&self, n: usize) -> u64 {
         // ≤ n splitters on a path, 4 accesses each, for each process.
         16 * (n as u64) * (n as u64) + 1024

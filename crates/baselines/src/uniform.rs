@@ -9,7 +9,7 @@
 use rr_renaming::traits::{Instance, RenamingAlgorithm};
 use rr_sched::ids::Pid;
 use rr_sched::process::{Process, StepOutcome};
-use rr_shmem::rng::ProcessRng;
+use rr_shmem::rng::{ProcessRng, RngMode};
 use rr_shmem::tas::{AtomicTasArray, TasMemory};
 use rr_shmem::Access;
 use std::sync::Arc;
@@ -27,7 +27,19 @@ pub struct UniformProcess {
 impl UniformProcess {
     /// Process `pid` probing `mem`.
     pub fn new(pid: usize, seed: u64, mem: Arc<AtomicTasArray>, budget: u64) -> Self {
-        Self { pid, rng: ProcessRng::new(seed, pid), mem, pending: None, budget }
+        Self::with_rng(pid, seed, RngMode::default(), mem, budget)
+    }
+
+    /// Like [`UniformProcess::new`] with an explicit RNG backend (the
+    /// default mode is bit-identical to it).
+    pub fn with_rng(
+        pid: usize,
+        seed: u64,
+        rng: RngMode,
+        mem: Arc<AtomicTasArray>,
+        budget: u64,
+    ) -> Self {
+        Self { pid, rng: ProcessRng::with_mode(rng, seed, pid), mem, pending: None, budget }
     }
 }
 
@@ -56,6 +68,10 @@ impl Process for UniformProcess {
     fn pid(&self) -> Pid {
         Pid::new(self.pid)
     }
+
+    fn rng_words(&self) -> Option<u64> {
+        Some(self.rng.words_drawn())
+    }
 }
 
 /// Uniform probing into `m = ⌈(1+ε)n⌉` names.
@@ -82,7 +98,15 @@ impl RenamingAlgorithm for UniformProbing {
     }
 
     fn instantiate(&self, n: usize, seed: u64) -> Instance {
-        Instance { processes: rr_renaming::traits::boxed(self.build(n, seed)), m: self.m(n), n }
+        self.instantiate_rng(n, seed, RngMode::default())
+    }
+
+    fn instantiate_rng(&self, n: usize, seed: u64, rng: RngMode) -> Instance {
+        Instance {
+            processes: rr_renaming::traits::boxed(self.build(n, seed, rng)),
+            m: self.m(n),
+            n,
+        }
     }
 
     fn run_dense(
@@ -92,17 +116,30 @@ impl RenamingAlgorithm for UniformProbing {
         adversary: &mut dyn rr_sched::adversary::Adversary,
         arena: &mut rr_sched::dense::Arena,
     ) -> Result<rr_sched::virtual_exec::RunOutcome, rr_sched::virtual_exec::ExecError> {
-        arena.run(&mut self.build(n, seed), adversary, self.step_budget(n))
+        self.run_dense_rng(n, seed, RngMode::default(), adversary, arena)
+    }
+
+    fn run_dense_rng(
+        &self,
+        n: usize,
+        seed: u64,
+        rng: RngMode,
+        adversary: &mut dyn rr_sched::adversary::Adversary,
+        arena: &mut rr_sched::dense::Arena,
+    ) -> Result<rr_sched::virtual_exec::RunOutcome, rr_sched::virtual_exec::ExecError> {
+        arena.run(&mut self.build(n, seed, rng), adversary, self.step_budget(n))
     }
 }
 
 impl UniformProbing {
-    fn build(&self, n: usize, seed: u64) -> Vec<UniformProcess> {
+    fn build(&self, n: usize, seed: u64, rng: RngMode) -> Vec<UniformProcess> {
         assert!(self.epsilon > 0.0, "uniform probing needs m > n");
         let mem = Arc::new(AtomicTasArray::new(self.m(n)));
         // W.h.p. bound is O(log n / log(1+ε)); budget 100× that.
         let budget = (100.0 * (n.max(2) as f64).log2() / (1.0 + self.epsilon).log2()).ceil() as u64;
-        (0..n).map(|pid| UniformProcess::new(pid, seed, Arc::clone(&mem), budget)).collect()
+        (0..n)
+            .map(|pid| UniformProcess::with_rng(pid, seed, rng, Arc::clone(&mem), budget))
+            .collect()
     }
 }
 

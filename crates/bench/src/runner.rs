@@ -9,6 +9,7 @@ use rr_sched::registry::{standard, ParsedKey};
 use rr_sched::shard::{run_sharded, shard_seed, Arena, ShardRun, DEFAULT_COUPLING_EVERY};
 use rr_sched::thread_exec::run_threads_bounded;
 use rr_sched::virtual_exec::{run, RunOutcome};
+use rr_shmem::rng::RngMode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -336,13 +337,33 @@ pub fn run_once_backend(
     backend: ExecBackend,
     arena: &mut Arena,
 ) -> RunOutcome {
+    run_once_backend_rng(algo, n, seed, RngMode::default(), adversary, backend, arena)
+}
+
+/// [`run_once_backend`] with an explicit per-process RNG backend.
+/// Algorithms that don't implement the requested mode refuse loudly
+/// (see [`RenamingAlgorithm::instantiate_rng`]); the default mode is
+/// bit-identical to [`run_once_backend`].
+///
+/// # Panics
+/// Panics on executor errors, renaming-safety violations, or an
+/// unsupported RNG mode.
+pub fn run_once_backend_rng(
+    algo: &dyn RenamingAlgorithm,
+    n: usize,
+    seed: u64,
+    rng: RngMode,
+    adversary: &mut dyn Adversary,
+    backend: ExecBackend,
+    arena: &mut Arena,
+) -> RunOutcome {
     let out = match backend {
-        ExecBackend::Virtual => return run_once_with(algo, n, seed, adversary),
+        ExecBackend::Virtual => return run_once_with_rng(algo, n, seed, rng, adversary),
         ExecBackend::Dense => algo
-            .run_dense(n, seed, adversary, arena)
+            .run_dense_rng(n, seed, rng, adversary, arena)
             .unwrap_or_else(|e| panic!("{} at n={n}, seed {seed}: {e}", algo.name())),
         ExecBackend::Threads { t } => {
-            let inst = algo.instantiate(n, seed);
+            let inst = algo.instantiate_rng(n, seed, rng);
             run_threads_bounded(inst.processes, t, algo.step_budget(n))
         }
         ExecBackend::Shard { .. } => panic!(
@@ -378,13 +399,31 @@ pub fn run_once_sharded(
     build_adv: &(dyn Fn(usize, u64) -> Box<dyn Adversary> + Sync),
     shards: usize,
 ) -> RunOutcome {
+    run_once_sharded_rng(algo, n, seed, RngMode::default(), build_adv, shards)
+}
+
+/// [`run_once_sharded`] with an explicit per-process RNG backend (every
+/// shard sub-instance draws in `rng` mode; the default mode is
+/// bit-identical to [`run_once_sharded`]).
+///
+/// # Panics
+/// Same conditions as [`run_once_sharded`], plus an unsupported RNG
+/// mode (see [`RenamingAlgorithm::instantiate_rng`]).
+pub fn run_once_sharded_rng(
+    algo: &(dyn RenamingAlgorithm + Sync),
+    n: usize,
+    seed: u64,
+    rng: RngMode,
+    build_adv: &(dyn Fn(usize, u64) -> Box<dyn Adversary> + Sync),
+    shards: usize,
+) -> RunOutcome {
     assert!(shards >= 1, "shard backend needs s ≥ 1");
     assert!(shards <= n, "shard backend needs s ≤ n (got s={shards}, n={n})");
     let (out, m_total) = run_sharded(n, shards, DEFAULT_COUPLING_EVERY, |s, n_s, ctx| {
         let sub_seed = shard_seed(seed, s);
         let mut adversary = ctx.couple(build_adv(n_s, sub_seed));
         let mut arena = Arena::new();
-        algo.run_dense(n_s, sub_seed, &mut adversary, &mut arena)
+        algo.run_dense_rng(n_s, sub_seed, rng, &mut adversary, &mut arena)
             .map(|outcome| ShardRun { outcome, m: algo.m(n_s) })
     })
     .unwrap_or_else(|e| panic!("{} at n={n}, seed {seed}, shard:s={shards}: {e}", algo.name()));
@@ -422,7 +461,23 @@ pub fn run_once_with(
     seed: u64,
     adversary: &mut dyn Adversary,
 ) -> RunOutcome {
-    let inst = algo.instantiate(n, seed);
+    run_once_with_rng(algo, n, seed, RngMode::default(), adversary)
+}
+
+/// [`run_once_with`] with an explicit per-process RNG backend (the
+/// default mode is bit-identical to it).
+///
+/// # Panics
+/// Panics on executor errors, renaming-safety violations, or an
+/// unsupported RNG mode.
+pub fn run_once_with_rng(
+    algo: &dyn RenamingAlgorithm,
+    n: usize,
+    seed: u64,
+    rng: RngMode,
+    adversary: &mut dyn Adversary,
+) -> RunOutcome {
+    let inst = algo.instantiate_rng(n, seed, rng);
     let m = inst.m;
     let procs: Vec<Box<dyn Process>> =
         inst.processes.into_iter().map(|p| p as Box<dyn Process>).collect();
@@ -503,6 +558,7 @@ pub struct BatchRun<'a> {
     seeds: u64,
     adversary: String,
     backend: ExecBackend,
+    rng: RngMode,
     workers: usize,
 }
 
@@ -517,6 +573,7 @@ impl<'a> BatchRun<'a> {
             seeds: 1,
             adversary: "fair".into(),
             backend: ExecBackend::default(),
+            rng: RngMode::default(),
             workers: runner_threads(),
         }
     }
@@ -543,6 +600,17 @@ impl<'a> BatchRun<'a> {
     /// Execution backend (default [`ExecBackend::Virtual`]).
     pub fn backend(mut self, backend: ExecBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Per-process RNG backend (default [`RngMode::ChaCha8`], which is
+    /// bit-identical to not calling this at all). A non-default mode is
+    /// a **modelling change**: step counts follow a different coin
+    /// stream, so the scenario layer stamps its records with the mode.
+    /// Algorithms that don't implement the requested mode panic loudly
+    /// at instantiation (see [`RenamingAlgorithm::instantiate_rng`]).
+    pub fn rng_mode(mut self, rng: RngMode) -> Self {
+        self.rng = rng;
         self
     }
 
@@ -583,6 +651,7 @@ impl<'a> BatchRun<'a> {
             &move |n, seed| builder(n, seed),
             self.workers,
             self.backend,
+            self.rng,
         );
         let timing = BatchTiming {
             wall_secs: start.elapsed().as_secs_f64(),
@@ -613,11 +682,20 @@ fn run_batch_core(
     build_adv: &(dyn Fn(usize, u64) -> Box<dyn Adversary> + Sync),
     workers: usize,
     backend: ExecBackend,
+    rng: RngMode,
 ) -> BatchStats {
     let run_seed = |seed: u64, arena: &mut Arena| {
         let out = match backend {
-            ExecBackend::Shard { s } => run_once_sharded(algo, n, seed, build_adv, s),
-            _ => run_once_backend(algo, n, seed, build_adv(n, seed).as_mut(), backend, arena),
+            ExecBackend::Shard { s } => run_once_sharded_rng(algo, n, seed, rng, build_adv, s),
+            _ => run_once_backend_rng(
+                algo,
+                n,
+                seed,
+                rng,
+                build_adv(n, seed).as_mut(),
+                backend,
+                arena,
+            ),
         };
         measure(&out, n)
     };
@@ -678,6 +756,7 @@ fn parse_threads(raw: Option<&str>) -> usize {
 /// | `threads` | `RR_RUNNER_THREADS` env (else available parallelism) | [`BatchRun`] worker count |
 /// | `json_path` | `--json <path>` CLI flag | also write structured records (see `scenario::sink`) |
 /// | `backend` | `--backend <key>` CLI flag | execution core (`virtual` \| `dense` \| `threads:t=N`) |
+/// | `rng` | `--rng <mode>` CLI flag | per-process RNG backend (`chacha8` \| `counter`) |
 #[derive(Debug, Clone)]
 pub struct RunConfig {
     /// CI-sized sweeps when set (the `--quick` flag).
@@ -688,6 +767,9 @@ pub struct RunConfig {
     pub json_path: Option<std::path::PathBuf>,
     /// Which execution core batch sections run on.
     pub backend: ExecBackend,
+    /// Per-process RNG backend. Non-default modes are a modelling
+    /// change: records produced under them carry an `"rng"` field.
+    pub rng: RngMode,
 }
 
 impl Default for RunConfig {
@@ -697,6 +779,7 @@ impl Default for RunConfig {
             threads: parse_threads(None),
             json_path: None,
             backend: ExecBackend::Virtual,
+            rng: RngMode::default(),
         }
     }
 }
@@ -708,16 +791,18 @@ impl RunConfig {
     }
 
     /// Testable core of [`RunConfig::from_env`]: `--quick`,
-    /// `--json <path>` and `--backend <key>` are recognized, anything
-    /// else is ignored (the experiment binaries have always tolerated
-    /// stray arguments). An invalid backend key exits with a friendly
-    /// message (code 2) — the flag is user input, not programmer error.
+    /// `--json <path>`, `--backend <key>` and `--rng <mode>` are
+    /// recognized, anything else is ignored (the experiment binaries
+    /// have always tolerated stray arguments). An invalid backend key
+    /// or RNG mode exits with a friendly message (code 2) — the flag is
+    /// user input, not programmer error.
     pub fn from_args(args: impl IntoIterator<Item = String>, threads_env: Option<String>) -> Self {
         let mut cfg = Self {
             quick: false,
             threads: parse_threads(threads_env.as_deref()),
             json_path: None,
             backend: ExecBackend::Virtual,
+            rng: RngMode::default(),
         };
         let mut args = args.into_iter().peekable();
         while let Some(arg) = args.next() {
@@ -732,6 +817,13 @@ impl RunConfig {
                     let key = args.next().expect("peeked");
                     cfg.backend = ExecBackend::parse(&key).unwrap_or_else(|e| {
                         eprintln!("--backend {key}: {e}");
+                        std::process::exit(2);
+                    });
+                }
+                "--rng" if args.peek().is_some_and(|v| !v.starts_with("--")) => {
+                    let key = args.next().expect("peeked");
+                    cfg.rng = RngMode::parse(&key).unwrap_or_else(|e| {
+                        eprintln!("--rng {key}: {e}");
                         std::process::exit(2);
                     });
                 }
@@ -1092,6 +1184,66 @@ mod tests {
         let cfg = RunConfig::from_args(["--backend", "--quick"].map(String::from), None);
         assert_eq!(cfg.backend, ExecBackend::Virtual);
         assert!(cfg.quick);
+
+        // `--rng` selects the per-process RNG backend; default chacha8.
+        assert_eq!(cfg.rng, RngMode::default());
+        let cfg = RunConfig::from_args(["--rng", "counter"].map(String::from), None);
+        assert_eq!(cfg.rng, RngMode::Counter);
+        let cfg = RunConfig::from_args(["--rng", "chacha8"].map(String::from), None);
+        assert_eq!(cfg.rng, RngMode::ChaCha8);
+        // `--rng` with no value (next is a flag) leaves the default.
+        let cfg = RunConfig::from_args(["--rng", "--quick"].map(String::from), None);
+        assert_eq!(cfg.rng, RngMode::default());
+        assert!(cfg.quick);
+    }
+
+    /// `.rng_mode(RngMode::default())` is the identity: stats are
+    /// bit-identical to a builder that never mentions the mode, on
+    /// every backend.
+    #[test]
+    fn default_rng_mode_is_bit_identical_to_unset() {
+        let algo = TightRenaming::calibrated(4);
+        for backend in [ExecBackend::Virtual, ExecBackend::Dense, ExecBackend::Shard { s: 2 }] {
+            let plain =
+                BatchRun::new(&algo, 96).seeds(3).backend(backend).workers(1).stats().unwrap();
+            let explicit = BatchRun::new(&algo, 96)
+                .seeds(3)
+                .backend(backend)
+                .rng_mode(RngMode::default())
+                .workers(1)
+                .stats()
+                .unwrap();
+            assert_eq!(plain.step_complexity, explicit.step_complexity, "{backend:?}");
+            assert_eq!(plain.total_steps, explicit.total_steps, "{backend:?}");
+            assert_eq!(plain.unnamed, explicit.unnamed, "{backend:?}");
+        }
+    }
+
+    /// Counter mode runs safely on every backend, and virtual / dense /
+    /// shard:s=1 agree bit for bit under it (same determinism contract
+    /// as the default stream).
+    #[test]
+    fn counter_mode_backends_agree() {
+        let algo = TightRenaming::calibrated(4);
+        let run = |backend| {
+            BatchRun::new(&algo, 96)
+                .seeds(3)
+                .backend(backend)
+                .rng_mode(RngMode::Counter)
+                .workers(1)
+                .stats()
+                .unwrap()
+        };
+        let virt = run(ExecBackend::Virtual);
+        let dense = run(ExecBackend::Dense);
+        let shard = run(ExecBackend::Shard { s: 1 });
+        assert_eq!(virt.violations, 0);
+        assert_eq!(virt.max_unnamed(), 0);
+        for other in [&dense, &shard] {
+            assert_eq!(virt.step_complexity, other.step_complexity);
+            assert_eq!(virt.total_steps, other.total_steps);
+            assert_eq!(virt.unnamed, other.unnamed);
+        }
     }
 
     #[test]

@@ -136,8 +136,8 @@ fn backend_round_trip_still_accepts_the_valid_grammar() {
 fn model_scenario_registry_lists_every_key_on_unknown_names() {
     assert_eq!(
         rr_bench::modelcheck::scenario_by_key("deadlock").unwrap_err(),
-        "unknown model scenario `deadlock` (known: collect, tas, tas-collide, tau, tau-collide, \
-         tau-quota)"
+        "unknown model scenario `deadlock` (known: collect, tas, tas-collide, tau, tau-block, \
+         tau-collide, tau-quota)"
     );
 }
 

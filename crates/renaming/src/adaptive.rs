@@ -30,6 +30,7 @@ use crate::phase::{PhaseOutcome, PhaseProcess};
 use crate::traits::{Instance, RenamingAlgorithm};
 use rr_sched::ids::Pid;
 use rr_sched::process::{Process, StepOutcome};
+use rr_shmem::rng::RngMode;
 use rr_shmem::Access;
 use std::sync::Arc;
 
@@ -137,24 +138,36 @@ enum Stage {
 pub struct AdaptiveProcess {
     pid: usize,
     seed: u64,
+    rng: RngMode,
     shared: Arc<AdaptiveShared>,
     segment: usize,
     stage: Stage,
     inner_primary: Option<L6Process>,
     inner_finisher: Option<AagwProcess>,
+    /// RNG draws spent in segments already left (the live inners hold
+    /// only the current segment's counts).
+    words_spent: u64,
 }
 
 impl AdaptiveProcess {
     /// Process `pid` starting at segment 0.
     pub fn new(pid: usize, seed: u64, shared: Arc<AdaptiveShared>) -> Self {
+        Self::with_rng(pid, seed, RngMode::default(), shared)
+    }
+
+    /// Like [`AdaptiveProcess::new`] with an explicit RNG backend (the
+    /// default mode is bit-identical to it).
+    pub fn with_rng(pid: usize, seed: u64, rng: RngMode, shared: Arc<AdaptiveShared>) -> Self {
         let mut p = Self {
             pid,
             seed,
+            rng,
             shared,
             segment: 0,
             stage: Stage::Primary,
             inner_primary: None,
             inner_finisher: None,
+            words_spent: 0,
         };
         p.enter_segment(0);
         p
@@ -166,23 +179,37 @@ impl AdaptiveProcess {
     }
 
     fn enter_segment(&mut self, j: usize) {
+        self.words_spent += self.inner_primary.as_ref().and_then(|p| p.rng_words()).unwrap_or(0)
+            + self.inner_finisher.as_ref().and_then(|p| p.rng_words()).unwrap_or(0);
         self.segment = j;
         self.stage = Stage::Primary;
         let seg = &self.shared.segments[j];
         // Distinct stream per (process, segment) so ladder retries are
         // independent.
         let seed = self.seed ^ ((j as u64 + 1) << 32);
-        self.inner_primary =
-            Some(L6Process::new(self.pid, seed, Arc::clone(&seg.primary), seg.schedule.clone()));
+        self.inner_primary = Some(L6Process::with_rng(
+            self.pid,
+            seed,
+            self.rng,
+            Arc::clone(&seg.primary),
+            seg.schedule.clone(),
+        ));
         let last = j + 1 == self.shared.segments.len();
         // Only the top segment keeps the deterministic sweep (it is the
         // global termination guarantee); lower segments climb instead.
         self.inner_finisher = Some(if last {
-            AagwProcess::new(self.pid, seed ^ 0x5eed, Arc::clone(&seg.spare), seg.plan.clone())
-        } else {
-            AagwProcess::without_sweep(
+            AagwProcess::with_rng(
                 self.pid,
                 seed ^ 0x5eed,
+                self.rng,
+                Arc::clone(&seg.spare),
+                seg.plan.clone(),
+            )
+        } else {
+            AagwProcess::without_sweep_rng(
+                self.pid,
+                seed ^ 0x5eed,
+                self.rng,
                 Arc::clone(&seg.spare),
                 seg.plan.clone(),
             )
@@ -236,6 +263,12 @@ impl Process for AdaptiveProcess {
     fn pid(&self) -> Pid {
         Pid::new(self.pid)
     }
+
+    fn rng_words(&self) -> Option<u64> {
+        let live = self.inner_primary.as_ref().and_then(|p| p.rng_words()).unwrap_or(0)
+            + self.inner_finisher.as_ref().and_then(|p| p.rng_words()).unwrap_or(0);
+        Some(self.words_spent + live)
+    }
 }
 
 /// Adaptive loose renaming as a [`RenamingAlgorithm`].
@@ -257,13 +290,26 @@ impl AdaptiveRenaming {
         max_n: usize,
         seed: u64,
     ) -> (Arc<AdaptiveShared>, Vec<AdaptiveProcess>) {
+        self.instantiate_participants_rng(k, max_n, seed, RngMode::default())
+    }
+
+    /// [`AdaptiveRenaming::instantiate_participants`] with an explicit
+    /// RNG backend.
+    pub fn instantiate_participants_rng(
+        &self,
+        k: usize,
+        max_n: usize,
+        seed: u64,
+        rng: RngMode,
+    ) -> (Arc<AdaptiveShared>, Vec<AdaptiveProcess>) {
         assert!(k >= 1 && k <= max_n);
         // Segments up to 2^(⌈log₂ max_n⌉ + 1): one guess beyond max_n so
         // the w.h.p. straggler bound of the top segment has headroom.
         let max_guess_log = (usize::BITS - (max_n - 1).leading_zeros()).max(1) + 1;
         let shared = Arc::new(AdaptiveShared::new(AdaptiveLayout::new(max_guess_log)));
-        let procs =
-            (0..k).map(|pid| AdaptiveProcess::new(pid, seed, Arc::clone(&shared))).collect();
+        let procs = (0..k)
+            .map(|pid| AdaptiveProcess::with_rng(pid, seed, rng, Arc::clone(&shared)))
+            .collect();
         (shared, procs)
     }
 }
@@ -279,8 +325,12 @@ impl RenamingAlgorithm for AdaptiveRenaming {
     }
 
     fn instantiate(&self, n: usize, seed: u64) -> Instance {
+        self.instantiate_rng(n, seed, RngMode::default())
+    }
+
+    fn instantiate_rng(&self, n: usize, seed: u64, rng: RngMode) -> Instance {
         let m = self.m(n);
-        let (_shared, procs) = self.instantiate_participants(n, n, seed);
+        let (_shared, procs) = self.instantiate_participants_rng(n, n, seed, rng);
         Instance { processes: crate::traits::boxed(procs), m, n }
     }
 
@@ -297,7 +347,18 @@ impl RenamingAlgorithm for AdaptiveRenaming {
         adversary: &mut dyn rr_sched::adversary::Adversary,
         arena: &mut rr_sched::dense::Arena,
     ) -> Result<rr_sched::virtual_exec::RunOutcome, rr_sched::virtual_exec::ExecError> {
-        let (_shared, mut procs) = self.instantiate_participants(n, n, seed);
+        self.run_dense_rng(n, seed, RngMode::default(), adversary, arena)
+    }
+
+    fn run_dense_rng(
+        &self,
+        n: usize,
+        seed: u64,
+        rng: RngMode,
+        adversary: &mut dyn rr_sched::adversary::Adversary,
+        arena: &mut rr_sched::dense::Arena,
+    ) -> Result<rr_sched::virtual_exec::RunOutcome, rr_sched::virtual_exec::ExecError> {
+        let (_shared, mut procs) = self.instantiate_participants_rng(n, n, seed, rng);
         arena.run(&mut procs, adversary, self.step_budget(n))
     }
 }

@@ -35,6 +35,11 @@ pub trait PhaseProcess: Send {
     fn poll(&mut self) -> PhaseOutcome;
     /// Process id.
     fn pid(&self) -> usize;
+    /// Raw RNG draws so far (see [`Process::rng_words`]); `None` for
+    /// deterministic stages.
+    fn rng_words(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Adapter: run a stage as a standalone almost-tight protocol.
@@ -56,6 +61,10 @@ impl<P: PhaseProcess> Process for AlmostTight<P> {
 
     fn pid(&self) -> Pid {
         Pid::new(self.0.pid())
+    }
+
+    fn rng_words(&self) -> Option<u64> {
+        self.0.rng_words()
     }
 }
 
@@ -118,6 +127,13 @@ impl<A: PhaseProcess, B: PhaseProcess> Process for Chain<A, B> {
 
     fn pid(&self) -> Pid {
         Pid::new(self.first.pid())
+    }
+
+    fn rng_words(&self) -> Option<u64> {
+        match (self.first.rng_words(), self.second.rng_words()) {
+            (None, None) => None,
+            (a, b) => Some(a.unwrap_or(0) + b.unwrap_or(0)),
+        }
     }
 }
 

@@ -16,6 +16,7 @@ use rr_sched::adversary::Adversary;
 use rr_sched::dense::Arena;
 use rr_sched::process::Process;
 use rr_sched::virtual_exec::{ExecError, RunOutcome};
+use rr_shmem::rng::RngMode;
 use std::sync::Arc;
 
 /// Boxes a homogeneous process vector — the compatibility shim between
@@ -52,6 +53,25 @@ pub trait RenamingAlgorithm {
 
     /// Builds one run's processes and memory.
     fn instantiate(&self, n: usize, seed: u64) -> Instance;
+
+    /// [`RenamingAlgorithm::instantiate`] with an explicit per-process
+    /// RNG backend — the flagged modelling switch (`rng:mode=counter`)
+    /// described in `rr_shmem::rng`. The default mode must be
+    /// bit-identical to `instantiate`.
+    ///
+    /// The default implementation refuses any non-default mode *loudly*
+    /// (panic, never a silent fallback): every randomized algorithm in
+    /// this workspace overrides it, and a new algorithm that forgets to
+    /// fails the counter-mode test matrix instead of fabricating
+    /// default-mode numbers under a counter-mode label.
+    ///
+    /// # Panics
+    /// Panics if `rng` is non-default and this algorithm has not opted
+    /// in.
+    fn instantiate_rng(&self, n: usize, seed: u64, rng: RngMode) -> Instance {
+        assert_eq!(rng, RngMode::default(), "{} does not implement rng mode `{rng}`", self.name());
+        self.instantiate(n, seed)
+    }
 
     /// A generous per-run total-step budget for the virtual executor's
     /// livelock guard.
@@ -90,6 +110,26 @@ pub trait RenamingAlgorithm {
         let mut processes = self.instantiate(n, seed).processes;
         arena.run(&mut processes, adversary, self.step_budget(n))
     }
+
+    /// [`RenamingAlgorithm::run_dense`] with an explicit per-process RNG
+    /// backend. Same loud-refusal contract as
+    /// [`RenamingAlgorithm::instantiate_rng`]: the boxed fallback here
+    /// builds through `instantiate_rng`, whose default panics on a
+    /// non-default mode unless the algorithm opted in.
+    ///
+    /// # Errors
+    /// Propagates the executor's [`ExecError`]s.
+    fn run_dense_rng(
+        &self,
+        n: usize,
+        seed: u64,
+        rng: RngMode,
+        adversary: &mut dyn Adversary,
+        arena: &mut Arena,
+    ) -> Result<RunOutcome, ExecError> {
+        let mut processes = self.instantiate_rng(n, seed, rng).processes;
+        arena.run(&mut processes, adversary, self.step_budget(n))
+    }
 }
 
 /// §III tight renaming (Theorem 5). `m = n`.
@@ -106,7 +146,11 @@ impl RenamingAlgorithm for TightRenaming {
     }
 
     fn instantiate(&self, n: usize, seed: u64) -> Instance {
-        let (_shared, procs) = self.instantiate_shared(n, seed);
+        self.instantiate_rng(n, seed, RngMode::default())
+    }
+
+    fn instantiate_rng(&self, n: usize, seed: u64, rng: RngMode) -> Instance {
+        let (_shared, procs) = self.instantiate_shared_rng(n, seed, rng);
         Instance { processes: boxed(procs), m: n, n }
     }
 
@@ -117,7 +161,18 @@ impl RenamingAlgorithm for TightRenaming {
         adversary: &mut dyn Adversary,
         arena: &mut Arena,
     ) -> Result<RunOutcome, ExecError> {
-        let (_shared, mut procs) = self.instantiate_shared(n, seed);
+        self.run_dense_rng(n, seed, RngMode::default(), adversary, arena)
+    }
+
+    fn run_dense_rng(
+        &self,
+        n: usize,
+        seed: u64,
+        rng: RngMode,
+        adversary: &mut dyn Adversary,
+        arena: &mut Arena,
+    ) -> Result<RunOutcome, ExecError> {
+        let (_shared, mut procs) = self.instantiate_shared_rng(n, seed, rng);
         arena.run(&mut procs, adversary, self.step_budget(n))
     }
 }
@@ -130,12 +185,18 @@ pub struct LooseL6 {
 }
 
 impl LooseL6 {
-    fn build(&self, n: usize, seed: u64) -> Vec<AlmostTight<L6Process>> {
+    fn build(&self, n: usize, seed: u64, rng: RngMode) -> Vec<AlmostTight<L6Process>> {
         let shared = Arc::new(LooseShared::new(n));
         let schedule = Lemma6Schedule::new(n, self.ell);
         (0..n)
             .map(|pid| {
-                AlmostTight(L6Process::new(pid, seed, Arc::clone(&shared), schedule.clone()))
+                AlmostTight(L6Process::with_rng(
+                    pid,
+                    seed,
+                    rng,
+                    Arc::clone(&shared),
+                    schedule.clone(),
+                ))
             })
             .collect()
     }
@@ -155,7 +216,11 @@ impl RenamingAlgorithm for LooseL6 {
     }
 
     fn instantiate(&self, n: usize, seed: u64) -> Instance {
-        Instance { processes: boxed(self.build(n, seed)), m: n, n }
+        self.instantiate_rng(n, seed, RngMode::default())
+    }
+
+    fn instantiate_rng(&self, n: usize, seed: u64, rng: RngMode) -> Instance {
+        Instance { processes: boxed(self.build(n, seed, rng)), m: n, n }
     }
 
     fn run_dense(
@@ -165,7 +230,18 @@ impl RenamingAlgorithm for LooseL6 {
         adversary: &mut dyn Adversary,
         arena: &mut Arena,
     ) -> Result<RunOutcome, ExecError> {
-        arena.run(&mut self.build(n, seed), adversary, self.step_budget(n))
+        self.run_dense_rng(n, seed, RngMode::default(), adversary, arena)
+    }
+
+    fn run_dense_rng(
+        &self,
+        n: usize,
+        seed: u64,
+        rng: RngMode,
+        adversary: &mut dyn Adversary,
+        arena: &mut Arena,
+    ) -> Result<RunOutcome, ExecError> {
+        arena.run(&mut self.build(n, seed, rng), adversary, self.step_budget(n))
     }
 }
 
@@ -177,12 +253,18 @@ pub struct LooseL8 {
 }
 
 impl LooseL8 {
-    fn build(&self, n: usize, seed: u64) -> Vec<AlmostTight<L8Process>> {
+    fn build(&self, n: usize, seed: u64, rng: RngMode) -> Vec<AlmostTight<L8Process>> {
         let shared = Arc::new(LooseShared::new(n));
         let schedule = Lemma8Schedule::new(n, self.ell);
         (0..n)
             .map(|pid| {
-                AlmostTight(L8Process::new(pid, seed, Arc::clone(&shared), schedule.clone()))
+                AlmostTight(L8Process::with_rng(
+                    pid,
+                    seed,
+                    rng,
+                    Arc::clone(&shared),
+                    schedule.clone(),
+                ))
             })
             .collect()
     }
@@ -202,7 +284,11 @@ impl RenamingAlgorithm for LooseL8 {
     }
 
     fn instantiate(&self, n: usize, seed: u64) -> Instance {
-        Instance { processes: boxed(self.build(n, seed)), m: n, n }
+        self.instantiate_rng(n, seed, RngMode::default())
+    }
+
+    fn instantiate_rng(&self, n: usize, seed: u64, rng: RngMode) -> Instance {
+        Instance { processes: boxed(self.build(n, seed, rng)), m: n, n }
     }
 
     fn run_dense(
@@ -212,7 +298,18 @@ impl RenamingAlgorithm for LooseL8 {
         adversary: &mut dyn Adversary,
         arena: &mut Arena,
     ) -> Result<RunOutcome, ExecError> {
-        arena.run(&mut self.build(n, seed), adversary, self.step_budget(n))
+        self.run_dense_rng(n, seed, RngMode::default(), adversary, arena)
+    }
+
+    fn run_dense_rng(
+        &self,
+        n: usize,
+        seed: u64,
+        rng: RngMode,
+        adversary: &mut dyn Adversary,
+        arena: &mut Arena,
+    ) -> Result<RunOutcome, ExecError> {
+        arena.run(&mut self.build(n, seed, rng), adversary, self.step_budget(n))
     }
 }
 
@@ -224,7 +321,7 @@ pub struct Cor7 {
 }
 
 impl Cor7 {
-    fn build(&self, n: usize, seed: u64) -> Vec<Chain<L6Process, AagwProcess>> {
+    fn build(&self, n: usize, seed: u64, rng: RngMode) -> Vec<Chain<L6Process, AagwProcess>> {
         let primary = Arc::new(LooseShared::new(n));
         let spare_size = spare::cor7(n, self.ell);
         let spare_mem = Arc::new(SpareShared::new(n, spare_size));
@@ -232,8 +329,14 @@ impl Cor7 {
         let plan = FinisherPlan::new(spare_size);
         (0..n)
             .map(|pid| {
-                let a = L6Process::new(pid, seed, Arc::clone(&primary), schedule.clone());
-                let b = AagwProcess::new(pid, seed ^ 0x5eed, Arc::clone(&spare_mem), plan.clone());
+                let a = L6Process::with_rng(pid, seed, rng, Arc::clone(&primary), schedule.clone());
+                let b = AagwProcess::with_rng(
+                    pid,
+                    seed ^ 0x5eed,
+                    rng,
+                    Arc::clone(&spare_mem),
+                    plan.clone(),
+                );
                 Chain::new(a, b)
             })
             .collect()
@@ -250,7 +353,11 @@ impl RenamingAlgorithm for Cor7 {
     }
 
     fn instantiate(&self, n: usize, seed: u64) -> Instance {
-        Instance { processes: boxed(self.build(n, seed)), m: self.m(n), n }
+        self.instantiate_rng(n, seed, RngMode::default())
+    }
+
+    fn instantiate_rng(&self, n: usize, seed: u64, rng: RngMode) -> Instance {
+        Instance { processes: boxed(self.build(n, seed, rng)), m: self.m(n), n }
     }
 
     fn run_dense(
@@ -260,7 +367,18 @@ impl RenamingAlgorithm for Cor7 {
         adversary: &mut dyn Adversary,
         arena: &mut Arena,
     ) -> Result<RunOutcome, ExecError> {
-        arena.run(&mut self.build(n, seed), adversary, self.step_budget(n))
+        self.run_dense_rng(n, seed, RngMode::default(), adversary, arena)
+    }
+
+    fn run_dense_rng(
+        &self,
+        n: usize,
+        seed: u64,
+        rng: RngMode,
+        adversary: &mut dyn Adversary,
+        arena: &mut Arena,
+    ) -> Result<RunOutcome, ExecError> {
+        arena.run(&mut self.build(n, seed, rng), adversary, self.step_budget(n))
     }
 }
 
@@ -272,7 +390,7 @@ pub struct Cor9 {
 }
 
 impl Cor9 {
-    fn build(&self, n: usize, seed: u64) -> Vec<Chain<L8Process, AagwProcess>> {
+    fn build(&self, n: usize, seed: u64, rng: RngMode) -> Vec<Chain<L8Process, AagwProcess>> {
         let primary = Arc::new(LooseShared::new(n));
         let spare_size = spare::cor9(n, self.ell);
         let spare_mem = Arc::new(SpareShared::new(n, spare_size));
@@ -280,8 +398,14 @@ impl Cor9 {
         let plan = FinisherPlan::new(spare_size);
         (0..n)
             .map(|pid| {
-                let a = L8Process::new(pid, seed, Arc::clone(&primary), schedule.clone());
-                let b = AagwProcess::new(pid, seed ^ 0x5eed, Arc::clone(&spare_mem), plan.clone());
+                let a = L8Process::with_rng(pid, seed, rng, Arc::clone(&primary), schedule.clone());
+                let b = AagwProcess::with_rng(
+                    pid,
+                    seed ^ 0x5eed,
+                    rng,
+                    Arc::clone(&spare_mem),
+                    plan.clone(),
+                );
                 Chain::new(a, b)
             })
             .collect()
@@ -298,7 +422,11 @@ impl RenamingAlgorithm for Cor9 {
     }
 
     fn instantiate(&self, n: usize, seed: u64) -> Instance {
-        Instance { processes: boxed(self.build(n, seed)), m: self.m(n), n }
+        self.instantiate_rng(n, seed, RngMode::default())
+    }
+
+    fn instantiate_rng(&self, n: usize, seed: u64, rng: RngMode) -> Instance {
+        Instance { processes: boxed(self.build(n, seed, rng)), m: self.m(n), n }
     }
 
     fn run_dense(
@@ -308,7 +436,18 @@ impl RenamingAlgorithm for Cor9 {
         adversary: &mut dyn Adversary,
         arena: &mut Arena,
     ) -> Result<RunOutcome, ExecError> {
-        arena.run(&mut self.build(n, seed), adversary, self.step_budget(n))
+        self.run_dense_rng(n, seed, RngMode::default(), adversary, arena)
+    }
+
+    fn run_dense_rng(
+        &self,
+        n: usize,
+        seed: u64,
+        rng: RngMode,
+        adversary: &mut dyn Adversary,
+        arena: &mut Arena,
+    ) -> Result<RunOutcome, ExecError> {
+        arena.run(&mut self.build(n, seed, rng), adversary, self.step_budget(n))
     }
 }
 
@@ -318,11 +457,19 @@ impl RenamingAlgorithm for Cor9 {
 pub struct AagwLoose;
 
 impl AagwLoose {
-    fn build(&self, n: usize, seed: u64) -> Vec<AlmostTight<AagwProcess>> {
+    fn build(&self, n: usize, seed: u64, rng: RngMode) -> Vec<AlmostTight<AagwProcess>> {
         let shared = Arc::new(SpareShared::new(0, 2 * n));
         let plan = FinisherPlan::new(2 * n);
         (0..n)
-            .map(|pid| AlmostTight(AagwProcess::new(pid, seed, Arc::clone(&shared), plan.clone())))
+            .map(|pid| {
+                AlmostTight(AagwProcess::with_rng(
+                    pid,
+                    seed,
+                    rng,
+                    Arc::clone(&shared),
+                    plan.clone(),
+                ))
+            })
             .collect()
     }
 }
@@ -337,7 +484,11 @@ impl RenamingAlgorithm for AagwLoose {
     }
 
     fn instantiate(&self, n: usize, seed: u64) -> Instance {
-        Instance { processes: boxed(self.build(n, seed)), m: 2 * n, n }
+        self.instantiate_rng(n, seed, RngMode::default())
+    }
+
+    fn instantiate_rng(&self, n: usize, seed: u64, rng: RngMode) -> Instance {
+        Instance { processes: boxed(self.build(n, seed, rng)), m: 2 * n, n }
     }
 
     fn run_dense(
@@ -347,7 +498,18 @@ impl RenamingAlgorithm for AagwLoose {
         adversary: &mut dyn Adversary,
         arena: &mut Arena,
     ) -> Result<RunOutcome, ExecError> {
-        arena.run(&mut self.build(n, seed), adversary, self.step_budget(n))
+        self.run_dense_rng(n, seed, RngMode::default(), adversary, arena)
+    }
+
+    fn run_dense_rng(
+        &self,
+        n: usize,
+        seed: u64,
+        rng: RngMode,
+        adversary: &mut dyn Adversary,
+        arena: &mut Arena,
+    ) -> Result<RunOutcome, ExecError> {
+        arena.run(&mut self.build(n, seed, rng), adversary, self.step_budget(n))
     }
 }
 

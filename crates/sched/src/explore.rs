@@ -654,11 +654,17 @@ impl FuzzExplorer {
     /// corpus-picked base tape (derived entirely from `round_seed`, so
     /// a given corpus state and round seed always produce the same
     /// schedule).
+    ///
+    /// The pick is one SplitMix64 finalizer application — keying up an
+    /// entire ChaCha cipher to draw a single index was the fuzz loop's
+    /// dominant fixed cost. The pick only needs to be a deterministic,
+    /// well-spread function of `round_seed`; the modulo's bias
+    /// (corpus ≤ capacity ≪ 2⁶⁴) is irrelevant to a coverage heuristic.
     pub fn next_adversary(&self, round_seed: u64) -> MutatingReplay {
         let base = if self.corpus.is_empty() {
             Tape::default()
         } else {
-            let pick = ChaCha8Rng::seed_from_u64(round_seed).random_range(0..self.corpus.len());
+            let pick = (rr_shmem::rng::mix64(round_seed) % self.corpus.len() as u64) as usize;
             self.corpus[pick].clone()
         };
         MutatingReplay::new(base, self.strength_permille, round_seed)

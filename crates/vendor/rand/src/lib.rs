@@ -21,7 +21,7 @@ pub mod rngs;
 
 mod uniform;
 
-pub use uniform::SampleRange;
+pub use uniform::{sample_exact, SampleRange};
 
 /// Minimal core RNG interface (subset of `rand_core::RngCore`).
 pub trait RngCore {

@@ -45,6 +45,17 @@ impl ChaCha8Rng {
         self.stream
     }
 
+    /// Total 32-bit words produced on the current stream — the
+    /// draw-schedule fingerprint the draws-per-step goldens pin. Derived
+    /// from the cipher position, so it costs nothing on the hot path.
+    pub fn words_consumed(&self) -> u64 {
+        if self.at == 16 {
+            self.counter.wrapping_mul(16)
+        } else {
+            (self.counter - 1).wrapping_mul(16).wrapping_add(self.at as u64)
+        }
+    }
+
     fn refill(&mut self) {
         let mut state = [0u32; 16];
         state[..4].copy_from_slice(&CHACHA_CONSTANTS);

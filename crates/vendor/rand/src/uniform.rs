@@ -42,6 +42,35 @@ macro_rules! impl_sample_uniform {
 
 impl_sample_uniform!(u8, u16, u32, u64, usize);
 
+/// Uniform draw from `[0, span)` with the **exact** rejection threshold.
+///
+/// `sample_inclusive` derives its acceptance zone from `u64::MAX`, which
+/// over-rejects by one value class: spans that divide 2^64 (every power
+/// of two) can still redraw, a pure-waste extra draw on hot paths. This
+/// variant rejects exactly the `2^64 mod span` biased top values, so a
+/// power-of-two span reduces to a single masked draw and never redraws.
+/// It is the draw path of the counter-mode `ProcessRng`; the default
+/// ChaCha mode keeps `sample_inclusive`'s schedule bit-for-bit.
+///
+/// # Panics
+/// Panics if `span == 0`.
+pub fn sample_exact<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    assert!(span > 0, "cannot sample from empty range");
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    // 2^64 mod span, in u64 arithmetic: span.wrapping_neg() = 2^64 - span
+    // and (2^64 - span) ≡ 2^64 (mod span). Accepting v ≤ u64::MAX - zone
+    // keeps exactly 2^64 - zone values, a multiple of span.
+    let zone = span.wrapping_neg() % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= u64::MAX - zone {
+            return v % span;
+        }
+    }
+}
+
 macro_rules! impl_sample_uniform_signed {
     ($($t:ty => $u:ty),*) => {$(
         impl SampleUniform for $t {
@@ -79,5 +108,86 @@ impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
         let (low, high) = self.into_inner();
         assert!(low <= high, "cannot sample from empty range");
         T::sample_inclusive(rng, low, high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Replays a scripted word sequence and counts draws.
+    struct Scripted {
+        words: Vec<u64>,
+        at: usize,
+    }
+
+    impl Scripted {
+        fn new(words: Vec<u64>) -> Self {
+            Self { words, at: 0 }
+        }
+    }
+
+    impl RngCore for Scripted {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let w = self.words[self.at % self.words.len()];
+            self.at += 1;
+            w
+        }
+    }
+
+    #[test]
+    fn power_of_two_spans_never_redraw() {
+        // Even the all-ones word — which the u64::MAX-derived zone of
+        // `sample_inclusive` rejects — is accepted in one draw.
+        for shift in [0u32, 1, 5, 20, 63] {
+            let span = 1u64 << shift;
+            let mut rng = Scripted::new(vec![u64::MAX]);
+            assert_eq!(sample_exact(&mut rng, span), span - 1);
+            assert_eq!(rng.at, 1, "span 2^{shift} must cost exactly one draw");
+        }
+    }
+
+    #[test]
+    fn inclusive_zone_rejects_top_words_on_power_of_two_spans() {
+        // The defect the exact threshold fixes: the legacy zone redraws
+        // on the top `span` words even though 2^64 is a multiple of span.
+        let mut rng = Scripted::new(vec![u64::MAX, 7]);
+        assert_eq!(u64::sample_inclusive(&mut rng, 0, 15), 7);
+        assert_eq!(rng.at, 2, "legacy path redraws on the all-ones word");
+    }
+
+    #[test]
+    fn exact_threshold_rejects_only_the_biased_tail() {
+        // span 3: 2^64 mod 3 = 1, so exactly the all-ones word redraws.
+        let mut rng = Scripted::new(vec![u64::MAX, 5]);
+        assert_eq!(sample_exact(&mut rng, 3), 5 % 3);
+        assert_eq!(rng.at, 2);
+        let mut rng = Scripted::new(vec![u64::MAX - 1]);
+        assert_eq!(sample_exact(&mut rng, 3), (u64::MAX - 1) % 3);
+        assert_eq!(rng.at, 1);
+    }
+
+    #[test]
+    fn exact_sampling_stays_in_bounds_and_roughly_uniform() {
+        let mut rng = Scripted::new((0..997u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect());
+        let mut counts = [0u32; 5];
+        for _ in 0..5000 {
+            let v = sample_exact(&mut rng, 5);
+            assert!(v < 5);
+            counts[v as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 500, "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn exact_zero_span_panics() {
+        sample_exact(&mut Scripted::new(vec![0]), 0);
     }
 }
