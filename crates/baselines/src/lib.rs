@@ -10,6 +10,9 @@
 //!   registers only (no TAS): quadratic name space, Θ(n) steps — the
 //!   regime the paper's TAS protocols escape.
 //! * [`counter`] — ideal fetch-and-increment (the hardware upper bound).
+//! * [`route`] — topology-routed renaming through multistage switching
+//!   networks (Beneš / butterfly / the PAPERS.md Beneš variant), the
+//!   depth-vs-steps axis of the comparison matrix.
 //!
 //! Everything implements [`rr_renaming::RenamingAlgorithm`], so the E8
 //! comparison harness treats the paper's protocols and these baselines
@@ -24,7 +27,7 @@
 //! rr_baselines::register_baselines(&mut reg);
 //! let bitonic = reg.build("bitonic").unwrap();
 //! assert_eq!(bitonic.name(), "bitonic-network");
-//! assert!(reg.keys().len() >= 13, "paper protocols + every baseline");
+//! assert!(reg.keys().len() >= 14, "paper protocols + every baseline");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -34,6 +37,7 @@ pub mod counter;
 pub mod linear;
 pub mod network;
 pub mod registry;
+pub mod route;
 pub mod splitter_grid;
 pub mod uniform;
 
@@ -41,5 +45,6 @@ pub use counter::FetchAddRenaming;
 pub use linear::{LinearScan, ScanStart};
 pub use network::{BitonicRenaming, ComparatorNetwork, NetworkProcess, NetworkShared};
 pub use registry::register_baselines;
+pub use route::{route_network, RouteRenaming, RouteTopology, ROUTE_TAS_ARRAY};
 pub use splitter_grid::{GridProcess, GridShared, Splitter, SplitterGrid};
 pub use uniform::{UniformProbing, UniformProcess};

@@ -148,13 +148,22 @@ pub struct NetworkProcess {
     shared: Arc<NetworkShared>,
     layer: usize,
     wire: usize,
+    array: u32,
 }
 
 impl NetworkProcess {
-    /// Process entering on wire `pid`.
+    /// Process entering on wire `pid`, announcing on TAS array id 3
+    /// (the comparator-network address space).
     pub fn new(pid: usize, shared: Arc<NetworkShared>) -> Self {
+        Self::with_array(pid, shared, 3)
+    }
+
+    /// Process entering on wire `pid`, announcing on TAS `array` — lets
+    /// network families (bitonic vs [`crate::route`]) stay
+    /// distinguishable to adversaries that group by announced target.
+    pub fn with_array(pid: usize, shared: Arc<NetworkShared>, array: u32) -> Self {
         assert!(pid < shared.network.width(), "initial wire out of range");
-        Self { pid, shared, layer: 0, wire: pid }
+        Self { pid, shared, layer: 0, wire: pid, array }
     }
 
     /// Skips layers with no comparator on the current wire (free — pure
@@ -173,7 +182,7 @@ impl NetworkProcess {
 impl Process for NetworkProcess {
     fn announce(&mut self) -> Access {
         match self.advance_to_comparator() {
-            Some((cid, _)) => Access::Tas { array: 3, index: cid },
+            Some((cid, _)) => Access::Tas { array: self.array, index: cid },
             None => Access::Local,
         }
     }

@@ -7,7 +7,8 @@
 //! the other way around). Drivers compose both with two calls.
 
 use crate::{
-    BitonicRenaming, FetchAddRenaming, LinearScan, ScanStart, SplitterGrid, UniformProbing,
+    BitonicRenaming, FetchAddRenaming, LinearScan, RouteRenaming, ScanStart, SplitterGrid,
+    UniformProbing,
 };
 use rr_renaming::AlgorithmRegistry;
 
@@ -20,6 +21,7 @@ use rr_renaming::AlgorithmRegistry;
 /// | `uniform` | `eps` (default 1.0) | uniform probing into `(1+ε)n` |
 /// | `linear-scan` | `start` = `zero`\|`pid` (default `zero`) | deterministic Θ(n) scan |
 /// | `splitter-grid` | — | Moir–Anderson grid (size-capped: Θ(n²) registers) |
+/// | `route` | `net` = `benes`\|`butterfly`\|`variant` (default `benes`), `stages` ≥ 1 (default closed form) | topology-routed switching network |
 pub fn register_baselines(reg: &mut AlgorithmRegistry) {
     reg.register("bitonic", "comparator-network renaming [7]", "bitonic", |k| {
         k.check_known(&[])?;
@@ -46,6 +48,12 @@ pub fn register_baselines(reg: &mut AlgorithmRegistry) {
         };
         Ok(Box::new(LinearScan { start }))
     });
+    reg.register(
+        "route",
+        "switching-network renaming: route:net=benes | route:net=butterfly | route:net=variant",
+        "route:net=benes",
+        |k| Ok(Box::new(RouteRenaming::from_key(k)?)),
+    );
     reg.register_capped(
         "splitter-grid",
         "Moir–Anderson read/write grid (quadratic space)",
@@ -79,6 +87,9 @@ mod tests {
             ("linear-scan", "linear-scan(0)"),
             ("linear-scan:start=pid", "linear-scan(pid)"),
             ("splitter-grid", "splitter-grid"),
+            ("route", "route(benes)"),
+            ("route:net=butterfly", "route(butterfly)"),
+            ("route:net=variant,stages=9", "route(variant,stages=9)"),
         ] {
             let built = reg.build(key).unwrap_or_else(|e| panic!("{key}: {e}"));
             assert!(
@@ -104,13 +115,24 @@ mod tests {
         assert!(reg.build("uniform:eps=-1").is_err());
         assert!(reg.build("linear-scan:start=middle").is_err());
         assert!(reg.build("bitonic:w=2").is_err());
+        assert_eq!(
+            reg.build("route:net=omega").err().unwrap(),
+            "route net must be benes|butterfly|variant, got `omega`"
+        );
+        assert_eq!(reg.build("route:stages=0").err().unwrap(), "route stages must be >= 1, got 0");
+        assert_eq!(
+            reg.build("route:stages=x").err().unwrap(),
+            "parameter `stages=x` of `route` is invalid"
+        );
+        assert!(reg.build("route:depth=3").is_err());
     }
 
     #[test]
     fn paper_and_baseline_sets_compose() {
         let reg = full();
-        assert!(reg.keys().len() >= 13);
+        assert!(reg.keys().len() >= 14);
         assert!(reg.keys().contains(&"tight-tau"));
         assert!(reg.keys().contains(&"splitter-grid"));
+        assert!(reg.keys().contains(&"route"));
     }
 }

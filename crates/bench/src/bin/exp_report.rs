@@ -19,7 +19,8 @@
 //!   without 20 minutes regenerate the committed report.
 //!
 //! In both modes `--from f1,f2,…` merges additional record files (the
-//! committed `BENCH_scenarios.json` / `BENCH_explore.json` feed the
+//! committed `BENCH_scenarios.json` / `BENCH_explore.json` /
+//! `BENCH_route.json` feed the
 //! matrix-safety and schedule-space cross-checks).
 //!
 //! Exit status: 1 if any claim or cross-check FAILs (the CI gate),
@@ -41,7 +42,8 @@ usage: exp_report [--quick] [--json PATH] [--out PATH] [--backend KEY]
   --out PATH     where to write the report (default REPRODUCTION.md)
   --backend KEY  execution core for the re-run (virtual | dense | threads:t=N)
   --from LIST    comma-separated record files to merge (e.g. the committed
-                 BENCH_scenarios.json,BENCH_explore.json for the cross-checks)
+                 BENCH_scenarios.json,BENCH_explore.json,BENCH_route.json for
+                 the cross-checks)
   --ingest       do not run anything — report purely from --from files
                  (--json/--backend would have no effect and are rejected)
 

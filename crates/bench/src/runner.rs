@@ -171,11 +171,24 @@ impl Schedule {
                      of the typed Schedule"
                 ))
             }
+            // The load-shape zoo is stateless but registry-only: the
+            // typed enum mirrors the historical schedules and is closed.
+            zoo @ ("lookahead" | "bursty" | "diurnal" | "victim") => {
+                return Err(format!(
+                    "`{zoo}` has no typed Schedule mirror; use the keyed batch API \
+                     (BatchRun::adversary / --adversaries) instead"
+                ))
+            }
             other => {
                 let typed: Vec<&str> = standard()
                     .keys()
                     .into_iter()
-                    .filter(|k| !matches!(*k, "explore" | "fuzz"))
+                    .filter(|k| {
+                        !matches!(
+                            *k,
+                            "explore" | "fuzz" | "lookahead" | "bursty" | "diurnal" | "victim"
+                        )
+                    })
                     .collect();
                 return Err(format!("unknown schedule `{other}` (known: {})", typed.join(", ")));
             }
@@ -999,6 +1012,12 @@ mod tests {
         for key in ["explore", "explore:depth=4", "fuzz:rounds=8"] {
             let msg = Schedule::parse(key).unwrap_err();
             assert!(msg.contains("registry-only"), "{key}: {msg}");
+            assert!(msg.contains("BatchRun::adversary"), "{key}: {msg}");
+        }
+        // So does the load-shape zoo — registry-only, never suggested.
+        for key in ["lookahead", "bursty:len=4,gap=2", "diurnal", "victim:pid=3"] {
+            let msg = Schedule::parse(key).unwrap_err();
+            assert!(msg.contains("no typed Schedule mirror"), "{key}: {msg}");
             assert!(msg.contains("BatchRun::adversary"), "{key}: {msg}");
         }
         // parse runs the registry's full validation: anything it accepts,

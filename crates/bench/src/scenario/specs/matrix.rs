@@ -114,7 +114,17 @@ mod tests {
         assert!(full.adversaries.iter().all(|k| k != "explore" && k != "fuzz"), "{full:?}");
         assert_eq!(
             full.adversaries,
-            vec!["collisions", "crash", "fair", "random", "stall"],
+            vec![
+                "bursty",
+                "collisions",
+                "crash",
+                "diurnal",
+                "fair",
+                "lookahead",
+                "random",
+                "stall",
+                "victim",
+            ],
             "every stateless registry adversary, in key order"
         );
         let quick = MatrixOptions::defaults(&RunConfig { quick: true, ..RunConfig::default() });

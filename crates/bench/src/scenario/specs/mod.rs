@@ -21,6 +21,7 @@
 //! | [`matrix`] | `exp_matrix` | algorithm × adversary × n cross-product |
 //! | [`backends`] | `exp_backends` | execution-backend shoot-out (virtual vs dense, timed) |
 //! | [`explore`] | `exp_explore` | schedule-space search: exhaustive DFS + fuzz, tape shrinking |
+//! | [`route`] | `exp_route` | topology-routed renaming: steps vs switching-network depth |
 //!
 //! Each constructor takes the [`RunConfig`]
 //! and returns the spec with `--quick`-appropriate sweeps baked in; the
@@ -33,6 +34,7 @@ mod compare;
 mod explore;
 mod matrix;
 mod micro;
+mod route;
 
 pub use backends::{backends, BackendsOptions};
 pub use claims::{cor7, cor9, lemma6, lemma8, theorem5};
@@ -40,6 +42,7 @@ pub use compare::{adversary, baselines, deterministic_gap, progress};
 pub use explore::{explore, ExploreOptions};
 pub use matrix::{matrix, MatrixOptions};
 pub use micro::{ablation, adaptive, lemma3, lemma4, longlived, tau};
+pub use route::{route, RouteOptions};
 
 use super::ScenarioSpec;
 use crate::runner::RunConfig;
@@ -47,8 +50,8 @@ use crate::runner::RunConfig;
 /// Every fixed-shape experiment spec (E1–E15), built for `cfg` — the
 /// catalogue `exp_report` filters by [`ScenarioSpec::reproduces`] to
 /// find the claim-bearing tiers it must re-run. The option-driven
-/// scenarios (`matrix`, `backends`, `explore`) are not listed: they
-/// take extra CLI state and reproduce no numbered claim.
+/// scenarios (`matrix`, `backends`, `explore`, `route`) are not listed:
+/// they take extra CLI state and reproduce no numbered claim.
 pub fn catalogue(cfg: &RunConfig) -> Vec<ScenarioSpec> {
     vec![
         theorem5(cfg),

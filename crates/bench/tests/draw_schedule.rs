@@ -53,6 +53,9 @@ fn per_algorithm_draw_schedule_is_pinned() {
         ("linear-scan", 32896, 0, 32896, 0),
         ("loose-l6", 524, 1048, 536, 536),
         ("loose-l8", 1612, 3224, 1623, 1623),
+        // Beneš depth at width 256 is 2·8 − 1 = 15; full occupancy puts
+        // every process through one switch per stage: 256·15 = 3840.
+        ("route", 3840, 0, 3840, 0),
         ("splitter-grid", 131584, 0, 131584, 0),
         ("tight-tau", 4360, 6272, 4360, 3136),
         ("tight-tau-paper", 62728, 512, 62728, 256),
@@ -82,7 +85,7 @@ fn per_algorithm_draw_schedule_is_pinned() {
 /// visible in the words column.
 #[test]
 fn deterministic_algorithms_report_no_draws() {
-    for key in ["bitonic", "fetch-add", "linear-scan", "splitter-grid"] {
+    for key in ["bitonic", "fetch-add", "linear-scan", "route", "splitter-grid"] {
         let algo = registry().build(key).unwrap();
         let inst = algo.instantiate(64, 0);
         for p in &inst.processes {

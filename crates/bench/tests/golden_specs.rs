@@ -73,6 +73,27 @@ fn exp_backends_quick_json_shape_is_golden() {
     assert_eq!(masked, golden, "exp_backends --quick JSON shape drifted");
 }
 
+/// `exp_route --quick --json` JSON shape: every coverage record's
+/// steps/depth pair is seed-deterministic (the family is geometric), so
+/// the whole snapshot is pinned with only wall-clock values masked.
+#[test]
+fn exp_route_quick_json_shape_is_golden() {
+    let path = std::env::temp_dir().join(format!("rr_route_golden_{}.json", std::process::id()));
+    let cfg = quick();
+    {
+        let mut sinks: Vec<Box<dyn Sink + '_>> = vec![Box::new(JsonSink::new(path.clone()))];
+        run_spec(specs::route(&cfg, &specs::RouteOptions::defaults(&cfg)), &cfg, &mut sinks);
+        for sink in &mut sinks {
+            sink.finish().unwrap();
+        }
+    }
+    let body = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let masked = mask_volatile(&body, &["wall_ms", "steps_per_sec"]);
+    let golden = include_str!("golden/exp_route.quick.json.txt");
+    assert_eq!(masked, golden, "exp_route --quick JSON shape drifted");
+}
+
 #[test]
 fn mask_volatile_rewrites_only_the_named_fields() {
     let masked =

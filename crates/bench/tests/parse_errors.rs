@@ -86,8 +86,70 @@ fn parsed_key_rejects_empty_and_nameless_keys() {
 fn adversary_registry_lists_every_strategy_on_unknown_names() {
     assert_eq!(
         standard().prepare("livelock").err().unwrap(),
-        "unknown adversary `livelock` (registered: collisions, crash, explore, fair, fuzz, \
-         random, stall)"
+        "unknown adversary `livelock` (registered: bursty, collisions, crash, diurnal, explore, \
+         fair, fuzz, lookahead, random, stall, victim)"
+    );
+}
+
+#[test]
+fn adversary_registry_validates_zoo_parameters() {
+    assert_eq!(standard().prepare("lookahead:k=0").err().unwrap(), "lookahead needs k >= 1, got 0");
+    assert_eq!(
+        standard().prepare("lookahead:window=4").err().unwrap(),
+        "unknown parameter `window` for `lookahead` (allowed: k)"
+    );
+    assert_eq!(standard().prepare("bursty:len=0").err().unwrap(), "bursty needs len >= 1, got 0");
+    assert_eq!(
+        standard().prepare("bursty:len").err().unwrap(),
+        "malformed parameter `len` in `bursty:len` (want k=v)"
+    );
+    assert_eq!(
+        standard().prepare("bursty:burst=4").err().unwrap(),
+        "unknown parameter `burst` for `bursty` (allowed: len, gap)"
+    );
+    assert_eq!(
+        standard().prepare("diurnal:period=1").err().unwrap(),
+        "diurnal needs period >= 2, got 1"
+    );
+    assert_eq!(
+        standard().prepare("diurnal:period=noon").err().unwrap(),
+        "parameter `period=noon` of `diurnal` is invalid"
+    );
+    assert_eq!(
+        standard().prepare("victim:pid=-1").err().unwrap(),
+        "parameter `pid=-1` of `victim` is invalid"
+    );
+    assert_eq!(
+        standard().prepare("victim:pid=3,").err().unwrap(),
+        "malformed parameter `` in `victim:pid=3,` (want k=v)"
+    );
+}
+
+#[test]
+fn route_keys_pin_their_parse_errors() {
+    assert_eq!(
+        registry().build("route:net=unknown").err().unwrap(),
+        "route net must be benes|butterfly|variant, got `unknown`"
+    );
+    assert_eq!(
+        registry().build("route:stages=0").err().unwrap(),
+        "route stages must be >= 1, got 0"
+    );
+    assert_eq!(
+        registry().build("route:stages=deep").err().unwrap(),
+        "parameter `stages=deep` of `route` is invalid"
+    );
+    assert_eq!(
+        registry().build("route:topology=benes").err().unwrap(),
+        "unknown parameter `topology` for `route` (allowed: net, stages)"
+    );
+    assert_eq!(
+        registry().build("route:net=benes,").err().unwrap(),
+        "malformed parameter `` in `route:net=benes,` (want k=v)"
+    );
+    assert_eq!(
+        registry().build("route:net").err().unwrap(),
+        "malformed parameter `net` in `route:net` (want k=v)"
     );
 }
 
@@ -118,7 +180,7 @@ fn algorithm_registry_lists_every_algorithm_on_unknown_names() {
     assert_eq!(
         registry().build("warp-speed").err().unwrap(),
         "unknown algorithm `warp-speed` (registered: aagw, adaptive, bitonic, cor7, cor9, \
-         fetch-add, linear-scan, loose-l6, loose-l8, splitter-grid, tight-tau, \
+         fetch-add, linear-scan, loose-l6, loose-l8, route, splitter-grid, tight-tau, \
          tight-tau-paper, uniform)"
     );
 }
@@ -172,6 +234,7 @@ fn new_cli_binaries_exit_2_on_unknown_flags() {
     for (exe, name) in [
         (env!("CARGO_BIN_EXE_exp_model"), "exp_model"),
         (env!("CARGO_BIN_EXE_exp_lint"), "exp_lint"),
+        (env!("CARGO_BIN_EXE_exp_route"), "exp_route"),
     ] {
         let out =
             std::process::Command::new(exe).arg("--frobnicate").output().expect("binary runs");

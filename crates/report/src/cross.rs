@@ -1,7 +1,8 @@
 //! Cross-cutting checks that are not numbered paper claims but belong
 //! in the reproduction report: the registry-wide safety matrix
-//! (`BENCH_scenarios.json`) and the schedule-space search
-//! (`BENCH_explore.json`). They turn "we also ran everything else" into
+//! (`BENCH_scenarios.json`), the schedule-space search
+//! (`BENCH_explore.json`) and the route-family depth-vs-steps identity
+//! (`BENCH_route.json`). They turn "we also ran everything else" into
 //! audited statements with verdicts.
 
 use crate::records::Rec;
@@ -21,9 +22,9 @@ pub struct CrossOutcome {
     pub checks: Vec<Check>,
 }
 
-/// Evaluates both cross-checks against `recs`.
+/// Evaluates every cross-check against `recs`.
 pub fn evaluate_cross(recs: &[Rec]) -> Vec<CrossOutcome> {
-    vec![matrix_safety(recs), schedule_space(recs)]
+    vec![matrix_safety(recs), schedule_space(recs), route_depth(recs)]
 }
 
 fn matrix_safety(recs: &[Rec]) -> CrossOutcome {
@@ -119,6 +120,82 @@ fn schedule_space(recs: &[Rec]) -> CrossOutcome {
     }
 }
 
+/// The `route:` family's geometric identity: every stage of a
+/// switching network pairs all wires, so total steps must equal
+/// `n × depth` in every crash-free cell, and the closed-form depths
+/// must order butterfly (`q`) < Beneš (`2q − 1`) < variant (`2q`) at
+/// each width. Re-derived here from the `exp_route` records — a change
+/// to the network builder that silently added or dropped a switch
+/// layer would move `steps` away from `depth × n` and fail this.
+fn route_depth(recs: &[Rec]) -> CrossOutcome {
+    let rows: Vec<&Rec> =
+        recs.iter().filter(|r| r.scenario() == "ROUTE" && r.str("kind").is_none()).collect();
+    let mut checks = Vec::new();
+    if rows.is_empty() {
+        checks.push(Check::inconclusive(
+            "records present",
+            "no ROUTE records in the input set — include BENCH_route.json",
+        ));
+    } else {
+        let exact = rows
+            .iter()
+            .filter(|r| match (r.u64("steps"), r.u64("depth"), r.u64("n")) {
+                (Some(steps), Some(depth), Some(n)) => steps == depth * n,
+                _ => false,
+            })
+            .count();
+        checks.push(Check::new(
+            "steps equal n × network depth",
+            format!("{exact}/{} cells satisfy the identity exactly", rows.len()),
+            exact == rows.len(),
+        ));
+        let unnamed: u64 = rows.iter().filter_map(|r| r.u64("unnamed")).sum();
+        checks.push(Check::new(
+            "total under every crash-free schedule",
+            format!("{unnamed} processes gave up over all cells"),
+            unnamed == 0,
+        ));
+        // Closed-form depth ordering per width, from rows without a
+        // `stages` override (the override replaces the closed form).
+        let mut by_width: std::collections::BTreeMap<u64, std::collections::BTreeMap<&str, u64>> =
+            std::collections::BTreeMap::new();
+        for r in rows.iter().filter(|r| r.get("stages").is_none()) {
+            if let (Some(w), Some(net), Some(d)) = (r.u64("width"), r.str("net"), r.u64("depth")) {
+                by_width.entry(w).or_default().insert(net, d);
+            }
+        }
+        let complete: Vec<(u64, u64, u64, u64)> = by_width
+            .iter()
+            .filter_map(|(&w, nets)| {
+                Some((w, *nets.get("butterfly")?, *nets.get("benes")?, *nets.get("variant")?))
+            })
+            .collect();
+        if complete.is_empty() {
+            checks.push(Check::inconclusive(
+                "closed-form depth ordering",
+                "no width covers all three topologies",
+            ));
+        } else {
+            let ordered = complete.iter().all(|&(_, fly, benes, var)| fly < benes && benes < var);
+            let widths: Vec<u64> = complete.iter().map(|&(w, ..)| w).collect();
+            checks.push(Check::new(
+                "closed-form depth ordering",
+                format!("butterfly < Beneš < variant at widths {widths:?}"),
+                ordered,
+            ));
+        }
+    }
+    CrossOutcome {
+        heading: "Cross-check — route depth vs steps",
+        statement: "The topology-routed family is geometric: the `exp_route` snapshot must \
+                    show total steps exactly n × network depth in every crash-free cell, \
+                    with the closed-form depths ordered butterfly < Beneš < variant at \
+                    each width.",
+        verdict: overall(&checks),
+        checks,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,11 +204,52 @@ mod tests {
     #[test]
     fn missing_sections_are_inconclusive() {
         let cross = evaluate_cross(&[]);
-        assert_eq!(cross.len(), 2);
+        assert_eq!(cross.len(), 3);
         assert_eq!(cross[0].verdict, Verdict::Inconclusive);
         // No explore records at all still proves "no counterexamples",
         // but the missing records keep the section inconclusive.
         assert_eq!(cross[1].verdict, Verdict::Inconclusive);
+        assert_eq!(cross[2].verdict, Verdict::Inconclusive);
+    }
+
+    #[test]
+    fn route_identity_and_ordering_pass_on_clean_records() {
+        let recs = parse_records(
+            r#"[
+{"scenario":"ROUTE","section":"depth","algorithm":"route:net=butterfly","net":"butterfly","adversary":"fair","n":48,"width":64,"depth":6,"steps":288,"unnamed":0},
+{"scenario":"ROUTE","section":"depth","algorithm":"route:net=benes","net":"benes","adversary":"fair","n":48,"width":64,"depth":11,"steps":528,"unnamed":0},
+{"scenario":"ROUTE","section":"depth","algorithm":"route:net=variant","net":"variant","adversary":"fair","n":48,"width":64,"depth":12,"steps":576,"unnamed":0},
+{"scenario":"ROUTE","section":"depth","algorithm":"route:net=benes,stages=4","net":"benes","adversary":"fair","n":48,"width":64,"depth":4,"steps":192,"unnamed":0,"stages":4},
+{"scenario":"ROUTE","section":"depth","kind":"throughput","algorithm":"route:net=benes","n":48,"steps":528,"wall_ms":0.1,"steps_per_sec":1.0}
+]"#,
+        )
+        .unwrap();
+        let route = &evaluate_cross(&recs)[2];
+        assert_eq!(route.verdict, Verdict::Pass, "{:#?}", route.checks);
+        assert!(route.checks[0].detail.contains("4/4 cells"), "{:#?}", route.checks);
+        assert!(route.checks[2].detail.contains("widths [64]"), "{:#?}", route.checks);
+    }
+
+    #[test]
+    fn route_identity_violation_fails() {
+        // One switch layer silently dropped: steps < depth × n.
+        let recs = parse_records(
+            r#"[{"scenario":"ROUTE","section":"depth","algorithm":"route:net=benes","net":"benes","adversary":"fair","n":48,"width":64,"depth":11,"steps":480,"unnamed":0}]"#,
+        )
+        .unwrap();
+        assert_eq!(evaluate_cross(&recs)[2].verdict, Verdict::Fail);
+    }
+
+    #[test]
+    fn route_stages_override_is_excluded_from_the_ordering() {
+        // Only an overridden benes row at width 64: no complete triple,
+        // so the ordering is inconclusive — not failed by depth 4.
+        let recs = parse_records(
+            r#"[{"scenario":"ROUTE","section":"depth","algorithm":"route:net=benes,stages=4","net":"benes","adversary":"fair","n":48,"width":64,"depth":4,"steps":192,"unnamed":0,"stages":4}]"#,
+        )
+        .unwrap();
+        let route = &evaluate_cross(&recs)[2];
+        assert_eq!(route.verdict, Verdict::Inconclusive, "{:#?}", route.checks);
     }
 
     #[test]

@@ -88,7 +88,7 @@ mod tests {
     fn empty_input_is_all_inconclusive_never_fail() {
         let report = generate(&[], vec![]);
         assert_eq!(report.claims.len(), 7);
-        assert_eq!(report.cross.len(), 2);
+        assert_eq!(report.cross.len(), 3);
         assert_eq!(report.worst_verdict(), Verdict::Inconclusive);
     }
 

@@ -13,7 +13,8 @@ fn repo_root() -> PathBuf {
 }
 
 /// The committed snapshot set, in the canonical `exp_report` order.
-const INPUTS: [&str; 3] = ["BENCH_report.json", "BENCH_scenarios.json", "BENCH_explore.json"];
+const INPUTS: [&str; 4] =
+    ["BENCH_report.json", "BENCH_scenarios.json", "BENCH_explore.json", "BENCH_route.json"];
 
 fn committed_records() -> Vec<Rec> {
     let mut recs = Vec::new();
@@ -97,8 +98,8 @@ fn generation_is_deterministic() {
 fn committed_report_has_a_chart_and_verdict_per_claim_section() {
     let committed = committed_report();
     assert_eq!(committed.matches("<svg ").count(), 7, "one chart per paper claim");
-    // 7 claims + 2 cross-checks in the summary table, all PASS.
-    assert_eq!(committed.matches("| **PASS** |").count(), 9);
-    assert_eq!(committed.matches("**Verdict: PASS**").count(), 9);
+    // 7 claims + 3 cross-checks in the summary table, all PASS.
+    assert_eq!(committed.matches("| **PASS** |").count(), 10);
+    assert_eq!(committed.matches("**Verdict: PASS**").count(), 10);
     assert!(!committed.contains("**Verdict: FAIL**"));
 }

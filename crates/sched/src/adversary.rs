@@ -398,6 +398,300 @@ impl<A: Adversary> Adversary for CrashAdversary<A> {
     }
 }
 
+/// Oblivious adversary with a k-step lookahead window: it commits to
+/// the next `k` runnable pids (ascending, wrapping once) from a single
+/// view, then drains that commitment before looking again. Pids that
+/// halt between commitment and grant are skipped — the window is a
+/// *plan*, not a promise.
+///
+/// Because the committed window holds distinct pids and a grant can
+/// only change the *grantee's* own runnability, draining the window is
+/// batchable: [`Adversary::decide_batch`] drains the current window
+/// (skipping stale entries exactly as `decide` would) and stops at the
+/// refill boundary, which is provably the same grant sequence as
+/// sequential `decide` calls. `k = 1` degenerates to the fair schedule.
+#[derive(Debug)]
+pub struct LookaheadAdversary {
+    k: usize,
+    cursor: usize,
+    window: std::collections::VecDeque<Pid>,
+}
+
+impl LookaheadAdversary {
+    /// Lookahead of `k ≥ 1` decisions.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "lookahead needs k >= 1");
+        Self { k, cursor: 0, window: std::collections::VecDeque::new() }
+    }
+
+    /// Commits to up to `k` runnable pids from `view`: ascending from
+    /// the cursor, wrapping once to the pids strictly below it (so the
+    /// window never holds a duplicate).
+    fn refill(&mut self, view: &RunView<'_>) {
+        let start = self.cursor;
+        let mut from = start;
+        while self.window.len() < self.k {
+            match view.next_runnable(from) {
+                Some(pid) => {
+                    self.window.push_back(pid);
+                    from = pid.index() + 1;
+                }
+                None => break,
+            }
+        }
+        let mut from = 0;
+        while self.window.len() < self.k {
+            match view.next_runnable(from) {
+                Some(pid) if pid.index() < start => {
+                    self.window.push_back(pid);
+                    from = pid.index() + 1;
+                }
+                _ => break,
+            }
+        }
+        if let Some(last) = self.window.back() {
+            self.cursor = last.index() + 1;
+        }
+    }
+}
+
+impl Adversary for LookaheadAdversary {
+    fn decide(&mut self, view: &RunView<'_>) -> Decision {
+        loop {
+            match self.window.pop_front() {
+                Some(pid) if view.is_runnable(pid) => return Decision::Grant(pid),
+                Some(_) => continue, // committed pid has since halted
+                None => self.refill(view),
+            }
+        }
+    }
+
+    fn decide_batch(&mut self, view: &RunView<'_>, out: &mut Vec<Decision>, max: usize) {
+        // Drain the already-committed window only — the refill reads the
+        // runnable set, which a mid-batch halt changes, so a refill
+        // always starts a fresh batch. Halted entries are popped only as
+        // the prefix of an actual grant: sequential `decide` calls skip
+        // them exactly one-grant-at-a-time, so a trailing run of stale
+        // entries must survive for the *next* decision to consume.
+        let start = out.len();
+        while out.len() - start < max {
+            match self.window.iter().position(|&p| view.is_runnable(p)) {
+                Some(skip) => {
+                    self.window.drain(..skip);
+                    let pid = self.window.pop_front().expect("position() found an entry");
+                    out.push(Decision::Grant(pid));
+                }
+                None => break,
+            }
+        }
+        if out.len() == start {
+            out.push(self.decide(view));
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "lookahead"
+    }
+}
+
+/// Bursty load: `len` fair ascending grants, then `gap` grants that all
+/// hammer the lowest runnable pid, repeating. The burst phase spreads
+/// steps like the fair schedule; the gap phase serializes everything
+/// behind the front of the pid space — the classic duty-cycle load
+/// shape that stresses protocols whose contention window assumes steady
+/// interleaving.
+///
+/// Burst-phase grants are strictly ascending with no wrap, so they
+/// batch exactly like [`FairAdversary`]; the gap phase grants the
+/// lowest runnable pid, which may halt on its own grant and change the
+/// *next* gap grant — so a gap decision is always a batch of one, as is
+/// the burst wrap.
+#[derive(Debug)]
+pub struct BurstyAdversary {
+    len: usize,
+    gap: usize,
+    cursor: usize,
+    tick: usize,
+}
+
+impl BurstyAdversary {
+    /// Bursts of `len ≥ 1` fair grants separated by `gap` front-hammer
+    /// grants (`gap = 0` degenerates to the fair schedule).
+    pub fn new(len: usize, gap: usize) -> Self {
+        assert!(len >= 1, "bursty needs len >= 1");
+        Self { len, gap, cursor: 0, tick: 0 }
+    }
+}
+
+impl Adversary for BurstyAdversary {
+    fn decide(&mut self, view: &RunView<'_>) -> Decision {
+        let phase = self.tick % (self.len + self.gap);
+        self.tick += 1;
+        let pid = if phase < self.len {
+            let pid = view
+                .next_runnable(self.cursor)
+                .or_else(|| view.next_runnable(0))
+                .expect("decide() requires at least one runnable process");
+            self.cursor = pid.index() + 1;
+            pid
+        } else {
+            view.next_runnable(0).expect("decide() requires at least one runnable process")
+        };
+        Decision::Grant(pid)
+    }
+
+    fn decide_batch(&mut self, view: &RunView<'_>, out: &mut Vec<Decision>, max: usize) {
+        let phase = self.tick % (self.len + self.gap);
+        if phase >= self.len {
+            out.push(self.decide(view));
+            return;
+        }
+        // Burst: strictly ascending grants, cut at the burst boundary
+        // and at the end of pid space (the wrap is its own batch).
+        let start = out.len();
+        let room = max.min(self.len - phase);
+        let mut from = self.cursor;
+        while out.len() - start < room {
+            match view.next_runnable(from) {
+                Some(pid) => {
+                    out.push(Decision::Grant(pid));
+                    from = pid.index() + 1;
+                }
+                None => break,
+            }
+        }
+        if out.len() == start {
+            out.push(self.decide(view));
+            return;
+        }
+        self.cursor = from;
+        self.tick += out.len() - start;
+    }
+
+    fn name(&self) -> &'static str {
+        "bursty"
+    }
+}
+
+/// Diurnal rate: the eligible prefix of the runnable set swells and
+/// shrinks with a period-`P` duty cycle, emulating a trace whose offered
+/// load follows a day/night sinusoid. The wave is an integer triangle
+/// approximation of the sinusoid — kept integral on purpose, since
+/// `f64::sin` is not bit-identical across platforms and every schedule
+/// here must replay exactly.
+///
+/// Keeps the default single-decision [`Adversary::decide_batch`] on
+/// purpose: the eligible prefix is indexed into the *live* runnable
+/// set, which shrinks whenever a mid-batch grantee halts — batching
+/// against a stale view would grant outside the window sequential
+/// decisions would have used. (The opt-out mirrors `random`, whose
+/// per-decision RNG is the schedule; here the per-decision runnable
+/// census is.)
+#[derive(Debug)]
+pub struct DiurnalAdversary {
+    period: u64,
+    tick: u64,
+}
+
+impl DiurnalAdversary {
+    /// Duty cycle of `period ≥ 2` decisions.
+    pub fn new(period: u64) -> Self {
+        assert!(period >= 2, "diurnal needs period >= 2");
+        Self { period, tick: 0 }
+    }
+}
+
+impl Adversary for DiurnalAdversary {
+    fn decide(&mut self, view: &RunView<'_>) -> Decision {
+        let count = view.runnable_count() as u64;
+        let phase = self.tick % self.period;
+        let half = self.period / 2;
+        // Triangle wave over [0, period]: 0 at phase 0, peak mid-period.
+        let amp = if phase < half { 2 * phase } else { 2 * (self.period - phase) };
+        let eligible = (count * amp / self.period).clamp(1, count) as usize;
+        let idx = (self.tick % eligible as u64) as usize;
+        self.tick += 1;
+        let pid =
+            view.runnable().nth(idx).expect("decide() requires at least one runnable process");
+        Decision::Grant(pid)
+    }
+
+    fn name(&self) -> &'static str {
+        "diurnal"
+    }
+}
+
+/// Targeted-victim starvation: the fair schedule over everyone *except*
+/// pid `victim`, which is granted only when it is the last runnable
+/// process (an adversary cannot block all processes forever). The
+/// strongest schedule-only starvation attack against one process —
+/// wait-free protocols must still name the victim, merely late.
+///
+/// A `victim ≥ n` names nobody and degenerates to the fair schedule.
+/// Batching is [`FairAdversary`]'s argument verbatim with one pid
+/// excluded: strictly ascending non-victim grants from one view; the
+/// wrap and the victim-only endgame are single-decision batches.
+#[derive(Debug)]
+pub struct VictimAdversary {
+    victim: usize,
+    cursor: usize,
+}
+
+impl VictimAdversary {
+    /// Starves `victim`.
+    pub fn new(victim: usize) -> Self {
+        Self { victim, cursor: 0 }
+    }
+
+    /// First runnable non-victim pid at or after `from`.
+    fn next_non_victim(&self, view: &RunView<'_>, mut from: usize) -> Option<Pid> {
+        while let Some(pid) = view.next_runnable(from) {
+            if pid.index() != self.victim {
+                return Some(pid);
+            }
+            from = pid.index() + 1;
+        }
+        None
+    }
+}
+
+impl Adversary for VictimAdversary {
+    fn decide(&mut self, view: &RunView<'_>) -> Decision {
+        let pid = self
+            .next_non_victim(view, self.cursor)
+            .or_else(|| self.next_non_victim(view, 0))
+            .unwrap_or_else(|| {
+                // Only the victim is left — forced progress.
+                view.next_runnable(0).expect("decide() requires at least one runnable process")
+            });
+        self.cursor = pid.index() + 1;
+        Decision::Grant(pid)
+    }
+
+    fn decide_batch(&mut self, view: &RunView<'_>, out: &mut Vec<Decision>, max: usize) {
+        let start = out.len();
+        let mut from = self.cursor;
+        while out.len() - start < max {
+            match self.next_non_victim(view, from) {
+                Some(pid) => {
+                    out.push(Decision::Grant(pid));
+                    from = pid.index() + 1;
+                }
+                None => break,
+            }
+        }
+        if out.len() == start {
+            out.push(self.decide(view));
+            return;
+        }
+        self.cursor = from;
+    }
+
+    fn name(&self) -> &'static str {
+        "victim"
+    }
+}
+
 /// Owns the packed state a [`RunView`] borrows — for unit tests and
 /// microbenches that drive an adversary without a full executor.
 ///
@@ -609,6 +903,132 @@ mod tests {
         for _ in 0..20 {
             assert!(matches!(adv.decide(&fx.view()), Decision::Grant(_)));
         }
+    }
+
+    #[test]
+    fn lookahead_one_is_fair() {
+        let fx = ViewFixture::new(crate::entity_vec![Some(Access::Local); 4]);
+        let mut look = LookaheadAdversary::new(1);
+        let mut fair = FairAdversary::default();
+        for _ in 0..10 {
+            assert_eq!(look.decide(&fx.view()), fair.decide(&fx.view()));
+        }
+    }
+
+    #[test]
+    fn lookahead_commits_a_window_and_skips_stale_entries() {
+        // Window committed over 4 runnable pids; pid 2 halts before its
+        // grant. The plan skips it without re-planning.
+        let mut status = StatusBitmap::new();
+        status.reset(4);
+        let mut slots = SlotSnapshot::new();
+        slots.capture(&status);
+        let announced: EntityVec<Pid, Option<Access>> = crate::entity_vec![Some(Access::Local); 4];
+        let steps: EntityVec<Pid, u64> = crate::entity_vec![0; 4];
+        let view = RunView::new(&status, &slots, &announced, &steps, 0);
+        let mut adv = LookaheadAdversary::new(4);
+        assert_eq!(grant(adv.decide(&view)), 0);
+        status.set(Pid::new(2), Status::Named);
+        let view = RunView::new(&status, &slots, &announced, &steps, 0);
+        assert_eq!(grant(adv.decide(&view)), 1);
+        assert_eq!(grant(adv.decide(&view)), 3, "halted pid 2 skipped, not granted");
+    }
+
+    #[test]
+    fn lookahead_batch_is_a_prefix_of_sequential_decides() {
+        let fx = ViewFixture::new(crate::entity_vec![Some(Access::Local); 5]);
+        let mut sequential = LookaheadAdversary::new(3);
+        let expect: Vec<_> = (0..9).map(|_| sequential.decide(&fx.view())).collect();
+        let mut batched = LookaheadAdversary::new(3);
+        let mut got = Vec::new();
+        while got.len() < 9 {
+            let want = 9 - got.len();
+            batched.decide_batch(&fx.view(), &mut got, want);
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn bursty_alternates_fair_bursts_and_front_hammering() {
+        let fx = ViewFixture::new(crate::entity_vec![Some(Access::Local); 5]);
+        let mut adv = BurstyAdversary::new(3, 2);
+        let picks: Vec<_> = (0..10).map(|_| grant(adv.decide(&fx.view()))).collect();
+        // 3 fair grants, 2 grants of the lowest pid, repeat.
+        assert_eq!(picks, vec![0, 1, 2, 0, 0, 3, 4, 0, 0, 0]);
+    }
+
+    #[test]
+    fn bursty_batch_stops_at_the_phase_boundary() {
+        let fx = ViewFixture::new(crate::entity_vec![Some(Access::Local); 5]);
+        let mut adv = BurstyAdversary::new(3, 1);
+        let mut out = Vec::new();
+        adv.decide_batch(&fx.view(), &mut out, 10);
+        assert_eq!(out.len(), 3, "burst batches never cross into the gap");
+        out.clear();
+        adv.decide_batch(&fx.view(), &mut out, 10);
+        assert_eq!(out, vec![Decision::Grant(Pid::new(0))], "gap is a batch of one");
+    }
+
+    #[test]
+    fn diurnal_stays_in_the_eligible_prefix_and_is_deterministic() {
+        let fx = ViewFixture::new(crate::entity_vec![Some(Access::Local); 8]);
+        let run = || {
+            let mut adv = DiurnalAdversary::new(8);
+            (0..32).map(|_| grant(adv.decide(&fx.view()))).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+        // At phase 0 the window collapses to a single pid.
+        let mut adv = DiurnalAdversary::new(8);
+        assert_eq!(grant(adv.decide(&fx.view())), 0);
+        // Across a full period every grant is a legal runnable pid and
+        // the mid-period window opens past the front.
+        let picks = run();
+        assert!(picks.iter().all(|&p| p < 8));
+        assert!(picks.iter().any(|&p| p > 0), "window must open mid-period");
+    }
+
+    #[test]
+    fn victim_granted_only_when_alone() {
+        let fx = ViewFixture::new(crate::entity_vec![Some(Access::Local); 3]);
+        let mut adv = VictimAdversary::new(1);
+        let picks: Vec<_> = (0..6).map(|_| grant(adv.decide(&fx.view()))).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2, 0, 2], "victim 1 never granted while others run");
+        // Victim alone: forced progress.
+        let fx = ViewFixture::new(crate::entity_vec![None, Some(Access::Local), None]);
+        assert_eq!(grant(adv.decide(&fx.view())), 1);
+    }
+
+    #[test]
+    fn victim_out_of_range_degenerates_to_fair() {
+        let fx = ViewFixture::new(crate::entity_vec![Some(Access::Local); 3]);
+        let mut adv = VictimAdversary::new(99);
+        let mut fair = FairAdversary::default();
+        for _ in 0..7 {
+            assert_eq!(adv.decide(&fx.view()), fair.decide(&fx.view()));
+        }
+    }
+
+    #[test]
+    fn victim_batch_matches_sequential_decides() {
+        let fx = ViewFixture::new(crate::entity_vec![Some(Access::Local); 5]);
+        let mut sequential = VictimAdversary::new(2);
+        let expect: Vec<_> = (0..8).map(|_| sequential.decide(&fx.view())).collect();
+        let mut batched = VictimAdversary::new(2);
+        let mut got = Vec::new();
+        while got.len() < 8 {
+            let want = 8 - got.len();
+            batched.decide_batch(&fx.view(), &mut got, want);
+        }
+        assert_eq!(got, expect);
+        assert!(got.iter().all(|&d| d != Decision::Grant(Pid::new(2))));
+    }
+
+    #[test]
+    fn zoo_names_are_stable() {
+        assert_eq!(LookaheadAdversary::new(2).name(), "lookahead");
+        assert_eq!(BurstyAdversary::new(4, 2).name(), "bursty");
+        assert_eq!(DiurnalAdversary::new(16).name(), "diurnal");
+        assert_eq!(VictimAdversary::new(0).name(), "victim");
     }
 
     #[test]

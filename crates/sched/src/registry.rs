@@ -5,7 +5,10 @@
 //! driver build it from a string key alone — `"fair"`, `"random"`,
 //! `"collisions"`, `"stall"`, or `"crash:p=20,cap=10"` (crash
 //! probability in permille at winning announces, crash budget as a
-//! percentage of `n`). Keys follow the shared [`ParsedKey`] grammar
+//! percentage of `n`). The zoo strategies — `"lookahead:k=K"`,
+//! `"bursty:len=L,gap=G"`, `"diurnal:period=P"`, `"victim:pid=V"` —
+//! stress schedulers with foresight, duty cycles and starvation bias.
+//! Keys follow the shared [`ParsedKey`] grammar
 //! `name[:k=v[,k=v…]]` also used by the algorithm registry.
 //!
 //! Adding a strategy is a one-registration change: implement
@@ -13,7 +16,8 @@
 //! validates the key's parameters and returns a per-run builder.
 
 use crate::adversary::{
-    Adversary, CollisionMaximizer, CrashAdversary, FairAdversary, RandomAdversary, StallWinners,
+    Adversary, BurstyAdversary, CollisionMaximizer, CrashAdversary, DiurnalAdversary,
+    FairAdversary, LookaheadAdversary, RandomAdversary, StallWinners, VictimAdversary,
 };
 use crate::explore::{SharedExplorer, SharedFuzzer};
 use rr_shmem::Access;
@@ -141,13 +145,19 @@ impl AdversaryRegistry {
     /// The standard strategies: `fair`, `random`, `collisions`, `stall`,
     /// `crash` (params `p` = crash probability in permille at
     /// winning-kind announces, default 20; `cap` = crash budget as a
-    /// percentage of `n`, default 10), and the schedule-space searchers
-    /// `explore` (bounded exhaustive DFS, params `depth` = branching
-    /// horizon, default 6; `crashes` = crash-decision budget, default 0)
-    /// and `fuzz` (params `strength` = perturbation permille, default
-    /// 250; `rounds` = corpus capacity, default 64). The searchers keep
-    /// state across the seeds of one prepared builder — see
-    /// [`crate::explore`] for their serial exactly-once guarantee.
+    /// percentage of `n`, default 10), the load-shape zoo `lookahead`
+    /// (param `k` ≥ 1 = committed window length, default 4), `bursty`
+    /// (params `len` ≥ 1 = fair grants per burst, default 8; `gap` =
+    /// front-hammer grants between bursts, default 4), `diurnal` (param
+    /// `period` ≥ 2 = duty-cycle length in decisions, default 64) and
+    /// `victim` (param `pid` = the starved process, default 0), and the
+    /// schedule-space searchers `explore` (bounded exhaustive DFS,
+    /// params `depth` = branching horizon, default 6; `crashes` =
+    /// crash-decision budget, default 0) and `fuzz` (params `strength` =
+    /// perturbation permille, default 250; `rounds` = corpus capacity,
+    /// default 64). The searchers keep state across the seeds of one
+    /// prepared builder — see [`crate::explore`] for their serial
+    /// exactly-once guarantee.
     ///
     /// The searcher keys, end to end:
     ///
@@ -216,6 +226,56 @@ impl AdversaryRegistry {
                         seed,
                     ))
                 }))
+            },
+        );
+        reg.register(
+            "lookahead",
+            "oblivious k-step lookahead: commits to the next k runnable pids from one view",
+            "lookahead:k=4",
+            |key| {
+                key.check_known(&["k"])?;
+                let k: usize = key.get("k", 4)?;
+                if k == 0 {
+                    return Err("lookahead needs k >= 1, got 0".to_string());
+                }
+                Ok(Box::new(move |_, _| Box::new(LookaheadAdversary::new(k))))
+            },
+        );
+        reg.register(
+            "bursty",
+            "bursts of len fair grants separated by gap grants of the lowest runnable pid",
+            "bursty:len=8,gap=4",
+            |key| {
+                key.check_known(&["len", "gap"])?;
+                let len: usize = key.get("len", 8)?;
+                let gap: usize = key.get("gap", 4)?;
+                if len == 0 {
+                    return Err("bursty needs len >= 1, got 0".to_string());
+                }
+                Ok(Box::new(move |_, _| Box::new(BurstyAdversary::new(len, gap))))
+            },
+        );
+        reg.register(
+            "diurnal",
+            "sinusoidal duty cycle: the eligible prefix of runnable pids swells with period P",
+            "diurnal:period=64",
+            |key| {
+                key.check_known(&["period"])?;
+                let period: u64 = key.get("period", 64)?;
+                if period < 2 {
+                    return Err(format!("diurnal needs period >= 2, got {period}"));
+                }
+                Ok(Box::new(move |_, _| Box::new(DiurnalAdversary::new(period))))
+            },
+        );
+        reg.register(
+            "victim",
+            "fair schedule that starves pid V, granting it only when it runs alone",
+            "victim:pid=0",
+            |key| {
+                key.check_known(&["pid"])?;
+                let pid: usize = key.get("pid", 0)?;
+                Ok(Box::new(move |_, _| Box::new(VictimAdversary::new(pid))))
             },
         );
         reg.register(
@@ -326,6 +386,14 @@ mod tests {
             "stall",
             "crash",
             "crash:p=200,cap=25",
+            "lookahead",
+            "lookahead:k=3",
+            "bursty",
+            "bursty:len=2,gap=7",
+            "diurnal",
+            "diurnal:period=16",
+            "victim",
+            "victim:pid=5",
             "explore:depth=4",
             "explore:depth=3,crashes=1",
             "fuzz:rounds=8,strength=500",
@@ -345,13 +413,42 @@ mod tests {
         assert!(standard().build("explore:d=3", 8, 0).is_err());
         assert!(standard().build("fuzz:strength=1500", 8, 0).is_err());
         assert!(standard().build("fuzz:rounds=0", 8, 0).is_err());
+        assert_eq!(
+            standard().build("lookahead:k=0", 8, 0).err().unwrap(),
+            "lookahead needs k >= 1, got 0"
+        );
+        assert_eq!(
+            standard().build("bursty:len=0", 8, 0).err().unwrap(),
+            "bursty needs len >= 1, got 0"
+        );
+        assert_eq!(
+            standard().build("diurnal:period=1", 8, 0).err().unwrap(),
+            "diurnal needs period >= 2, got 1"
+        );
+        assert!(standard().build("victim:p=0", 8, 0).is_err());
+        assert!(standard().build("lookahead:k=x", 8, 0).is_err());
     }
 
     #[test]
     fn registered_entries_listed() {
         let keys = standard().keys();
-        assert_eq!(keys, vec!["collisions", "crash", "explore", "fair", "fuzz", "random", "stall"]);
-        assert_eq!(standard().entries().len(), 7);
+        assert_eq!(
+            keys,
+            vec![
+                "bursty",
+                "collisions",
+                "crash",
+                "diurnal",
+                "explore",
+                "fair",
+                "fuzz",
+                "lookahead",
+                "random",
+                "stall",
+                "victim",
+            ]
+        );
+        assert_eq!(standard().entries().len(), 11);
     }
 
     /// A prepared `explore` builder shares one DFS across its builds —

@@ -126,7 +126,7 @@ fn reproduction_report_summary_anchors_cover_every_section() {
         .filter(|l| l.starts_with("| ["))
         .filter_map(|l| l.split("](#").nth(1)?.split(')').next())
         .collect();
-    assert_eq!(summary_anchors.len(), 9, "7 claims + 2 cross-checks in the summary");
+    assert_eq!(summary_anchors.len(), 10, "7 claims + 3 cross-checks in the summary");
     for anchor in summary_anchors {
         assert!(slugs.iter().any(|s| s == anchor), "summary anchor `#{anchor}` dangles");
     }

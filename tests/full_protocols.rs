@@ -3,8 +3,8 @@
 //! and passes the full renaming audit.
 
 use randomized_renaming::baselines::{
-    register_baselines, BitonicRenaming, FetchAddRenaming, LinearScan, ScanStart, SplitterGrid,
-    UniformProbing,
+    register_baselines, BitonicRenaming, FetchAddRenaming, LinearScan, RouteRenaming,
+    RouteTopology, ScanStart, SplitterGrid, UniformProbing,
 };
 use randomized_renaming::renaming::registry::AlgorithmRegistry;
 use randomized_renaming::renaming::traits::{
@@ -38,6 +38,9 @@ fn all_algorithms() -> Vec<Box<dyn RenamingAlgorithm>> {
         Box::new(UniformProbing { epsilon: 0.25 }),
         Box::new(LinearScan { start: ScanStart::Zero }),
         Box::new(LinearScan { start: ScanStart::OwnPid }),
+        Box::new(RouteRenaming { topology: RouteTopology::Benes, stages: None }),
+        Box::new(RouteRenaming { topology: RouteTopology::Butterfly, stages: None }),
+        Box::new(RouteRenaming { topology: RouteTopology::Variant, stages: Some(5) }),
         Box::new(SplitterGrid),
         Box::new(randomized_renaming::renaming::adaptive::AdaptiveRenaming),
     ]
@@ -91,8 +94,8 @@ fn every_algorithm_under_every_adversary_is_safe_at(n: usize) {
     }
 }
 
-/// The 13-key registry the scenario engine resolves against: the
-/// paper's 8 protocols plus the 5 baselines.
+/// The 14-key registry the scenario engine resolves against: the
+/// paper's 8 protocols plus the 6 baselines.
 fn full_registry() -> AlgorithmRegistry {
     let mut reg = AlgorithmRegistry::with_paper_algorithms();
     register_baselines(&mut reg);
@@ -161,6 +164,65 @@ fn every_algorithm_exhaustive_small_n_is_safe() {
                 "{key} at n={n}: crash branches missing ({with_crashes})"
             );
         }
+    }
+}
+
+/// Like [`exhaust_schedules`], but also tracks the extreme total-step
+/// counts over the exhausted tree.
+fn exhaust_schedules_tracking_steps(
+    algo: &dyn RenamingAlgorithm,
+    n: usize,
+    explore_key: &str,
+    arena: &mut Arena,
+) -> (u64, u64, u64) {
+    let explorer = SharedExplorer::from_key(explore_key).expect("explore key").strict();
+    let (mut worst, mut best) = (0u64, u64::MAX);
+    while !explorer.exhausted() {
+        let mut adv = explorer.adversary();
+        let out = algo
+            .run_dense(n, 11, &mut adv, arena)
+            .unwrap_or_else(|e| panic!("{} at n={n}: {e}", algo.name()));
+        out.verify_renaming(algo.m(n)).unwrap_or_else(|v| panic!("{}: {v}", algo.name()));
+        worst = worst.max(out.total_steps());
+        best = best.min(out.total_steps());
+    }
+    (explorer.schedules(), worst, best)
+}
+
+/// The route family's defining property, certified over **all**
+/// schedules of a bounded tree rather than sampled: at n = 4 (width 4,
+/// q = 2) the depth-4 explorer exhausts the crash-free tree and the
+/// worst-case total steps equal the best case equal `n × depth` — the
+/// schedule cannot move the step count, only who wins each switch. The
+/// tree sizes are pinned so a change to the explorer's branching or the
+/// network's switch count is a loud, deliberate edit.
+#[test]
+fn route_worst_case_over_all_schedules_is_pinned() {
+    let pinned: &[(RouteTopology, u64, u64)] = &[
+        // (topology, schedules in the depth-4 tree, worst total steps).
+        // Deeper networks keep more processes runnable inside the
+        // horizon, so the tree widens with depth: the width-4 butterfly
+        // retires a twice-granted process after 2 steps (204 schedules),
+        // Beneš after 3 (252), while the depth-4 variant retires nobody
+        // within the horizon (the full 4^4 = 256).
+        (RouteTopology::Butterfly, 204, 8),
+        (RouteTopology::Benes, 252, 12),
+        (RouteTopology::Variant, 256, 16),
+    ];
+    let n = 4;
+    let mut arena = Arena::new();
+    for &(topology, schedules, worst_steps) in pinned {
+        let algo = RouteRenaming { topology, stages: None };
+        let (visited, worst, best) =
+            exhaust_schedules_tracking_steps(&algo, n, "explore:depth=4", &mut arena);
+        assert_eq!(
+            (visited, worst),
+            (schedules, worst_steps),
+            "{}: depth-4 tree drifted",
+            topology.label()
+        );
+        assert_eq!(worst, best, "{}: the schedule moved the step count", topology.label());
+        assert_eq!(worst, n as u64 * algo.depth(n) as u64, "{}", topology.label());
     }
 }
 
